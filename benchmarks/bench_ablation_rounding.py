@@ -1,0 +1,82 @@
+"""Ablation A2: >0.95 threshold fixing vs randomized rounding.
+
+The paper: "we did try other well-known approaches such as randomized
+rounding, but they did not work as well" (Section V-B Step 1).  This
+ablation runs both strategies over a sweep of stress budgets and compares
+success rates and solve times.  Randomized rounding can pre-map two ops of
+one context onto the same PE (an immediately infeasible residue), which is
+exactly the failure mode that makes it "not work as well".
+
+Run::
+
+    pytest benchmarks/bench_ablation_rounding.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import scaled_entry
+from repro.aging import compute_stress_map
+from repro.benchgen.synth import build_benchmark
+from repro.core import (
+    FrozenPlan,
+    RemapConfig,
+    build_remap_model,
+    default_candidates,
+    solve_remap,
+)
+from repro.place import place_baseline
+from repro.timing import analyze, filter_paths
+
+BUDGET_FACTORS = (0.70, 0.80, 0.90, 1.00)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    entry = scaled_entry("B10")
+    design, fabric = build_benchmark(entry.spec())
+    floorplan = place_baseline(design, fabric)
+    stress = compute_stress_map(design, floorplan)
+    report = analyze(design, floorplan)
+    monitored = filter_paths(design, floorplan).non_critical
+    frozen = FrozenPlan(positions={}, orientation_of_context={})
+    candidates = default_candidates(design, floorplan, frozen, fabric, None)
+    return design, fabric, frozen, candidates, monitored, report.cpd_ns, stress
+
+
+@pytest.mark.parametrize("rounding", ["threshold", "randomized"])
+def test_rounding_strategy_sweep(benchmark, problem, rounding):
+    design, fabric, frozen, candidates, monitored, cpd, stress = problem
+    config = RemapConfig(rounding=rounding, time_limit_s=20, seed=11)
+
+    def sweep():
+        outcomes = []
+        for factor in BUDGET_FACTORS:
+            model, variables, _ = build_remap_model(
+                design, fabric, frozen, candidates, monitored, cpd,
+                st_target_ns=factor * stress.max_accumulated_ns,
+            )
+            outcomes.append(solve_remap(model, variables, config))
+        return outcomes
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    successes = sum(1 for o in outcomes if o.feasible)
+    # The paper's strategy must succeed on the loose budgets at least.
+    if rounding == "threshold":
+        assert outcomes[-1].feasible, "threshold fixing failed at ST_up"
+    benchmark.extra_info.update(
+        {
+            "rounding": rounding,
+            "budgets": list(BUDGET_FACTORS),
+            "successes": successes,
+            "per_budget": [
+                {
+                    "factor": factor,
+                    "feasible": outcome.feasible,
+                    "fixed_fraction": outcome.stats.get("fixed_fraction"),
+                }
+                for factor, outcome in zip(BUDGET_FACTORS, outcomes)
+            ],
+        }
+    )

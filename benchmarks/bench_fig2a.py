@@ -1,0 +1,49 @@
+"""Fig. 2(a) regeneration benchmark (experiment F2a in DESIGN.md).
+
+Fig. 2(a) is the stress-levelling illustration: the aging-unaware
+floorplan concentrates accumulated stress on a few PEs; the aging-aware
+floorplan levels it (max 4 -> 2 in the paper's unit-stress toy).  This
+benchmark runs the flow on the smallest suite entry and asserts the
+quantitative levelling plus renders both grids.
+
+Run::
+
+    pytest benchmarks/bench_fig2a.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_flow, scaled_entry
+from repro.benchgen.synth import build_benchmark
+from repro.report import stress_grid
+
+
+def test_fig2a_stress_levelling(benchmark):
+    entry = scaled_entry("B1")
+    design, fabric = build_benchmark(entry.spec())
+    flow = bench_flow("rotate")
+
+    result = benchmark.pedantic(
+        flow.run, args=(design, fabric), rounds=1, iterations=1
+    )
+
+    before = result.original.stress
+    after = result.remapped.stress
+    # The core claim: the maximum accumulated stress drops...
+    assert after.max_accumulated_ns < before.max_accumulated_ns
+    # ...while total stress is conserved (re-binding moves, never creates).
+    assert abs(after.total_ns - before.total_ns) < 1e-6
+    # And usage spreads: at least as many PEs carry work as before.
+    assert (after.accumulated_ns > 0).sum() >= (before.accumulated_ns > 0).sum()
+
+    benchmark.extra_info.update(
+        {
+            "max_before_ns": round(before.max_accumulated_ns, 3),
+            "max_after_ns": round(after.max_accumulated_ns, 3),
+            "levelling_factor": round(
+                before.max_accumulated_ns / after.max_accumulated_ns, 3
+            ),
+            "grid_before": stress_grid(fabric, before.accumulated_ns),
+            "grid_after": stress_grid(fabric, after.accumulated_ns),
+        }
+    )

@@ -1,0 +1,57 @@
+"""Fig. 2(b) regeneration benchmark (experiment F2b in DESIGN.md).
+
+Fig. 2(b) plots the threshold-voltage shift of the limiting PE over time
+for the original and the re-mapped floorplan: the re-mapped curve has a
+lower slope and crosses the 10% failure threshold later.  This benchmark
+computes both curves for a medium-utilisation benchmark and asserts those
+shape properties, storing the CSV series as the experiment record.
+
+Run::
+
+    pytest benchmarks/bench_fig2b.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import bench_flow, scaled_entry
+from repro.aging import vth_curve
+from repro.benchgen.synth import build_benchmark
+from repro.report import series_csv
+
+
+def test_fig2b_vth_curves(benchmark):
+    entry = scaled_entry("B13")
+    design, fabric = build_benchmark(entry.spec())
+    flow = bench_flow("rotate")
+    result = flow.run(design, fabric)
+
+    def build_curves():
+        horizon = 1.3 * result.remapped.mttf.mttf_s
+        return (
+            vth_curve(result.original.mttf, "original", horizon_s=horizon),
+            vth_curve(result.remapped.mttf, "re-mapped", horizon_s=horizon),
+        )
+
+    original, remapped = benchmark.pedantic(build_curves, rounds=1, iterations=1)
+
+    # Shape 1: both curves are monotone increasing.
+    assert np.all(np.diff(original.shifts_v) >= -1e-12)
+    assert np.all(np.diff(remapped.shifts_v) >= -1e-12)
+    # Shape 2: the re-mapped curve never exceeds the original at the same
+    # time (lower slope throughout, as drawn in the paper).
+    assert np.all(remapped.shifts_v <= original.shifts_v + 1e-12)
+    # Shape 3: the re-mapped MTTF (threshold crossing) is later.
+    assert remapped.mttf_s >= original.mttf_s
+    # Both curves share the same failure threshold line.
+    assert remapped.failure_shift_v == original.failure_shift_v
+
+    benchmark.extra_info.update(
+        {
+            "mttf_increase": round(result.mttf_increase, 3),
+            "mttf_before_years": round(result.original.mttf.mttf_years, 2),
+            "mttf_after_years": round(result.remapped.mttf.mttf_years, 2),
+            "csv": series_csv([original, remapped]),
+        }
+    )

@@ -1,0 +1,69 @@
+"""Fig. 5 regeneration benchmark (experiment F5 in DESIGN.md).
+
+Fig. 5 groups the Table I results by fabric configuration (C{4,8,16} x
+F{4,8,16}) with one bar per usage class, and its headline observation is:
+*the lower the fabric utilisation, the higher the MTTF increase*.  This
+benchmark measures one low/medium/high triple on a fixed fabric group and
+asserts that ordering, then renders the mini bar chart into extra_info.
+
+Run::
+
+    pytest benchmarks/bench_fig5.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_flow, scaled_entry
+from repro.benchgen.synth import build_benchmark
+from repro.report import bar_chart
+
+#: One C4 group triple (low, medium, high) — B1/B10/B19 in Table I.
+GROUP = ("B1", "B10", "B19")
+
+
+@pytest.fixture(scope="module")
+def group_results():
+    flow = bench_flow("rotate")
+    results = {}
+    for name in GROUP:
+        entry = scaled_entry(name)
+        design, fabric = build_benchmark(entry.spec())
+        results[entry.usage_class] = flow.run(design, fabric)
+    return results
+
+
+def test_fig5_utilization_trend(benchmark, group_results):
+    def collect():
+        return {
+            usage: result.mttf_increase
+            for usage, result in group_results.items()
+        }
+
+    increases = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    # The Fig. 5 shape: low-utilisation benchmarks gain the most.  We allow
+    # low ~= medium (the paper's C4F4 column has 1.94 vs 1.67 vs 1.52).
+    assert increases["low"] >= increases["high"]
+    assert increases["medium"] >= increases["high"] * 0.9
+    for usage, value in increases.items():
+        assert value >= 1.0, f"{usage} must never degrade"
+
+    chart = bar_chart(
+        ["C4F4"],
+        {usage: [increases[usage]] for usage in ("low", "medium", "high")},
+    )
+    benchmark.extra_info.update(
+        {
+            "increases": {k: round(v, 3) for k, v in increases.items()},
+            "chart": chart,
+        }
+    )
+
+
+def test_fig5_cpd_preserved_across_group(benchmark, group_results):
+    def check():
+        return all(r.cpd_preserved for r in group_results.values())
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

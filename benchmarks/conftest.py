@@ -1,0 +1,65 @@
+"""Shared helpers for the benchmark harness.
+
+Scale control
+-------------
+``REPRO_BENCH_SCALE`` selects the benchmark profile:
+
+* ``smoke`` (default) — 4x4/8x8 fabrics, representative subset; minutes.
+* ``paper`` — the verbatim Table I configurations; hours for the 16x16
+  entries.  Use ``python -m repro.report.experiments table1 --scale paper``
+  for the full-table reproduction outside pytest-benchmark.
+
+Every benchmark records its scientific outputs (MTTF increase, CPD
+preservation, solver statistics) in ``benchmark.extra_info`` so the
+pytest-benchmark JSON doubles as the experiment record.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.benchgen import Table1Entry, entry
+from repro.benchgen.synth import build_benchmark
+from repro.core import AgingAwareFlow, Algorithm1Config, FlowConfig, RemapConfig
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+#: Fabric cap of the smoke profile.
+SMOKE_MAX_FABRIC = 8
+
+#: Representative subset across usage classes / context counts (smoke).
+SMOKE_BENCHMARKS = ("B1", "B4", "B10", "B13", "B19", "B22")
+
+
+def scaled_entry(name: str) -> Table1Entry:
+    e = entry(name)
+    if SCALE == "smoke":
+        return e.scaled(SMOKE_MAX_FABRIC)
+    return e
+
+
+def bench_flow(mode: str = "rotate", time_limit_s: float = 15.0) -> AgingAwareFlow:
+    """Benchmark-profile flow: tighter solver budget and iteration cap so
+    the whole harness completes in minutes on one core; the experiment
+    CLI (`repro.report.experiments`) uses the full budgets."""
+    return AgingAwareFlow(
+        FlowConfig(
+            algorithm1=Algorithm1Config(
+                mode=mode,
+                max_iterations=10,
+                remap=RemapConfig(time_limit_s=time_limit_s),
+            )
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def built_benchmarks():
+    """Designs/fabrics for the smoke subset, built once per session."""
+    result = {}
+    for name in SMOKE_BENCHMARKS:
+        e = scaled_entry(name)
+        result[name] = (e, *build_benchmark(e.spec()))
+    return result

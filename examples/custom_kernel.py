@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Bring-your-own-kernel: compile mini-C, explore fabric sizes, re-map.
+
+Demonstrates the workload the paper's introduction motivates: take a
+synthesizable C kernel, let the HLS frontend schedule it onto fabrics of
+different sizes (trading contexts/latency against area), and measure the
+aging-aware re-mapping gain on each configuration — the low/medium/high
+utilisation trend of Fig. 5 on a single real kernel.
+
+Usage::
+
+    python examples/custom_kernel.py [kernel-name|path/to/file.c]
+
+Kernel names: fir8, matvec4, checksum, sobel3 (see repro.benchgen.sources).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro import Fabric, compile_source, schedule_dfg, tech_map
+from repro.benchgen import KERNELS, kernel_source
+from repro.core import AgingAwareFlow, Algorithm1Config, FlowConfig, RemapConfig
+from repro.report import format_table
+
+
+def load_kernel(argument: str) -> tuple[str, str]:
+    path = pathlib.Path(argument)
+    if path.exists():
+        return path.stem, path.read_text()
+    if argument in KERNELS:
+        return argument, kernel_source(argument)
+    raise SystemExit(
+        f"unknown kernel {argument!r}; pick one of {sorted(KERNELS)} or a file"
+    )
+
+
+def main() -> None:
+    name, source = load_kernel(sys.argv[1] if len(sys.argv) > 1 else "sobel3")
+    dfg = compile_source(source, name)
+    print(f"{name}: {dfg.num_compute} compute ops")
+
+    flow = AgingAwareFlow(
+        FlowConfig(algorithm1=Algorithm1Config(remap=RemapConfig(time_limit_s=60)))
+    )
+
+    rows = []
+    for dim in (3, 4, 6):
+        fabric = Fabric(dim, dim)
+        schedule = schedule_dfg(dfg, capacity=fabric.num_pes)
+        design = tech_map(schedule, name=f"{name}@{dim}x{dim}")
+        result = flow.run(design, fabric)
+        rows.append([
+            f"{dim}x{dim}",
+            design.num_contexts,
+            f"{result.original.floorplan.utilization():.0%}",
+            result.remap.original_cpd_ns,
+            result.mttf_increase,
+            result.cpd_preserved,
+        ])
+    print()
+    print(format_table(
+        ["fabric", "contexts", "utilization", "CPD (ns)",
+         "MTTF increase (x)", "CPD preserved"],
+        rows,
+    ))
+    print()
+    print("Smaller fabrics -> more contexts and higher utilisation -> less")
+    print("spare room for stress levelling: the same trend as the paper's")
+    print("low/medium/high super-columns.")
+
+
+if __name__ == "__main__":
+    main()

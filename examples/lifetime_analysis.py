@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Lifetime analysis: Vth-degradation curves and MTTF sensitivity.
+
+Reproduces the Fig. 2(b) view for one benchmark — the threshold-voltage
+shift of the limiting PE over time, before and after aging-aware
+re-mapping — then sweeps the NBTI model parameters to show how MTTF
+(and, crucially, the *ratio*, which is what the paper reports) responds.
+
+Usage::
+
+    python examples/lifetime_analysis.py [benchmark]   # default B13
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import NbtiModel, compute_mttf, mttf_increase, vth_curve
+from repro.benchgen import entry
+from repro.benchgen.synth import build_benchmark
+from repro.core import AgingAwareFlow, Algorithm1Config, FlowConfig, RemapConfig
+from repro.report import ascii_curve, format_table
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "B13"
+    bench = entry(name).scaled(8)
+    design, fabric = build_benchmark(bench.spec())
+    print(f"benchmark {bench.name}: {design.num_ops} ops, "
+          f"{design.num_contexts} contexts, fabric {fabric.rows}x{fabric.cols}")
+
+    flow = AgingAwareFlow(
+        FlowConfig(algorithm1=Algorithm1Config(remap=RemapConfig(time_limit_s=60)))
+    )
+    result = flow.run(design, fabric)
+    print(f"MTTF increase: {result.mttf_increase:.2f}x "
+          f"(CPD preserved: {result.cpd_preserved})")
+
+    # -- Fig. 2(b): Vth shift vs time -------------------------------------------
+    horizon = 1.3 * result.remapped.mttf.mttf_s
+    original = vth_curve(result.original.mttf, "original", horizon_s=horizon)
+    remapped = vth_curve(result.remapped.mttf, "re-mapped", horizon_s=horizon)
+    print()
+    print("Vth shift vs time (Fig. 2b) — '=' is the 10% failure threshold:")
+    print(ascii_curve([original, remapped]))
+
+    # -- Sensitivity: how model constants move the *ratio* ------------------------
+    print()
+    rows = []
+    for label, model in (
+        ("baseline (n=0.25, Ea=0.49)", NbtiModel()),
+        ("n = 0.20", NbtiModel(time_exponent=0.20)),
+        ("n = 0.30", NbtiModel(time_exponent=0.30)),
+        ("Ea = 0.40 eV", NbtiModel(activation_energy_ev=0.40)),
+        ("Ea = 0.60 eV", NbtiModel(activation_energy_ev=0.60)),
+        ("failure at 15% shift", NbtiModel(failure_fraction=0.15)),
+    ):
+        before = compute_mttf(
+            result.original.stress, result.original.thermal.accumulated_k, model
+        )
+        after = compute_mttf(
+            result.remapped.stress, result.remapped.thermal.accumulated_k, model
+        )
+        rows.append([
+            label,
+            before.mttf_years,
+            after.mttf_years,
+            mttf_increase(before, after),
+        ])
+    print(format_table(
+        ["NBTI variant", "MTTF before (y)", "MTTF after (y)", "increase (x)"],
+        rows,
+    ))
+    print()
+    print("Note how the stress-time levelling survives every variant: the")
+    print("increase is driven by the duty ratio and the temperature relief,")
+    print("not by the absolute calibration of Eq. (1).")
+
+
+if __name__ == "__main__":
+    main()

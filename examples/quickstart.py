@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: one mini-C kernel through the full aging-aware CAD flow.
+
+Runs the complete pipeline of the paper on a small FIR-like kernel:
+
+1. HLS frontend: mini-C -> dataflow graph -> contexts (list scheduling);
+2. Phase 1: aging-unaware placement (Musketeer substitute), STA,
+   stress map, thermal map, baseline MTTF;
+3. Phase 2: MILP-based aging-aware re-mapping (Algorithm 1);
+4. Reports the MTTF increase and shows the stress grids of Fig. 2(a).
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Fabric, compile_source, run_flow, schedule_dfg, tech_map
+from repro.report import format_mapping, stress_grid
+
+KERNEL = """
+// A small multiply-accumulate kernel with a saturation branch.
+in int a, b;
+int i;
+int acc = 0;
+int w[4];
+for (i = 0; i < 4; i++) w[i] = (a >> i) ^ (b << i);
+for (i = 0; i < 4; i++) acc += w[i] * (i + 1);
+out int y;
+if (acc < 0) y = -acc; else y = acc;
+"""
+
+
+def main() -> None:
+    # -- HLS frontend --------------------------------------------------------
+    dfg = compile_source(KERNEL, "quickstart")
+    print(f"compiled: {dfg.num_compute} compute ops, "
+          f"{len(dfg.input_nodes())} inputs, {len(dfg.output_nodes())} outputs")
+
+    fabric = Fabric(4, 4)
+    schedule = schedule_dfg(dfg, capacity=fabric.num_pes)
+    design = tech_map(schedule)
+    print(f"scheduled into {design.num_contexts} contexts "
+          f"(= clock cycles of latency)")
+
+    # -- Phase 1 + Phase 2 ------------------------------------------------------
+    result = run_flow(design, fabric)
+
+    print()
+    print(format_mapping("Flow result", {
+        "MTTF increase": f"{result.mttf_increase:.2f}x",
+        "original CPD (ns)": result.remap.original_cpd_ns,
+        "re-mapped CPD (ns)": result.remap.final_cpd_ns,
+        "CPD preserved": result.cpd_preserved,
+        "max stress before (ns)": result.original.stress.max_accumulated_ns,
+        "max stress after (ns)": result.remapped.stress.max_accumulated_ns,
+        "peak temperature before (K)": result.original.thermal.peak_k,
+        "peak temperature after (K)": result.remapped.thermal.peak_k,
+        "MILP iterations": result.remap.iterations,
+    }))
+
+    print()
+    print("Accumulated stress (ns) per PE — aging-unaware floorplan:")
+    print(stress_grid(fabric, result.original.stress.accumulated_ns))
+    print()
+    print("Accumulated stress (ns) per PE — aging-aware floorplan:")
+    print(stress_grid(fabric, result.remapped.stress.accumulated_ns))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""repro — aging-aware MILP floorplanner for multi-context CGRRAs.
+
+A full reproduction of "An Efficient MILP-Based Aging-Aware Floorplanner
+for Multi-Context Coarse-Grained Runtime Reconfigurable FPGAs" (DATE
+2020), including every substrate the paper depends on: a CGRRA fabric
+model, a mini-C HLS frontend, an aging-unaware baseline placer, static
+timing analysis, a compact thermal model, the NBTI/MTTF lifetime model,
+a PuLP-like MILP layer on open solvers, and the paper's two-step
+re-mapping algorithm itself.
+
+Quickstart
+----------
+>>> from repro import compile_source, schedule_dfg, tech_map, Fabric, run_flow
+>>> dfg = compile_source("in int a, b; out int y = a * 3 + b;", "tiny")
+>>> design = tech_map(schedule_dfg(dfg, capacity=16))
+>>> result = run_flow(design, Fabric(4, 4))
+>>> result.mttf_increase >= 1.0
+True
+"""
+
+from repro.aging import (
+    MttfReport,
+    NbtiModel,
+    StressMap,
+    compute_mttf,
+    compute_stress_map,
+    mttf_increase,
+    vth_curve,
+)
+from repro.arch import Fabric, Floorplan, OpKind, PECell, UnitKind
+from repro.benchgen import (
+    TABLE1,
+    SyntheticSpec,
+    Table1Entry,
+    build_benchmark,
+    kernel_source,
+    load_benchmark,
+)
+from repro.core import (
+    AgingAwareFlow,
+    Algorithm1Config,
+    FlowConfig,
+    FlowResult,
+    RemapConfig,
+    RemapResult,
+    run_algorithm1,
+    run_flow,
+)
+from repro.errors import ReproError
+from repro.hls import (
+    DataflowGraph,
+    MappedDesign,
+    Schedule,
+    compile_source,
+    schedule_dfg,
+    tech_map,
+)
+from repro.milp import Model, ScipyBackend, SolveStatus
+from repro.place import place_baseline
+from repro.thermal import ThermalSimulator
+from repro.timing import TimingPath, analyze, filter_paths
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AgingAwareFlow",
+    "Algorithm1Config",
+    "DataflowGraph",
+    "Fabric",
+    "Floorplan",
+    "FlowConfig",
+    "FlowResult",
+    "MappedDesign",
+    "Model",
+    "MttfReport",
+    "NbtiModel",
+    "OpKind",
+    "PECell",
+    "RemapConfig",
+    "RemapResult",
+    "ReproError",
+    "Schedule",
+    "ScipyBackend",
+    "SolveStatus",
+    "StressMap",
+    "SyntheticSpec",
+    "TABLE1",
+    "Table1Entry",
+    "ThermalSimulator",
+    "TimingPath",
+    "UnitKind",
+    "analyze",
+    "build_benchmark",
+    "compile_source",
+    "compute_mttf",
+    "compute_stress_map",
+    "filter_paths",
+    "kernel_source",
+    "load_benchmark",
+    "mttf_increase",
+    "place_baseline",
+    "run_algorithm1",
+    "run_flow",
+    "schedule_dfg",
+    "tech_map",
+    "vth_curve",
+    "__version__",
+]

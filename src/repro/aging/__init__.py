@@ -1,0 +1,28 @@
+"""NBTI aging and MTTF models (paper Section III).
+
+Stress-time maps from floorplans, the Eq. (1) threshold-voltage shift
+model, and fabric MTTF evaluation including the Fig. 2(b) Vth curves.
+"""
+
+from repro.aging.mttf import (
+    MttfReport,
+    VthCurve,
+    compute_mttf,
+    mttf_increase,
+    vth_curve,
+)
+from repro.aging.nbti import NbtiModel, calibrate_prefactor
+from repro.aging.stress import StressMap, compute_stress_map, stress_summary
+
+__all__ = [
+    "MttfReport",
+    "NbtiModel",
+    "StressMap",
+    "VthCurve",
+    "calibrate_prefactor",
+    "compute_mttf",
+    "compute_stress_map",
+    "mttf_increase",
+    "stress_summary",
+    "vth_curve",
+]

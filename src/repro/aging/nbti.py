@@ -1,0 +1,136 @@
+"""NBTI threshold-voltage degradation model (paper Eq. 1).
+
+``Vth_shift(t) = A_NBTI * ST(t)^n * exp(-Ea / kT) * Vth0``
+
+where ``ST(t)`` is the accumulated stress time up to ``t`` — for a PE with
+long-term duty cycle ``d``, ``ST(t) = d * t`` — ``n`` is the
+fabrication-dependent exponent (0.25, reaction-diffusion), ``Ea`` the
+activation energy, ``k`` Boltzmann's constant and ``T`` the (steady-state)
+temperature.  The device fails when the shift reaches a fraction
+(default 10%, per [3]) of the fresh threshold voltage ``Vth0``.
+
+Note the Arrhenius factor appears with a *positive* overall effect of
+temperature on degradation: hotter PEs age faster.  Through the ``1/n``
+exponent in the inverted failure condition, temperature is the strongest
+lever — which is why the paper couples the floorplanner to a thermal
+simulator rather than using stress time alone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import AgingError
+from repro.units import (
+    BOLTZMANN_EV_PER_K,
+    NBTI_ACTIVATION_ENERGY_EV,
+    NBTI_PREFACTOR,
+    NBTI_REFERENCE_MTTF_YEARS,
+    NBTI_REFERENCE_TEMP_K,
+    NBTI_TIME_EXPONENT,
+    VTH0_V,
+    VTH_FAILURE_FRACTION,
+    years_to_seconds,
+)
+
+
+@dataclass(frozen=True)
+class NbtiModel:
+    """Parameterised Eq. (1) with the failure criterion.
+
+    All defaults reproduce the constants in :mod:`repro.units`; tests and
+    sensitivity ablations construct variants.
+    """
+
+    prefactor: float = NBTI_PREFACTOR
+    time_exponent: float = NBTI_TIME_EXPONENT
+    activation_energy_ev: float = NBTI_ACTIVATION_ENERGY_EV
+    vth0_v: float = VTH0_V
+    failure_fraction: float = VTH_FAILURE_FRACTION
+
+    def __post_init__(self) -> None:
+        if not 0 < self.time_exponent < 1:
+            raise AgingError(
+                f"time exponent n={self.time_exponent} outside (0, 1)"
+            )
+        if self.prefactor <= 0 or self.vth0_v <= 0:
+            raise AgingError("prefactor and Vth0 must be positive")
+        if not 0 < self.failure_fraction < 1:
+            raise AgingError(
+                f"failure fraction {self.failure_fraction} outside (0, 1)"
+            )
+
+    # -- Eq. (1) ------------------------------------------------------------
+    def arrhenius(self, temperature_k: float) -> float:
+        """``exp(-Ea / kT)``."""
+        if temperature_k <= 0:
+            raise AgingError(f"temperature {temperature_k} K invalid")
+        return math.exp(
+            -self.activation_energy_ev / (BOLTZMANN_EV_PER_K * temperature_k)
+        )
+
+    def vth_shift(self, stress_time_s: float, temperature_k: float) -> float:
+        """Threshold-voltage shift (V) after ``stress_time_s`` of stress."""
+        if stress_time_s < 0:
+            raise AgingError(f"negative stress time {stress_time_s}")
+        return (
+            self.prefactor
+            * stress_time_s**self.time_exponent
+            * self.arrhenius(temperature_k)
+            * self.vth0_v
+        )
+
+    def vth_shift_at(
+        self, elapsed_s: float, duty: float, temperature_k: float
+    ) -> float:
+        """Shift after ``elapsed_s`` of operation at a given duty cycle."""
+        if not 0 <= duty <= 1:
+            raise AgingError(f"duty {duty} outside [0, 1]")
+        return self.vth_shift(duty * elapsed_s, temperature_k)
+
+    # -- failure inversion ------------------------------------------------------
+    @property
+    def failure_shift_v(self) -> float:
+        """The Vth shift (V) defined as failure."""
+        return self.failure_fraction * self.vth0_v
+
+    def stress_time_to_failure_s(self, temperature_k: float) -> float:
+        """Accumulated stress time (s) at which the failure shift is reached."""
+        base = self.failure_fraction / (
+            self.prefactor * self.arrhenius(temperature_k)
+        )
+        return base ** (1.0 / self.time_exponent)
+
+    def time_to_failure_s(self, duty: float, temperature_k: float) -> float:
+        """Wall-clock MTTF (s) of a PE at the given duty and temperature.
+
+        ``inf`` for a PE that is never stressed (duty 0).
+        """
+        if not 0 <= duty <= 1:
+            raise AgingError(f"duty {duty} outside [0, 1]")
+        if duty == 0:
+            return math.inf
+        return self.stress_time_to_failure_s(temperature_k) / duty
+
+
+def calibrate_prefactor(
+    mttf_years: float = NBTI_REFERENCE_MTTF_YEARS,
+    temperature_k: float = NBTI_REFERENCE_TEMP_K,
+    duty: float = 1.0,
+    time_exponent: float = NBTI_TIME_EXPONENT,
+    activation_energy_ev: float = NBTI_ACTIVATION_ENERGY_EV,
+    failure_fraction: float = VTH_FAILURE_FRACTION,
+) -> float:
+    """Prefactor A_NBTI that yields ``mttf_years`` at reference conditions.
+
+    Inverts the failure condition; with the defaults this reproduces
+    :data:`repro.units.NBTI_PREFACTOR`.
+    """
+    if mttf_years <= 0 or not 0 < duty <= 1:
+        raise AgingError("reference MTTF and duty must be positive")
+    stress_s = duty * years_to_seconds(mttf_years)
+    arrhenius = math.exp(
+        -activation_energy_ev / (BOLTZMANN_EV_PER_K * temperature_k)
+    )
+    return failure_fraction / (stress_s**time_exponent * arrhenius)

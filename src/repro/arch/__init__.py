@@ -1,0 +1,57 @@
+"""CGRRA architecture model: PEs, fabric grid, multi-context floorplans.
+
+This package is the substitute for the Renesas STP device the paper targets
+(see DESIGN.md): a parametric grid of PEs, each containing an ALU (0.87 ns)
+and a DMU (3.14 ns), connected by buffered wires whose delay is linear in
+Manhattan length.
+"""
+
+from repro.arch.checks import check_capacity, check_frozen_ops, check_same_schedule
+from repro.arch.context import Floorplan
+from repro.arch.fabric import Fabric, Pad
+from repro.arch.opcodes import (
+    ALU_KINDS,
+    DMU_KINDS,
+    PSEUDO_KINDS,
+    REFERENCE_WIDTH,
+    SUPPORTED_WIDTHS,
+    OpKind,
+    OpProfile,
+    UnitKind,
+    arity_of,
+    is_compute,
+    op_delay_ns,
+    profile,
+    stress_rate,
+    unit_of,
+    width_scale,
+)
+from repro.arch.pe import ALU_UNIT, DMU_UNIT, FunctionalUnit, PECell
+
+__all__ = [
+    "ALU_KINDS",
+    "ALU_UNIT",
+    "DMU_KINDS",
+    "DMU_UNIT",
+    "Fabric",
+    "Floorplan",
+    "FunctionalUnit",
+    "OpKind",
+    "OpProfile",
+    "PECell",
+    "PSEUDO_KINDS",
+    "Pad",
+    "REFERENCE_WIDTH",
+    "SUPPORTED_WIDTHS",
+    "UnitKind",
+    "arity_of",
+    "check_capacity",
+    "check_frozen_ops",
+    "check_same_schedule",
+    "is_compute",
+    "op_delay_ns",
+    "profile",
+    "stress_rate",
+    "unit_of",
+    "width_scale",
+]

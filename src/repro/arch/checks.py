@@ -1,0 +1,69 @@
+"""Cross-cutting validators for architecture-level objects.
+
+These are used at flow boundaries (after placement, after re-mapping) so
+that a buggy optimisation step fails loudly instead of producing a silently
+illegal configuration.
+"""
+
+from __future__ import annotations
+
+from repro.arch.context import Floorplan
+from repro.errors import MappingError
+
+
+def check_same_schedule(original: Floorplan, remapped: Floorplan) -> None:
+    """Verify a re-mapping changed only PE bindings, never the schedule.
+
+    The paper's Phase 2 re-binds operations to new PEs *within* their
+    context (Section IV); moving an operation across contexts would change
+    the latency.  Raises :class:`MappingError` on any difference.
+    """
+    if original.num_contexts != remapped.num_contexts:
+        raise MappingError(
+            f"context count changed: {original.num_contexts} -> "
+            f"{remapped.num_contexts}"
+        )
+    if set(original.ops) != set(remapped.ops):
+        raise MappingError("re-mapping added or removed operations")
+    moved_context = [
+        op
+        for op in original.ops
+        if original.context_of[op] != remapped.context_of[op]
+    ]
+    if moved_context:
+        raise MappingError(
+            f"ops {moved_context[:10]} changed context during re-mapping"
+        )
+
+
+def check_frozen_ops(
+    original: Floorplan,
+    remapped: Floorplan,
+    frozen_positions: dict[int, int],
+) -> None:
+    """Verify frozen (critical-path) ops sit exactly where they must.
+
+    ``frozen_positions`` maps op id to its required PE index — the original
+    PE in *Freeze* mode, or the rotated position in *Rotate* mode.
+    """
+    for op, required_pe in frozen_positions.items():
+        if op not in remapped.pe_of:
+            raise MappingError(f"frozen op {op} missing from re-mapped floorplan")
+        actual = remapped.pe_of[op]
+        if actual != required_pe:
+            raise MappingError(
+                f"frozen op {op} moved to PE {actual}, required PE {required_pe}"
+            )
+    check_same_schedule(original, remapped)
+
+
+def check_capacity(floorplan: Floorplan) -> None:
+    """Verify no context exceeds the fabric capacity."""
+    for context in range(floorplan.num_contexts):
+        used = len(floorplan.ops_in_context(context))
+        if used > floorplan.fabric.num_pes:
+            raise MappingError(
+                f"context {context} binds {used} ops on a "
+                f"{floorplan.fabric.num_pes}-PE fabric"
+            )
+    floorplan.validate()

@@ -1,0 +1,228 @@
+"""Multi-context floorplans: per-context operation-to-PE bindings.
+
+A multi-context CGRRA time-shares one physical fabric: context ``i`` is the
+configuration loaded in clock cycle ``i`` (paper Fig. 1).  A
+:class:`Floorplan` records, for every compute operation, which context it
+executes in and which PE it is bound to.  Re-mapping (the paper's Phase 2)
+produces a new Floorplan with identical contexts but different bindings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.arch.fabric import Fabric
+from repro.errors import MappingError
+
+
+class Floorplan:
+    """Binding of operations to (context, PE) slots on a fabric.
+
+    Attributes
+    ----------
+    fabric:
+        The target :class:`~repro.arch.fabric.Fabric`.
+    num_contexts:
+        Number of contexts (= clock cycles = latency, per Section VI).
+    context_of:
+        ``{op_id: context index}`` — fixed by scheduling, never changed by
+        re-mapping.
+    pe_of:
+        ``{op_id: PE linear index}`` — the floorplan proper.
+    """
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        num_contexts: int,
+        context_of: Mapping[int, int] | None = None,
+        pe_of: Mapping[int, int] | None = None,
+    ) -> None:
+        if num_contexts < 1:
+            raise MappingError(f"num_contexts must be positive, got {num_contexts}")
+        self.fabric = fabric
+        self.num_contexts = num_contexts
+        self.context_of: dict[int, int] = {}
+        self.pe_of: dict[int, int] = {}
+        #: (context, pe_index) -> op_id occupancy index, kept in sync by bind().
+        self._slots: dict[tuple[int, int], int] = {}
+        if context_of or pe_of:
+            context_of = dict(context_of or {})
+            pe_of = dict(pe_of or {})
+            if set(context_of) != set(pe_of):
+                raise MappingError(
+                    "context_of and pe_of must bind the same operations"
+                )
+            for op_id in context_of:
+                self.bind(op_id, context_of[op_id], pe_of[op_id])
+
+    # -- construction -----------------------------------------------------------
+    def bind(self, op_id: int, context: int, pe_index: int) -> None:
+        """Bind an operation to a PE in a context, validating the slot."""
+        if not 0 <= context < self.num_contexts:
+            raise MappingError(
+                f"context {context} out of range 0..{self.num_contexts - 1}"
+            )
+        if not 0 <= pe_index < self.fabric.num_pes:
+            raise MappingError(
+                f"PE index {pe_index} out of range 0..{self.fabric.num_pes - 1}"
+            )
+        slot = (context, pe_index)
+        current = self._slots.get(slot)
+        if current is not None and current != op_id:
+            raise MappingError(
+                f"PE {pe_index} in context {context} already hosts op {current}"
+            )
+        if op_id in self.context_of:
+            old_slot = (self.context_of[op_id], self.pe_of[op_id])
+            if self._slots.get(old_slot) == op_id:
+                del self._slots[old_slot]
+        self.context_of[op_id] = context
+        self.pe_of[op_id] = pe_index
+        self._slots[slot] = op_id
+
+    def rebind(self, op_id: int, pe_index: int) -> None:
+        """Move an already-bound operation to a different PE (same context)."""
+        if op_id not in self.context_of:
+            raise MappingError(f"op {op_id} is not bound")
+        self.bind(op_id, self.context_of[op_id], pe_index)
+
+    def swap(self, op_a: int, op_b: int) -> None:
+        """Exchange the PEs of two operations bound in the same context."""
+        if op_a not in self.context_of or op_b not in self.context_of:
+            raise MappingError("both operations must be bound before swapping")
+        context = self.context_of[op_a]
+        if context != self.context_of[op_b]:
+            raise MappingError(
+                f"cannot swap ops across contexts ({context} vs "
+                f"{self.context_of[op_b]})"
+            )
+        pe_a, pe_b = self.pe_of[op_a], self.pe_of[op_b]
+        del self._slots[(context, pe_a)]
+        del self._slots[(context, pe_b)]
+        self.pe_of[op_a], self.pe_of[op_b] = pe_b, pe_a
+        self._slots[(context, pe_b)] = op_a
+        self._slots[(context, pe_a)] = op_b
+
+    def copy(self) -> "Floorplan":
+        """Deep copy (bindings are copied; the fabric object is shared)."""
+        clone = Floorplan(self.fabric, self.num_contexts)
+        clone.context_of = dict(self.context_of)
+        clone.pe_of = dict(self.pe_of)
+        clone._slots = dict(self._slots)
+        return clone
+
+    def with_bindings(self, new_pe_of: Mapping[int, int]) -> "Floorplan":
+        """A copy of this floorplan with some operations re-bound.
+
+        ``new_pe_of`` maps op ids to new PE indices; unmentioned operations
+        keep their binding.  The result is validated for slot exclusivity.
+        """
+        result = Floorplan(self.fabric, self.num_contexts)
+        for op_id, context in self.context_of.items():
+            pe_index = new_pe_of.get(op_id, self.pe_of[op_id])
+            if op_id not in self.pe_of:
+                raise MappingError(f"op {op_id} is not bound in the source floorplan")
+            result.bind(op_id, context, pe_index)
+        unknown = set(new_pe_of) - set(self.context_of)
+        if unknown:
+            raise MappingError(
+                f"ops {sorted(unknown)} are not bound in the source floorplan"
+            )
+        return result
+
+    # -- queries ----------------------------------------------------------------
+    @property
+    def ops(self) -> Iterable[int]:
+        return self.pe_of.keys()
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.pe_of)
+
+    def ops_in_context(self, context: int) -> list[int]:
+        """Operation ids bound in ``context`` (sorted for determinism)."""
+        return sorted(op for op, ctx in self.context_of.items() if ctx == context)
+
+    def op_on(self, context: int, pe_index: int) -> int | None:
+        """The op occupying a (context, PE) slot, or None."""
+        return self._slots.get((context, pe_index))
+
+    def occupancy(self, context: int) -> dict[int, int]:
+        """``{pe_index: op_id}`` for one context."""
+        return {
+            pe_index: op
+            for (ctx, pe_index), op in self._slots.items()
+            if ctx == context
+        }
+
+    def used_pes(self, context: int) -> set[int]:
+        """PE indices used in one context."""
+        return {pe_index for (ctx, pe_index) in self._slots if ctx == context}
+
+    def usage_counts(self) -> list[int]:
+        """Number of contexts in which each PE is used, indexed by PE.
+
+        This is the quantity levelled in the paper's Fig. 2(a) toy example
+        (unit stress per use).
+        """
+        counts = [0] * self.fabric.num_pes
+        for (_, pe_index) in self._slots:
+            counts[pe_index] += 1
+        return counts
+
+    def position_of(self, op_id: int) -> tuple[int, int]:
+        """Grid position of an operation's PE."""
+        try:
+            pe_index = self.pe_of[op_id]
+        except KeyError as exc:
+            raise MappingError(f"op {op_id} is not bound") from exc
+        pe = self.fabric.pe(pe_index)
+        return (pe.row, pe.col)
+
+    def utilization(self) -> float:
+        """Average fraction of the fabric used per context.
+
+        Table I groups benchmarks into low / medium / high *fabric usage
+        rate*; this is that rate: PE# / (contexts x fabric size).
+        """
+        total_slots = self.num_contexts * self.fabric.num_pes
+        return self.num_ops / total_slots if total_slots else 0.0
+
+    # -- validation --------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`MappingError` on any structural violation."""
+        if set(self.context_of) != set(self.pe_of):
+            raise MappingError("context_of and pe_of must bind the same operations")
+        seen: dict[tuple[int, int], int] = {}
+        for op, ctx in self.context_of.items():
+            if not 0 <= ctx < self.num_contexts:
+                raise MappingError(f"op {op}: context {ctx} out of range")
+            pe_index = self.pe_of[op]
+            if not 0 <= pe_index < self.fabric.num_pes:
+                raise MappingError(f"op {op}: PE {pe_index} out of range")
+            slot = (ctx, pe_index)
+            if slot in seen:
+                raise MappingError(
+                    f"context {ctx}: PE {pe_index} hosts both op {seen[slot]} "
+                    f"and op {op}"
+                )
+            seen[slot] = op
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Floorplan):
+            return NotImplemented
+        return (
+            self.num_contexts == other.num_contexts
+            and self.fabric.rows == other.fabric.rows
+            and self.fabric.cols == other.fabric.cols
+            and self.context_of == other.context_of
+            and self.pe_of == other.pe_of
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Floorplan({self.fabric.rows}x{self.fabric.cols}, "
+            f"contexts={self.num_contexts}, ops={self.num_ops}, "
+            f"util={self.utilization():.2f})"
+        )

@@ -1,0 +1,178 @@
+"""Operation kinds supported by the CGRRA processing elements.
+
+The paper's PE (Fig. 1) contains an ALU and a DMU (Data Manipulation Unit)
+with characterised delays of 0.87 ns and 3.14 ns respectively (Section III).
+Each dataflow-graph operation executes on one of the two units; the unit's
+delay — scaled by the operation bitwidth — determines both the operation's
+contribution to path delay and its *stress rate* (delay / clock period).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ArchitectureError
+from repro.units import ALU_DELAY_NS, CLOCK_PERIOD_NS, DMU_DELAY_NS
+
+
+class UnitKind(enum.Enum):
+    """The functional unit inside a PE that executes an operation."""
+
+    ALU = "alu"
+    DMU = "dmu"
+    #: Pseudo unit for primary I/O and constants — occupies no PE.
+    NONE = "none"
+
+
+class OpKind(enum.Enum):
+    """Dataflow operation kinds (mini-C operator set + pseudo ops)."""
+
+    # -- ALU operations ------------------------------------------------------
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    NEG = "neg"
+    NOT = "not"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    EQ = "eq"
+    NE = "ne"
+    # -- DMU operations (multi-cycle-ish data manipulation) -------------------
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    SELECT = "select"  # if-conversion multiplexer
+    LOAD = "load"
+    STORE = "store"
+    # -- pseudo operations (no PE) ---------------------------------------------
+    INPUT = "input"
+    OUTPUT = "output"
+    CONST = "const"
+
+
+#: Which functional unit executes each op kind.
+_UNIT_OF: dict[OpKind, UnitKind] = {
+    OpKind.ADD: UnitKind.ALU,
+    OpKind.SUB: UnitKind.ALU,
+    OpKind.AND: UnitKind.ALU,
+    OpKind.OR: UnitKind.ALU,
+    OpKind.XOR: UnitKind.ALU,
+    OpKind.SHL: UnitKind.ALU,
+    OpKind.SHR: UnitKind.ALU,
+    OpKind.NEG: UnitKind.ALU,
+    OpKind.NOT: UnitKind.ALU,
+    OpKind.LT: UnitKind.ALU,
+    OpKind.LE: UnitKind.ALU,
+    OpKind.GT: UnitKind.ALU,
+    OpKind.GE: UnitKind.ALU,
+    OpKind.EQ: UnitKind.ALU,
+    OpKind.NE: UnitKind.ALU,
+    OpKind.MUL: UnitKind.DMU,
+    OpKind.DIV: UnitKind.DMU,
+    OpKind.MOD: UnitKind.DMU,
+    OpKind.SELECT: UnitKind.DMU,
+    OpKind.LOAD: UnitKind.DMU,
+    OpKind.STORE: UnitKind.DMU,
+    OpKind.INPUT: UnitKind.NONE,
+    OpKind.OUTPUT: UnitKind.NONE,
+    OpKind.CONST: UnitKind.NONE,
+}
+
+#: Base unit delay in ns at the reference 32-bit width.
+_BASE_DELAY_NS: dict[UnitKind, float] = {
+    UnitKind.ALU: ALU_DELAY_NS,
+    UnitKind.DMU: DMU_DELAY_NS,
+    UnitKind.NONE: 0.0,
+}
+
+#: Reference bitwidth at which the paper's delays were characterised.
+REFERENCE_WIDTH = 32
+
+#: Supported operand bitwidths (mini-C ``char``/``short``/``int``).
+SUPPORTED_WIDTHS = (8, 16, 32)
+
+#: Number of input operands for each op kind (None = variadic pseudo op).
+_ARITY: dict[OpKind, int] = {
+    OpKind.NEG: 1,
+    OpKind.NOT: 1,
+    OpKind.LOAD: 1,
+    OpKind.STORE: 2,
+    OpKind.SELECT: 3,
+    OpKind.INPUT: 0,
+    OpKind.CONST: 0,
+    OpKind.OUTPUT: 1,
+}
+
+
+@dataclass(frozen=True)
+class OpProfile:
+    """Characterisation of one (op kind, bitwidth) pair."""
+
+    kind: OpKind
+    width: int
+    unit: UnitKind
+    delay_ns: float
+    stress_rate: float  # duty cycle within one clock = delay / clock period
+
+
+def unit_of(kind: OpKind) -> UnitKind:
+    """The functional unit that executes ``kind``."""
+    return _UNIT_OF[kind]
+
+
+def arity_of(kind: OpKind) -> int:
+    """Number of data inputs the op kind takes (binary ops default to 2)."""
+    return _ARITY.get(kind, 2)
+
+
+def is_compute(kind: OpKind) -> bool:
+    """True when the operation occupies (and stresses) a PE."""
+    return _UNIT_OF[kind] is not UnitKind.NONE
+
+
+def width_scale(width: int) -> float:
+    """Delay scaling factor for a bitwidth relative to the 32-bit reference.
+
+    Carry/shift chains shorten sub-linearly with width; we model delay as an
+    affine function anchored at 1.0 for 32 bits: narrower datapaths are
+    faster and produce proportionally less stress, reproducing the paper's
+    remark that "each PE can execute different types of operations of
+    different bitwidths and, hence, can produce different amounts of stress
+    time" (Section IV).
+    """
+    if width not in SUPPORTED_WIDTHS:
+        raise ArchitectureError(
+            f"unsupported bitwidth {width}; expected one of {SUPPORTED_WIDTHS}"
+        )
+    return 0.5 + 0.5 * (width / REFERENCE_WIDTH)
+
+
+def profile(kind: OpKind, width: int = REFERENCE_WIDTH) -> OpProfile:
+    """Full delay/stress characterisation of an operation."""
+    unit = unit_of(kind)
+    if unit is UnitKind.NONE:
+        return OpProfile(kind, width, unit, 0.0, 0.0)
+    delay = _BASE_DELAY_NS[unit] * width_scale(width)
+    return OpProfile(kind, width, unit, delay, delay / CLOCK_PERIOD_NS)
+
+
+def op_delay_ns(kind: OpKind, width: int = REFERENCE_WIDTH) -> float:
+    """Delay of ``kind`` at ``width`` through its PE functional unit, in ns."""
+    return profile(kind, width).delay_ns
+
+
+def stress_rate(kind: OpKind, width: int = REFERENCE_WIDTH) -> float:
+    """Per-clock duty cycle of ``kind``: unit delay / clock period (paper §III)."""
+    return profile(kind, width).stress_rate
+
+
+ALU_KINDS = tuple(k for k, u in _UNIT_OF.items() if u is UnitKind.ALU)
+DMU_KINDS = tuple(k for k, u in _UNIT_OF.items() if u is UnitKind.DMU)
+PSEUDO_KINDS = tuple(k for k, u in _UNIT_OF.items() if u is UnitKind.NONE)

@@ -1,0 +1,78 @@
+"""Processing-element model.
+
+A CGRRA PE (paper Fig. 1) bundles an ALU and a DMU behind an output
+register.  At most one operation executes on a PE per context (clock
+cycle); which functional unit it engages — and for how long within the
+cycle — determines the PE's stress for that cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.opcodes import OpKind, UnitKind, op_delay_ns, stress_rate, unit_of
+from repro.errors import ArchitectureError
+from repro.units import ALU_DELAY_NS, CLOCK_PERIOD_NS, DMU_DELAY_NS
+
+
+@dataclass(frozen=True)
+class FunctionalUnit:
+    """One datapath unit inside a PE."""
+
+    kind: UnitKind
+    delay_ns: float
+
+    @property
+    def stress_rate(self) -> float:
+        """Duty cycle when active for a full clock: delay / clock period."""
+        return self.delay_ns / CLOCK_PERIOD_NS
+
+
+#: The two units every STP-style PE contains, at reference width.
+ALU_UNIT = FunctionalUnit(UnitKind.ALU, ALU_DELAY_NS)
+DMU_UNIT = FunctionalUnit(UnitKind.DMU, DMU_DELAY_NS)
+
+
+@dataclass(frozen=True)
+class PECell:
+    """A processing element at a fixed grid position.
+
+    Attributes
+    ----------
+    index:
+        Linear index within the fabric (row-major).
+    row, col:
+        Grid coordinates; the pitch between adjacent PEs is 1.0 length unit.
+    """
+
+    index: int
+    row: int
+    col: int
+
+    @property
+    def position(self) -> tuple[int, int]:
+        return (self.row, self.col)
+
+    def unit_for(self, kind: OpKind) -> FunctionalUnit:
+        """The functional unit this PE uses to execute ``kind``."""
+        unit = unit_of(kind)
+        if unit is UnitKind.ALU:
+            return ALU_UNIT
+        if unit is UnitKind.DMU:
+            return DMU_UNIT
+        raise ArchitectureError(f"pseudo op {kind.value} does not execute on a PE")
+
+    def delay_for(self, kind: OpKind, width: int = 32) -> float:
+        """Delay in ns when executing ``kind`` at ``width`` bits."""
+        return op_delay_ns(kind, width)
+
+    def stress_for(self, kind: OpKind, width: int = 32) -> float:
+        """Stress time contributed by executing ``kind`` for one clock, in ns.
+
+        Per Section III: the unit's active time within the cycle — its delay.
+        (Equivalently ``stress_rate * clock_period``.)
+        """
+        return stress_rate(kind, width) * CLOCK_PERIOD_NS
+
+    def __repr__(self) -> str:
+        return f"PE{self.index}@({self.row},{self.col})"

@@ -1,0 +1,30 @@
+"""Benchmark synthesis: the Table I suite and mini-C example kernels."""
+
+from repro.benchgen.sources import KERNELS, kernel_source
+from repro.benchgen.suite import (
+    PAPER_HEADLINE_INCREASE,
+    TABLE1,
+    TABLE1_AVERAGES,
+    USAGE_CLASSES,
+    Table1Entry,
+    entries,
+    entry,
+    load_benchmark,
+)
+from repro.benchgen.synth import SyntheticSpec, build_benchmark, generate_design
+
+__all__ = [
+    "KERNELS",
+    "PAPER_HEADLINE_INCREASE",
+    "TABLE1",
+    "TABLE1_AVERAGES",
+    "USAGE_CLASSES",
+    "SyntheticSpec",
+    "Table1Entry",
+    "build_benchmark",
+    "entries",
+    "entry",
+    "generate_design",
+    "kernel_source",
+    "load_benchmark",
+]

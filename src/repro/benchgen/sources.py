@@ -1,0 +1,88 @@
+"""Mini-C kernel sources for the example applications.
+
+These exercise the *full* HLS path (parse -> lower -> schedule -> map)
+rather than the direct synthetic generator, and mirror the kind of
+synthesizable C kernels the paper's intro motivates (filters, transforms,
+integer math).
+"""
+
+from __future__ import annotations
+
+from repro.errors import BenchmarkError
+
+FIR8 = """
+// 8-tap FIR filter over a sliding window assembled from two samples.
+in int s0, s1;
+int i;
+int window[8];
+for (i = 0; i < 8; i++) window[i] = (s0 >> i) + (s1 << (7 - i));
+int taps[8];
+taps[0] = 3; taps[1] = -1; taps[2] = 4; taps[3] = 1;
+taps[4] = -5; taps[5] = 9; taps[6] = 2; taps[7] = -6;
+int acc = 0;
+for (i = 0; i < 8; i++) acc += taps[i] * window[i];
+out int y = acc;
+"""
+
+MATVEC4 = """
+// 4x4 integer matrix-vector product with a data-dependent clamp.
+in int x0, x1, x2, x3;
+int i, j;
+int v[4];
+v[0] = x0; v[1] = x1; v[2] = x2; v[3] = x3;
+int m[16];
+for (i = 0; i < 16; i++) m[i] = (i * 7) % 11 - 5;
+int r[4];
+for (i = 0; i < 4; i++) {
+    r[i] = 0;
+    for (j = 0; j < 4; j++) r[i] += m[i * 4 + j] * v[j];
+}
+out int y0, y1, y2, y3;
+if (r[0] > 100) y0 = 100; else y0 = r[0];
+y1 = r[1];
+y2 = r[2] ^ r[3];
+y3 = r[3];
+"""
+
+CHECKSUM = """
+// Mixing/checksum kernel: shifts, xors and a conditional fold.
+in int data, key;
+int h = data ^ key;
+int i;
+for (i = 0; i < 6; i++) {
+    h = (h << 3) ^ (h >> 5);
+    h = h + (key >> i);
+    if (h < 0) h = -h;
+}
+out int digest = h & 65535;
+"""
+
+SOBEL3 = """
+// 3x3 Sobel-like gradient magnitude (L1) on a synthesized patch.
+in int p0, p1, p2;
+int i;
+int patch[9];
+for (i = 0; i < 9; i++) patch[i] = (p0 >> i) + (p1 << (i % 3)) - (p2 >> (i % 5));
+int gx = patch[2] + 2 * patch[5] + patch[8] - patch[0] - 2 * patch[3] - patch[6];
+int gy = patch[0] + 2 * patch[1] + patch[2] - patch[6] - 2 * patch[7] - patch[8];
+int ax = gx; if (gx < 0) ax = -gx;
+int ay = gy; if (gy < 0) ay = -gy;
+out int magnitude = ax + ay;
+"""
+
+KERNELS: dict[str, str] = {
+    "fir8": FIR8,
+    "matvec4": MATVEC4,
+    "checksum": CHECKSUM,
+    "sobel3": SOBEL3,
+}
+
+
+def kernel_source(name: str) -> str:
+    """Mini-C source of a named kernel."""
+    try:
+        return KERNELS[name]
+    except KeyError as exc:
+        raise BenchmarkError(
+            f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
+        ) from exc

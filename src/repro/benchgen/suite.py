@@ -1,0 +1,152 @@
+"""The B1-B27 benchmark suite of Table I.
+
+Each entry reproduces one row-cell of the paper's Table I: the number of
+contexts, the fabric size, the used-PE count and the fabric-usage class,
+together with the published MTTF-increase reference values (Freeze and
+Rotate columns) that EXPERIMENTS.md compares against.
+
+The designs themselves are synthesized (seeded) because the paper's C
+benchmarks are proprietary; see DESIGN.md for the substitution argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchgen.synth import SyntheticSpec, build_benchmark
+from repro.errors import BenchmarkError
+
+#: Usage-class labels as in Table I's super-columns.
+USAGE_CLASSES = ("low", "medium", "high")
+
+
+@dataclass(frozen=True)
+class Table1Entry:
+    """One benchmark row-cell of Table I."""
+
+    name: str
+    num_contexts: int
+    fabric_dim: int
+    pe_count: int           # Table I "PE #"
+    usage_class: str        # low | medium | high
+    freeze_ref: float       # published MTTF increase, Freeze column
+    rotate_ref: float       # published MTTF increase, Rotate column
+
+    @property
+    def utilization(self) -> float:
+        return self.pe_count / (self.num_contexts * self.fabric_dim**2)
+
+    @property
+    def group(self) -> str:
+        """Fig. 5's x-axis label, e.g. ``C4F8``."""
+        return f"C{self.num_contexts}F{self.fabric_dim}"
+
+    def spec(self, seed: int = 0) -> SyntheticSpec:
+        """Synthesis spec for this entry."""
+        return SyntheticSpec(
+            name=self.name,
+            num_contexts=self.num_contexts,
+            fabric_dim=self.fabric_dim,
+            total_ops=self.pe_count,
+            num_inputs=max(4, self.fabric_dim),
+            num_outputs=max(2, self.fabric_dim // 2),
+            seed=seed,
+        )
+
+    def scaled(self, max_fabric_dim: int) -> "Table1Entry":
+        """A reduced-size variant preserving contexts and utilization.
+
+        Used by the quick benchmark profile: fabrics larger than
+        ``max_fabric_dim`` shrink to it, and the op count scales with the
+        slot count so the usage class is unchanged.
+        """
+        if self.fabric_dim <= max_fabric_dim:
+            return self
+        ratio = (max_fabric_dim / self.fabric_dim) ** 2
+        scaled_ops = max(self.num_contexts, round(self.pe_count * ratio))
+        scaled_ops = min(scaled_ops, self.num_contexts * max_fabric_dim**2)
+        return Table1Entry(
+            name=f"{self.name}s",
+            num_contexts=self.num_contexts,
+            fabric_dim=max_fabric_dim,
+            pe_count=scaled_ops,
+            usage_class=self.usage_class,
+            freeze_ref=self.freeze_ref,
+            rotate_ref=self.rotate_ref,
+        )
+
+
+#: Table I, verbatim: 27 benchmarks over {4,8,16} contexts x {4,8,16}^2
+#: fabrics x {low, medium, high} usage, with the published MTTF increases.
+TABLE1: tuple[Table1Entry, ...] = (
+    Table1Entry("B1", 4, 4, 24, "low", 1.94, 1.94),
+    Table1Entry("B2", 4, 8, 79, "low", 2.17, 2.17),
+    Table1Entry("B3", 4, 16, 192, "low", 2.26, 2.28),
+    Table1Entry("B4", 8, 4, 44, "low", 2.77, 2.80),
+    Table1Entry("B5", 8, 8, 142, "low", 2.69, 2.89),
+    Table1Entry("B6", 8, 16, 534, "low", 2.93, 3.39),
+    Table1Entry("B7", 16, 4, 88, "low", 3.76, 3.85),
+    Table1Entry("B8", 16, 8, 259, "low", 3.19, 3.79),
+    Table1Entry("B9", 16, 16, 1011, "low", 3.35, 3.73),
+    Table1Entry("B10", 4, 4, 35, "medium", 1.67, 1.67),
+    Table1Entry("B11", 4, 8, 148, "medium", 1.44, 1.82),
+    Table1Entry("B12", 4, 16, 451, "medium", 1.54, 1.77),
+    Table1Entry("B13", 8, 4, 62, "medium", 2.05, 2.36),
+    Table1Entry("B14", 8, 8, 280, "medium", 1.97, 2.84),
+    Table1Entry("B15", 8, 16, 1101, "medium", 1.93, 2.97),
+    Table1Entry("B16", 16, 4, 147, "medium", 2.89, 3.18),
+    Table1Entry("B17", 16, 8, 531, "medium", 2.62, 2.94),
+    Table1Entry("B18", 16, 16, 2165, "medium", 2.39, 3.08),
+    Table1Entry("B19", 4, 4, 52, "high", 1.18, 1.52),
+    Table1Entry("B20", 4, 8, 175, "high", 1.27, 1.70),
+    Table1Entry("B21", 4, 16, 554, "high", 1.76, 2.00),
+    Table1Entry("B22", 8, 4, 87, "high", 1.56, 2.06),
+    Table1Entry("B23", 8, 8, 327, "high", 1.48, 1.98),
+    Table1Entry("B24", 8, 16, 1521, "high", 1.59, 2.05),
+    Table1Entry("B25", 16, 4, 193, "high", 1.61, 2.06),
+    Table1Entry("B26", 16, 8, 737, "high", 1.95, 2.31),
+    Table1Entry("B27", 16, 16, 3089, "high", 2.07, 2.44),
+)
+
+#: Published super-column averages of Table I ((Freeze, Rotate) per class).
+TABLE1_AVERAGES = {
+    "low": (2.78, 2.98),
+    "medium": (2.06, 2.51),
+    "high": (1.61, 2.01),
+}
+
+#: The paper's headline number (abstract): average Rotate MTTF increase.
+PAPER_HEADLINE_INCREASE = 2.5
+
+
+def entry(name: str) -> Table1Entry:
+    """Look up a benchmark by name (e.g. ``"B13"``)."""
+    for item in TABLE1:
+        if item.name == name:
+            return item
+    raise BenchmarkError(f"unknown benchmark {name!r}")
+
+
+def entries(
+    usage_class: str | None = None,
+    max_contexts: int | None = None,
+    max_fabric_dim: int | None = None,
+) -> list[Table1Entry]:
+    """Filtered view of the suite."""
+    if usage_class is not None and usage_class not in USAGE_CLASSES:
+        raise BenchmarkError(f"unknown usage class {usage_class!r}")
+    result = []
+    for item in TABLE1:
+        if usage_class is not None and item.usage_class != usage_class:
+            continue
+        if max_contexts is not None and item.num_contexts > max_contexts:
+            continue
+        if max_fabric_dim is not None and item.fabric_dim > max_fabric_dim:
+            continue
+        result.append(item)
+    return result
+
+
+def load_benchmark(name: str, seed: int = 0):
+    """(design, fabric) for a Table I benchmark."""
+    return build_benchmark(entry(name).spec(seed))

@@ -1,0 +1,242 @@
+"""Command-line interface for the aging-aware CAD flow.
+
+Subcommands mirror the flow's stages so artefacts can be produced,
+inspected and re-analysed from the shell::
+
+    python -m repro.cli compile  kernel.c -o design.json [--capacity 16]
+    python -m repro.cli place    design.json --fabric 4x4 -o floorplan.json
+    python -m repro.cli remap    design.json floorplan.json -o remapped.json \
+                                 [--mode rotate] [--time-limit 30]
+    python -m repro.cli analyze  design.json floorplan.json
+    python -m repro.cli flow     kernel.c --fabric 4x4 [-o result.json]
+    python -m repro.cli bench    B13 [--scaled 8] [--mode rotate]
+
+``compile`` accepts a mini-C file or a named library kernel (fir8,
+matvec4, checksum, sobel3).  ``analyze`` prints CPD, stress and MTTF for
+any (design, floorplan) pair — so saved artefacts from different runs can
+be compared without re-solving anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.arch.fabric import Fabric
+from repro.benchgen.sources import KERNELS, kernel_source
+from repro.benchgen.suite import entry as suite_entry
+from repro.benchgen.synth import build_benchmark
+from repro.core.algorithm1 import Algorithm1Config, run_algorithm1
+from repro.core.flow import AgingAwareFlow, FlowConfig
+from repro.core.remap import RemapConfig
+from repro.errors import ReproError
+from repro.hls.lower import compile_source
+from repro.hls.schedule import schedule_dfg
+from repro.hls.allocate import tech_map
+from repro.io.serialize import (
+    flow_summary_to_dict,
+    load_design,
+    load_floorplan,
+    save_design,
+    save_floorplan,
+    save_json,
+)
+from repro.place.baseline import place_baseline
+from repro.report.tables import format_mapping
+
+
+def _parse_fabric(text: str) -> Fabric:
+    try:
+        rows, cols = (int(part) for part in text.lower().split("x"))
+    except ValueError as exc:
+        raise SystemExit(f"invalid fabric {text!r}; expected e.g. 4x4") from exc
+    return Fabric(rows, cols)
+
+
+def _load_kernel(argument: str) -> tuple[str, str]:
+    path = pathlib.Path(argument)
+    if path.exists():
+        return path.stem, path.read_text()
+    if argument in KERNELS:
+        return argument, kernel_source(argument)
+    raise SystemExit(
+        f"{argument!r} is neither a file nor a library kernel "
+        f"({sorted(KERNELS)})"
+    )
+
+
+def _flow_config(args) -> FlowConfig:
+    return FlowConfig(
+        algorithm1=Algorithm1Config(
+            mode=args.mode,
+            remap=RemapConfig(time_limit_s=args.time_limit),
+        )
+    )
+
+
+# -- subcommands ---------------------------------------------------------------
+
+
+def cmd_compile(args) -> int:
+    name, source = _load_kernel(args.source)
+    dfg = compile_source(source, name)
+    schedule = schedule_dfg(dfg, capacity=args.capacity)
+    design = tech_map(schedule)
+    save_design(design, args.output)
+    print(
+        f"{name}: {design.num_ops} ops in {design.num_contexts} contexts "
+        f"-> {args.output}"
+    )
+    return 0
+
+
+def cmd_place(args) -> int:
+    design = load_design(args.design)
+    fabric = _parse_fabric(args.fabric)
+    floorplan = place_baseline(design, fabric)
+    save_floorplan(floorplan, args.output)
+    print(
+        f"placed {design.name} on {fabric.rows}x{fabric.cols} "
+        f"(utilization {floorplan.utilization():.0%}) -> {args.output}"
+    )
+    return 0
+
+
+def cmd_remap(args) -> int:
+    design = load_design(args.design)
+    original = load_floorplan(args.floorplan)
+    config = Algorithm1Config(
+        mode=args.mode, remap=RemapConfig(time_limit_s=args.time_limit)
+    )
+    result = run_algorithm1(design, original.fabric, original, config)
+    save_floorplan(result.floorplan, args.output)
+    print(format_mapping("Re-mapping", {
+        "fell back": result.fell_back,
+        "iterations": result.iterations,
+        "original CPD (ns)": result.original_cpd_ns,
+        "final CPD (ns)": result.final_cpd_ns,
+        "ST_target (ns)": result.st_target_ns,
+        "output": str(args.output),
+    }))
+    return 0 if not result.fell_back else 2
+
+
+def cmd_analyze(args) -> int:
+    from repro.aging.mttf import compute_mttf
+    from repro.aging.stress import compute_stress_map
+    from repro.thermal.hotspot import ThermalSimulator
+    from repro.timing.sta import analyze
+
+    design = load_design(args.design)
+    floorplan = load_floorplan(args.floorplan)
+    report = analyze(design, floorplan)
+    stress = compute_stress_map(design, floorplan)
+    thermal = ThermalSimulator(floorplan.fabric).simulate(
+        stress.duty_per_context()
+    )
+    mttf = compute_mttf(stress, thermal.accumulated_k)
+    print(format_mapping(f"{design.name} on this floorplan", {
+        "CPD (ns)": report.cpd_ns,
+        "max accumulated stress (ns)": stress.max_accumulated_ns,
+        "mean accumulated stress (ns)": stress.mean_accumulated_ns,
+        "peak temperature (K)": thermal.peak_k,
+        "MTTF (years)": mttf.mttf_years,
+        "limiting PE": mttf.limiting_pe,
+    }))
+    return 0
+
+
+def cmd_flow(args) -> int:
+    name, source = _load_kernel(args.source)
+    fabric = _parse_fabric(args.fabric)
+    dfg = compile_source(source, name)
+    design = tech_map(schedule_dfg(dfg, capacity=fabric.num_pes))
+    result = AgingAwareFlow(_flow_config(args)).run(design, fabric)
+    print(format_mapping(f"flow: {name}", {
+        "MTTF increase": f"{result.mttf_increase:.2f}x",
+        "CPD preserved": result.cpd_preserved,
+        "contexts": design.num_contexts,
+        "utilization": f"{result.original.floorplan.utilization():.0%}",
+    }))
+    if args.output:
+        save_json(flow_summary_to_dict(result), args.output)
+        print(f"full record -> {args.output}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    bench = suite_entry(args.name)
+    if args.scaled:
+        bench = bench.scaled(args.scaled)
+    design, fabric = build_benchmark(bench.spec())
+    result = AgingAwareFlow(_flow_config(args)).run(design, fabric)
+    reference = bench.freeze_ref if args.mode == "freeze" else bench.rotate_ref
+    print(format_mapping(f"benchmark {bench.name} ({args.mode})", {
+        "MTTF increase": f"{result.mttf_increase:.2f}x",
+        "paper reference": f"{reference:.2f}x",
+        "CPD preserved": result.cpd_preserved,
+        "fell back": result.remap.fell_back,
+    }))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Aging-aware CGRRA floorplanning flow."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="mini-C -> mapped design JSON")
+    p.add_argument("source")
+    p.add_argument("-o", "--output", default="design.json")
+    p.add_argument("--capacity", type=int, default=16)
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("place", help="aging-unaware baseline placement")
+    p.add_argument("design")
+    p.add_argument("--fabric", default="4x4")
+    p.add_argument("-o", "--output", default="floorplan.json")
+    p.set_defaults(func=cmd_place)
+
+    p = sub.add_parser("remap", help="aging-aware re-mapping (Algorithm 1)")
+    p.add_argument("design")
+    p.add_argument("floorplan")
+    p.add_argument("-o", "--output", default="remapped.json")
+    p.add_argument("--mode", choices=["freeze", "rotate"], default="rotate")
+    p.add_argument("--time-limit", type=float, default=30.0)
+    p.set_defaults(func=cmd_remap)
+
+    p = sub.add_parser("analyze", help="CPD/stress/MTTF of a floorplan")
+    p.add_argument("design")
+    p.add_argument("floorplan")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("flow", help="full Phase 1 + Phase 2 on a kernel")
+    p.add_argument("source")
+    p.add_argument("--fabric", default="4x4")
+    p.add_argument("--mode", choices=["freeze", "rotate"], default="rotate")
+    p.add_argument("--time-limit", type=float, default=30.0)
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=cmd_flow)
+
+    p = sub.add_parser("bench", help="run one Table I benchmark")
+    p.add_argument("name")
+    p.add_argument("--scaled", type=int, default=None)
+    p.add_argument("--mode", choices=["freeze", "rotate"], default="rotate")
+    p.add_argument("--time-limit", type=float, default=30.0)
+    p.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

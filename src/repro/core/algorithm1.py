@@ -1,0 +1,259 @@
+"""Algorithm 1: the aging-aware re-mapping design flow.
+
+The outer loop of the paper:
+
+1. **Step 1** — delay-unaware binary search for the ST_target lower bound
+   (:mod:`repro.core.targets`);
+2. **Step 2.1** — critical-path constraint generation: freeze each
+   context's critical paths, optionally rotating them among the 8 fabric
+   symmetries to minimise overlap (:mod:`repro.core.rotation`);
+3. **Step 2.2** — path-delay constraint generation: the within-20%-of-CPD
+   filter (:mod:`repro.timing.kpaths`);
+4. **Step 2.3** — repeat: solve Eq. (3) (two-step LP->ILP); on
+   infeasibility, or when the re-mapped floorplan's *measured* CPD exceeds
+   the original (an unmonitored path grew), relax ``ST_target`` by
+   ``Delta`` and retry.
+
+If no valid floorplan is found within the iteration budget the flow falls
+back to the original floorplan (MTTF increase 1.0x) and reports it — the
+paper's guarantee of *no delay degradation* is therefore unconditional.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.aging.stress import StressMap, compute_stress_map
+from repro.arch.checks import check_frozen_ops
+from repro.arch.context import Floorplan
+from repro.arch.fabric import Fabric
+from repro.core.remap import (
+    GreedyContext,
+    RemapConfig,
+    build_remap_model,
+    default_candidates,
+    frozen_stress_by_pe,
+    solve_remap,
+    solve_remap_sequential,
+)
+from repro.core.rotation import FrozenPlan, freeze_plan, rotate_plan
+from repro.core.targets import (
+    StressTargetResult,
+    default_delta_ns,
+    stress_target_lower_bound,
+)
+from repro.errors import BudgetInfeasibleError, FlowError
+from repro.hls.allocate import MappedDesign
+from repro.milp.scipy_backend import ScipyBackend
+from repro.timing.graph import build_timing_graphs
+from repro.timing.kpaths import (
+    DEFAULT_MAX_PATHS,
+    DEFAULT_RETENTION,
+    filter_paths,
+)
+from repro.timing.sta import all_critical_paths, analyze
+
+#: CPD comparisons use this guard band (ns) against float noise.
+CPD_EPS = 1e-6
+
+
+@dataclass
+class Algorithm1Config:
+    """All knobs of the aging-aware re-mapping flow."""
+
+    #: "rotate" (full method) or "freeze" (Table I's ablation column).
+    mode: str = "rotate"
+    #: Path filter: retain paths within this fraction of the CPD.
+    retention: float = DEFAULT_RETENTION
+    max_paths: int = DEFAULT_MAX_PATHS
+    #: ST_target relaxation stepsize; None derives the default from the
+    #: original stress map (span / 20).
+    delta_ns: float | None = None
+    max_iterations: int = 25
+    #: Random draws of the rotation rule evaluated for minimum overlap
+    #: (1 = the paper's single constrained-random draw).
+    rotation_samples: int = 8
+    seed: int = 2020
+    remap: RemapConfig = field(default_factory=RemapConfig)
+    #: Allow ST_target to exceed ST_up by this factor before giving up.
+    st_ceiling_factor: float = 1.5
+
+
+@dataclass
+class RemapResult:
+    """Everything Algorithm 1 produced."""
+
+    floorplan: Floorplan
+    st_target_ns: float
+    original_cpd_ns: float
+    final_cpd_ns: float
+    iterations: int
+    fell_back: bool
+    frozen: FrozenPlan
+    step1: StressTargetResult
+    monitored_count: int
+    critical_op_count: int
+    stats: dict = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+
+def run_algorithm1(
+    design: MappedDesign,
+    fabric: Fabric,
+    original: Floorplan,
+    config: Algorithm1Config | None = None,
+    original_stress: StressMap | None = None,
+    backend: ScipyBackend | None = None,
+) -> RemapResult:
+    """Execute the full aging-aware re-mapping flow on one design."""
+    config = config or Algorithm1Config()
+    if config.mode not in ("rotate", "freeze"):
+        raise FlowError(f"unknown mode {config.mode!r}")
+    backend = backend or config.remap.make_backend()
+    started = time.perf_counter()
+    rng = random.Random(config.seed)
+
+    graphs = build_timing_graphs(design)
+    report = analyze(design, original, graphs)
+    cpd_orig = report.cpd_ns
+
+    # -- Step 2.1: critical-path constraint generation -----------------------
+    critical = all_critical_paths(design, original, graphs, report)
+    critical_by_context: dict[int, list[int]] = {}
+    for path in critical:
+        bucket = critical_by_context.setdefault(path.context, [])
+        for op in path.chain:
+            if op not in bucket:
+                bucket.append(op)
+    if config.mode == "freeze" or not fabric.is_square():
+        frozen = freeze_plan(original, critical_by_context)
+    else:
+        stress_of = {op: info.stress_ns for op, info in design.ops.items()}
+        frozen = rotate_plan(
+            original,
+            critical_by_context,
+            stress_of,
+            rng,
+            samples=config.rotation_samples,
+        )
+
+    # -- Step 2.2: path-delay constraint generation ---------------------------
+    filtered = filter_paths(
+        design,
+        original,
+        retention=config.retention,
+        max_paths=config.max_paths,
+        graphs=graphs,
+        report=report,
+    )
+    monitored = filtered.non_critical
+
+    # -- Step 1: ST_target lower bound -----------------------------------------
+    original_stress = original_stress or compute_stress_map(design, original)
+    step1 = stress_target_lower_bound(
+        design,
+        fabric,
+        original,
+        original_stress,
+        config=config.remap,
+        delta_ns=config.delta_ns,
+        backend=backend,
+    )
+    delta = (
+        config.delta_ns
+        if config.delta_ns is not None
+        else default_delta_ns(original_stress)
+    )
+    st_ceiling = original_stress.max_accumulated_ns * config.st_ceiling_factor
+
+    candidates = default_candidates(
+        design, original, frozen, fabric, config.remap.resolved_window(fabric)
+    )
+
+    # -- Step 2.3: solve / relax loop -----------------------------------------
+    st_target = step1.st_target_ns
+    iterations = 0
+    iteration_log: list[dict] = []
+    best: Floorplan | None = None
+    final_cpd = cpd_orig
+    while iterations < config.max_iterations and st_target <= st_ceiling:
+        iterations += 1
+        if config.remap.strategy == "sequential":
+            outcome = solve_remap_sequential(
+                design, fabric, frozen, candidates, monitored,
+                cpd_orig, st_target, config.remap, backend,
+            )
+            build_stats: dict = {}
+        else:
+            try:
+                model, variables, build_stats = build_remap_model(
+                    design, fabric, frozen, candidates, monitored,
+                    cpd_orig, st_target, name=f"remap_iter{iterations}",
+                    objective=config.remap.objective,
+                )
+            except BudgetInfeasibleError:
+                iteration_log.append(
+                    {
+                        "iteration": iterations,
+                        "st_target_ns": st_target,
+                        "result": "frozen_budget_infeasible",
+                    }
+                )
+                st_target += delta
+                continue
+            greedy_ctx = GreedyContext(
+                design=design,
+                fabric=fabric,
+                frozen_positions=frozen.positions,
+                st_target_ns=st_target,
+                frozen_stress_ns=frozen_stress_by_pe(design, frozen),
+            )
+            outcome = solve_remap(
+                model, variables, config.remap, backend, greedy_ctx
+            )
+        entry = {
+            "iteration": iterations,
+            "st_target_ns": st_target,
+            **build_stats,
+            **outcome.stats,
+        }
+        if not outcome.feasible:
+            entry["result"] = "infeasible"
+            iteration_log.append(entry)
+            st_target += delta
+            continue
+        candidate_fp = outcome.floorplan(original, frozen)
+        check_frozen_ops(original, candidate_fp, frozen.positions)
+        new_report = analyze(design, candidate_fp, graphs)
+        entry["new_cpd_ns"] = new_report.cpd_ns
+        if new_report.cpd_ns <= cpd_orig + CPD_EPS:
+            entry["result"] = "accepted"
+            iteration_log.append(entry)
+            best = candidate_fp
+            final_cpd = new_report.cpd_ns
+            break
+        entry["result"] = "cpd_violation"
+        iteration_log.append(entry)
+        st_target += delta
+
+    fell_back = best is None
+    if fell_back:
+        best = original
+        final_cpd = cpd_orig
+        st_target = original_stress.max_accumulated_ns
+    return RemapResult(
+        floorplan=best,
+        st_target_ns=st_target,
+        original_cpd_ns=cpd_orig,
+        final_cpd_ns=final_cpd,
+        iterations=iterations,
+        fell_back=fell_back,
+        frozen=frozen,
+        step1=step1,
+        monitored_count=len(monitored),
+        critical_op_count=len(frozen.positions),
+        stats={"iterations": iteration_log, "path_filter_truncated": filtered.truncated},
+        elapsed_s=time.perf_counter() - started,
+    )

@@ -1,0 +1,540 @@
+"""Assembly and solution of the re-mapping MILP (paper Eq. 3).
+
+``build_remap_model`` assembles the formulation for a given ``ST_target``;
+``solve_remap`` runs one of three strategies:
+
+* ``"two-step"`` (the paper's method, default): solve the LP relaxation,
+  pre-map every assignment whose LP value exceeds 0.95 (or randomized
+  rounding, for the ablation), then solve the residual ILP;
+* ``"monolithic"``: hand the full binary model to the solver directly —
+  the primary formulation of Section V-A that the paper found intractable
+  at scale (kept for the ablation benchmark);
+* ``"sequential"``: contexts solved one at a time against a running stress
+  budget — a decomposition ablation that is faster but cannot coordinate
+  across contexts.
+
+Candidate windowing
+-------------------
+On large fabrics a dense op x PE variable grid is intractable (the paper's
+own motivation for the two-step method).  ``default_candidates`` can limit
+each op to the ``window`` nearest PEs around its original location plus a
+deterministic spread sample across the fabric (so stress can still be
+exported to far-away idle PEs).  ``window=None`` (the default for fabrics
+up to 64 PEs) gives every op every PE, exactly as in Eq. (3).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.arch.context import Floorplan
+from repro.arch.fabric import Fabric
+from repro.core.constraints import (
+    RemapVariables,
+    add_assignment_variables,
+    add_exclusivity_constraints,
+    add_path_constraints,
+    add_stress_constraints,
+    add_wirelength_objective,
+    build_coordinates,
+    collect_endpoints,
+)
+from repro.core.rotation import FrozenPlan
+from repro.errors import BudgetInfeasibleError, ModelError
+from repro.hls.allocate import MappedDesign
+from repro.milp.model import Model
+from repro.milp.rounding import (
+    extract_assignment,
+    randomized_round,
+    threshold_fix,
+)
+from repro.milp.scipy_backend import ScipyBackend
+from repro.milp.status import SolveStatus
+from repro.timing.kpaths import MonitoredPath
+
+#: Fabric size (PEs) up to which every op gets every PE as a candidate.
+FULL_CANDIDATE_LIMIT = 64
+
+
+@dataclass
+class RemapConfig:
+    """Solution-strategy knobs for one re-mapping solve."""
+
+    strategy: str = "two-step"  # "two-step" | "monolithic" | "sequential"
+    rounding: str = "threshold"  # "threshold" | "randomized"
+    #: "wirelength" minimises total wire length among feasible floorplans
+    #: (robust default); "null" is the paper-pure feasibility objective.
+    objective: str = "wirelength"
+    fix_threshold: float = 0.95
+    candidate_window: int | None = None  # None = auto by fabric size
+    time_limit_s: float | None = 60.0
+    #: Relative MIP gap at which the solver may stop.  The re-mapping model
+    #: needs a *good feasible* floorplan, not a proven-optimal one; a
+    #: generous gap cuts branch-and-bound time by an order of magnitude.
+    mip_rel_gap: float | None = 0.30
+    #: How to turn the (fractional) LP solution into the final binding:
+    #: "ilp"    — the paper's residual ILP, always;
+    #: "greedy" — LP-guided greedy completion (stress/slot feasible by
+    #:            construction; timing re-verified by Algorithm 1's STA);
+    #: "auto"   — greedy first on large models (where an open single-core
+    #:            MIP solver cannot find an incumbent within the time
+    #:            limit, unlike the paper's CPLEX), ILP fallback/default.
+    completion: str = "auto"
+    #: Binary-variable count above which "auto" prefers the greedy pass.
+    greedy_threshold: int = 6000
+    seed: int = 2020
+
+    def make_backend(self) -> "ScipyBackend":
+        return ScipyBackend(
+            time_limit=self.time_limit_s, mip_rel_gap=self.mip_rel_gap
+        )
+
+    def resolved_window(self, fabric: Fabric) -> int | None:
+        if self.candidate_window is not None:
+            return self.candidate_window
+        return None if fabric.num_pes <= FULL_CANDIDATE_LIMIT else FULL_CANDIDATE_LIMIT
+
+
+@dataclass
+class RemapOutcome:
+    """Result of one re-mapping solve at a fixed ST_target."""
+
+    feasible: bool
+    assignment: dict[int, int] = field(default_factory=dict)  # movable op -> PE
+    stats: dict = field(default_factory=dict)
+
+    def floorplan(self, original: Floorplan, frozen: FrozenPlan) -> Floorplan:
+        """Materialise the re-mapped floorplan."""
+        if not self.feasible:
+            raise ModelError("cannot build a floorplan from an infeasible outcome")
+        bindings = dict(self.assignment)
+        bindings.update(frozen.positions)
+        return original.with_bindings(bindings)
+
+
+def default_candidates(
+    design: MappedDesign,
+    original: Floorplan,
+    frozen: FrozenPlan,
+    fabric: Fabric,
+    window: int | None,
+) -> dict[int, list[int]]:
+    """Candidate PE sets for every movable op.
+
+    Guarantees: the op's original PE is a candidate whenever it is not
+    taken by a frozen op of the same context; sets are deterministic.
+    """
+    frozen_slots: dict[int, set[int]] = {}
+    for op_id, pe_index in frozen.positions.items():
+        context = design.ops[op_id].context
+        frozen_slots.setdefault(context, set()).add(pe_index)
+
+    candidates: dict[int, list[int]] = {}
+    num_pes = fabric.num_pes
+    for op_id in sorted(design.ops):
+        if op_id in frozen.positions:
+            continue
+        context = design.ops[op_id].context
+        blocked = frozen_slots.get(context, ())
+        origin = original.pe_of[op_id]
+        if window is None or window >= num_pes:
+            chosen = [k for k in range(num_pes) if k not in blocked]
+        else:
+            nearest = fabric.indices_by_distance(origin)[:window]
+            # Deterministic spread: a per-op phase over a coarse stride so
+            # far-away idle PEs remain reachable for stress export.
+            spread_count = max(8, window // 2)
+            stride = max(1, num_pes // spread_count)
+            spread = range((op_id * 7) % stride, num_pes, stride)
+            merged = dict.fromkeys([origin, *nearest, *spread])
+            chosen = [k for k in merged if k not in blocked]
+        if not chosen:
+            raise ModelError(
+                f"op {op_id} has no available candidate PEs in context {context}"
+            )
+        candidates[op_id] = chosen
+    return candidates
+
+
+def frozen_stress_by_pe(
+    design: MappedDesign, frozen: FrozenPlan
+) -> dict[int, float]:
+    """Accumulated stress contributed by frozen ops, per PE."""
+    result: dict[int, float] = {}
+    for op_id, pe_index in frozen.positions.items():
+        result[pe_index] = result.get(pe_index, 0.0) + design.ops[op_id].stress_ns
+    return result
+
+
+def build_remap_model(
+    design: MappedDesign,
+    fabric: Fabric,
+    frozen: FrozenPlan,
+    candidates: Mapping[int, Sequence[int]],
+    monitored_paths: Sequence[MonitoredPath],
+    cpd_ns: float,
+    st_target_ns: float,
+    name: str = "remap",
+    objective: str = "wirelength",
+    objective_known_only: bool = False,
+) -> tuple[Model, RemapVariables, dict]:
+    """Assemble Eq. (3) for one ``ST_target``; returns model + variables + stats."""
+    model = Model(name)
+    variables = add_assignment_variables(model, candidates, design)
+    add_exclusivity_constraints(variables, design, fabric.num_pes)
+    add_stress_constraints(
+        variables,
+        design,
+        fabric.num_pes,
+        st_target_ns,
+        frozen_stress_by_pe(design, frozen),
+    )
+    endpoints = collect_endpoints(monitored_paths)
+    build_coordinates(variables, design, fabric, frozen.positions, endpoints)
+    added, frozen_violations = add_path_constraints(
+        variables, design, fabric, monitored_paths, cpd_ns
+    )
+    if objective == "wirelength":
+        add_wirelength_objective(
+            variables, design, fabric, frozen.positions,
+            known_only=objective_known_only,
+        )
+    elif objective != "null":
+        raise ModelError(f"unknown objective {objective!r}")
+    stats = {
+        "variables": model.num_variables,
+        "binaries": model.num_binary,
+        "constraints": model.num_constraints,
+        "path_constraints": added,
+        "frozen_path_violations": frozen_violations,
+    }
+    return model, variables, stats
+
+
+@dataclass
+class GreedyContext:
+    """Inputs the LP-guided greedy completion needs beyond the model.
+
+    ``frozen_stress_ns`` is the per-PE stress baseline already committed
+    (frozen ops, and configuration carryover in rotation sets).
+    """
+
+    design: MappedDesign
+    fabric: Fabric
+    frozen_positions: Mapping[int, int]
+    st_target_ns: float
+    frozen_stress_ns: Mapping[int, float]
+
+    #: Score bonus (grid units of wirelength) for following the LP mass.
+    lp_bias: float = 2.0
+
+
+def _greedy_complete(
+    variables: RemapVariables,
+    lp_solution,
+    ctx: GreedyContext,
+) -> dict[int, int] | None:
+    """LP-guided greedy binding of every movable op.
+
+    Ops are placed context by context in dependency (chain) order, so
+    producers precede their consumers and combinational chains stay local
+    — the property that protects the CPD.  Each op takes the feasible
+    candidate PE (slot free in its context, stress budget respected)
+    minimising the weighted wire cost to already-placed neighbours (intra-
+    context combinational wires weigh most) minus ``lp_bias * LP mass``.
+    Returns None on a dead end (caller falls back to the ILP).
+    """
+    import heapq
+
+    design, fabric = ctx.design, ctx.fabric
+    stress = {pe: float(v) for pe, v in ctx.frozen_stress_ns.items()}
+    slots: set[tuple[int, int]] = set()
+    positions: dict[int, tuple[float, float]] = {}
+    for op_id, pe_index in ctx.frozen_positions.items():
+        context = design.ops[op_id].context
+        slots.add((context, pe_index))
+        pe = fabric.pe(pe_index)
+        positions[op_id] = (float(pe.row), float(pe.col))
+
+    # Neighbour lists with weights: intra-context (combinational) wires
+    # carry path delay, so they dominate the cost; register reads and pad
+    # wires only matter for congestion.
+    neighbors: dict[int, list[tuple[object, float]]] = {
+        op: [] for op in variables.assign
+    }
+    for src, dst in design.compute_edges:
+        weight = (
+            3.0 if design.ops[src].context == design.ops[dst].context else 1.0
+        )
+        if src in neighbors:
+            neighbors[src].append((dst, weight))
+        if dst in neighbors:
+            neighbors[dst].append((src, weight))
+    for ordinal, dst in design.input_edges:
+        if dst in neighbors:
+            pad = fabric.input_pad(ordinal)
+            neighbors[dst].append(((pad.row, pad.col), 0.5))
+    for src, ordinal in design.output_edges:
+        if src in neighbors:
+            pad = fabric.output_pad(ordinal)
+            neighbors[src].append(((pad.row, pad.col), 0.5))
+
+    # Context-major, chain-order placement sequence.
+    preds_in_context: dict[int, list[int]] = {op: [] for op in variables.assign}
+    for src, dst in design.compute_edges:
+        if (
+            dst in preds_in_context
+            and src in preds_in_context
+            and design.ops[src].context == design.ops[dst].context
+        ):
+            preds_in_context[dst].append(src)
+    order: list[int] = []
+    for context in range(design.num_contexts):
+        context_ops = sorted(
+            op for op in variables.assign
+            if design.ops[op].context == context
+        )
+        remaining = {op: len(preds_in_context[op]) for op in context_ops}
+        succs: dict[int, list[int]] = {op: [] for op in context_ops}
+        for op in context_ops:
+            for pred in preds_in_context[op]:
+                succs[pred].append(op)
+        ready = [op for op, count in remaining.items() if count == 0]
+        heapq.heapify(ready)
+        while ready:
+            op = heapq.heappop(ready)
+            order.append(op)
+            for succ in succs[op]:
+                remaining[succ] -= 1
+                if remaining[succ] == 0:
+                    heapq.heappush(ready, succ)
+
+    assignment: dict[int, int] = {}
+    for op_id in order:
+        op = design.ops[op_id]
+        placed_neighbors = []
+        for item, weight in neighbors[op_id]:
+            if isinstance(item, tuple):
+                placed_neighbors.append((item, weight))
+            elif item in positions:
+                placed_neighbors.append((positions[item], weight))
+        best = None
+        for var, pe_index in variables.assign[op_id]:
+            if (op.context, pe_index) in slots:
+                continue
+            if stress.get(pe_index, 0.0) + op.stress_ns > ctx.st_target_ns + 1e-9:
+                continue
+            pe = fabric.pe(pe_index)
+            wire = sum(
+                weight * (abs(pe.row - point[0]) + abs(pe.col - point[1]))
+                for point, weight in placed_neighbors
+            )
+            mass = lp_solution.value(var, 0.0)
+            score = (wire - ctx.lp_bias * mass, pe_index)
+            if best is None or score < best[0]:
+                best = (score, pe_index)
+        if best is None:
+            return None
+        pe_index = best[1]
+        assignment[op_id] = pe_index
+        slots.add((op.context, pe_index))
+        stress[pe_index] = stress.get(pe_index, 0.0) + op.stress_ns
+        pe = fabric.pe(pe_index)
+        positions[op_id] = (float(pe.row), float(pe.col))
+    return assignment
+
+
+def solve_remap(
+    model: Model,
+    variables: RemapVariables,
+    config: RemapConfig,
+    backend: ScipyBackend | None = None,
+    greedy_context: "GreedyContext | None" = None,
+) -> RemapOutcome:
+    """Run the configured strategy on an assembled model.
+
+    ``greedy_context`` enables the LP-guided greedy completion on large
+    models (see :class:`GreedyContext`); without it the residual is always
+    solved as an ILP, exactly as in the paper.
+    """
+    backend = backend or config.make_backend()
+    if config.strategy == "monolithic":
+        return _solve_monolithic(model, variables, backend)
+    if config.strategy == "two-step":
+        return _solve_two_step(model, variables, config, backend, greedy_context)
+    raise ModelError(f"unknown remap strategy {config.strategy!r}")
+
+
+def _extract(variables: RemapVariables, solution) -> dict[int, int]:
+    groups = {
+        op_id: [(var, pe) for var, pe in members]
+        for op_id, members in variables.assign.items()
+    }
+    return extract_assignment(groups, solution)
+
+
+def _solve_monolithic(
+    model: Model, variables: RemapVariables, backend: ScipyBackend
+) -> RemapOutcome:
+    started = time.perf_counter()
+    solution = model.solve(backend)
+    elapsed = time.perf_counter() - started
+    if not solution.status.has_solution:
+        return RemapOutcome(
+            feasible=False,
+            stats={"strategy": "monolithic", "solve_s": elapsed,
+                   "status": solution.status.value},
+        )
+    return RemapOutcome(
+        feasible=True,
+        assignment=_extract(variables, solution),
+        stats={"strategy": "monolithic", "solve_s": elapsed,
+               "status": solution.status.value},
+    )
+
+
+def _solve_two_step(
+    model: Model,
+    variables: RemapVariables,
+    config: RemapConfig,
+    backend: ScipyBackend,
+    greedy_context: "GreedyContext | None" = None,
+) -> RemapOutcome:
+    """The paper's LP-relax -> pre-map -> residual-ILP pipeline.
+
+    On large models (``completion="auto"``/"greedy" with a context), the
+    residual ILP is replaced by an LP-guided greedy completion: open
+    single-core MIP solvers often cannot produce *any* incumbent on a
+    10k+-binary model within the iteration budget, while the paper's
+    CPLEX could.  The greedy result satisfies exclusivity and the stress
+    budget by construction; path delays are re-verified by Algorithm 1's
+    full STA pass, which gates every accepted floorplan anyway.
+    """
+    stats: dict = {"strategy": "two-step", "rounding": config.rounding}
+
+    relaxed = model.relaxed()
+    lp_solution = relaxed.solve(backend)
+    relaxed.restore_types()
+    stats["lp_s"] = lp_solution.solve_seconds
+    stats["lp_status"] = lp_solution.status.value
+    if not lp_solution.status.has_solution:
+        stats["status"] = "lp_" + lp_solution.status.value
+        return RemapOutcome(feasible=False, stats=stats)
+
+    use_greedy = greedy_context is not None and (
+        config.completion == "greedy"
+        or (
+            config.completion == "auto"
+            and model.num_binary > config.greedy_threshold
+        )
+    )
+    if use_greedy:
+        assignment = _greedy_complete(variables, lp_solution, greedy_context)
+        stats["completion"] = "greedy"
+        if assignment is not None:
+            stats["status"] = "ok"
+            return RemapOutcome(feasible=True, assignment=assignment, stats=stats)
+        stats["greedy_failed"] = True  # fall through to the ILP
+
+    groups = variables.groups()
+    if config.rounding == "threshold":
+        report = threshold_fix(model, groups, lp_solution, config.fix_threshold)
+    elif config.rounding == "randomized":
+        report = randomized_round(
+            model, groups, lp_solution, random.Random(config.seed)
+        )
+    else:
+        raise ModelError(f"unknown rounding strategy {config.rounding!r}")
+    stats["groups_fixed"] = report.groups_fixed
+    stats["groups_total"] = report.groups_total
+    stats["fixed_fraction"] = report.fraction_fixed
+
+    ilp_solution = model.solve(backend)
+    stats["ilp_s"] = ilp_solution.solve_seconds
+    stats["ilp_status"] = ilp_solution.status.value
+    if not ilp_solution.status.has_solution:
+        stats["status"] = "ilp_" + ilp_solution.status.value
+        return RemapOutcome(feasible=False, stats=stats)
+    stats["status"] = "ok"
+    return RemapOutcome(
+        feasible=True,
+        assignment=_extract(variables, ilp_solution),
+        stats=stats,
+    )
+
+
+def solve_remap_sequential(
+    design: MappedDesign,
+    fabric: Fabric,
+    frozen: FrozenPlan,
+    candidates: Mapping[int, Sequence[int]],
+    monitored_paths: Sequence[MonitoredPath],
+    cpd_ns: float,
+    st_target_ns: float,
+    config: RemapConfig,
+    backend: ScipyBackend | None = None,
+) -> RemapOutcome:
+    """Per-context decomposition (ablation strategy).
+
+    Contexts are solved in increasing order; each context sees the stress
+    already committed by frozen ops and earlier contexts as a fixed
+    baseline.  Data always flows forward in time, so by solving in context
+    order every path entry endpoint from an earlier context is already a
+    constant.
+    """
+    backend = backend or config.make_backend()
+    committed = FrozenPlan(
+        positions=dict(frozen.positions),
+        orientation_of_context=dict(frozen.orientation_of_context),
+    )
+    assignment: dict[int, int] = {}
+    stats: dict = {"strategy": "sequential", "contexts": []}
+    for context in range(design.num_contexts):
+        context_ops = {
+            op_id: list(candidates[op_id])
+            for op_id in candidates
+            if design.ops[op_id].context == context
+        }
+        if not context_ops:
+            continue
+        context_paths = [
+            mp for mp in monitored_paths if mp.path.context == context
+        ]
+        try:
+            model, variables, build_stats = build_remap_model(
+                design,
+                fabric,
+                committed,
+                context_ops,
+                context_paths,
+                cpd_ns,
+                st_target_ns,
+                name=f"remap_ctx{context}",
+                objective=config.objective,
+                objective_known_only=True,
+            )
+        except BudgetInfeasibleError as exc:
+            stats["status"] = f"budget_infeasible_at_context_{context}: {exc}"
+            return RemapOutcome(feasible=False, stats=stats)
+        greedy_ctx = GreedyContext(
+            design=design,
+            fabric=fabric,
+            frozen_positions=committed.positions,
+            st_target_ns=st_target_ns,
+            frozen_stress_ns=frozen_stress_by_pe(design, committed),
+        )
+        outcome = _solve_two_step(model, variables, config, backend, greedy_ctx)
+        stats["contexts"].append(
+            {"context": context, **build_stats, **outcome.stats}
+        )
+        if not outcome.feasible:
+            stats["status"] = f"infeasible_at_context_{context}"
+            return RemapOutcome(feasible=False, stats=stats)
+        assignment.update(outcome.assignment)
+        for op_id, pe_index in outcome.assignment.items():
+            committed.positions[op_id] = pe_index
+    stats["status"] = "ok"
+    return RemapOutcome(feasible=True, assignment=assignment, stats=stats)

@@ -1,0 +1,180 @@
+"""Critical-path rotation (paper Section V-B.1, Fig. 4a).
+
+Freezing every critical-path op to its original PE protects the CPD but
+can pin the most-stressed PEs in *every* context, capping the achievable
+MTTF gain.  The paper therefore rotates each context's frozen critical
+paths among the 8 symmetries of the square fabric (4 rotations x optional
+mirror) so the frozen ops of different contexts overlap as little as
+possible.
+
+Rotations and reflections of the square grid are isometries of the
+Manhattan metric, so wire lengths *within* a rotated path are preserved
+exactly; only wires entering from other contexts or pads change — which is
+why Algorithm 1 re-checks the CPD after re-mapping.
+
+Orientation selection follows the paper's randomized rule:
+
+* C <= 8 contexts: all contexts receive **distinct** orientations;
+* C > 8: every orientation appears exactly ``C // 8`` times, plus at most
+  one extra (i.e. never more than ``C // 8 + 1``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.arch.context import Floorplan
+from repro.arch.fabric import Fabric
+from repro.errors import ArchitectureError, MappingError
+
+#: Number of unique path orientations on a square fabric (paper Fig. 4a).
+NUM_ORIENTATIONS = 8
+
+Transform = Callable[[int, int, int], tuple[int, int]]
+
+# The 8 symmetries of an S x S grid, as (row, col, S) -> (row', col').
+# Index 0 is the identity (the Freeze behaviour for that context).
+_TRANSFORMS: tuple[Transform, ...] = (
+    lambda r, c, s: (r, c),                      # identity
+    lambda r, c, s: (c, s - 1 - r),              # rotate 90 cw
+    lambda r, c, s: (s - 1 - r, s - 1 - c),      # rotate 180
+    lambda r, c, s: (s - 1 - c, r),              # rotate 270 cw
+    lambda r, c, s: (r, s - 1 - c),              # mirror columns
+    lambda r, c, s: (c, r),                      # mirror of 90 (transpose)
+    lambda r, c, s: (s - 1 - r, c),              # mirror of 180 (flip rows)
+    lambda r, c, s: (s - 1 - c, s - 1 - r),      # mirror of 270 (anti-transpose)
+)
+
+
+def apply_orientation(
+    fabric: Fabric, orientation: int, position: tuple[int, int]
+) -> tuple[int, int]:
+    """Map a grid position through one of the 8 orientations.
+
+    Requires a square fabric: the 90-degree family does not keep a
+    rectangular grid on-grid.
+    """
+    if not fabric.is_square():
+        raise ArchitectureError(
+            "critical-path rotation requires a square fabric "
+            f"(got {fabric.rows}x{fabric.cols})"
+        )
+    if not 0 <= orientation < NUM_ORIENTATIONS:
+        raise ArchitectureError(f"orientation {orientation} outside 0..7")
+    row, col = position
+    if (row, col) not in fabric:
+        raise MappingError(f"position {position} outside the fabric")
+    return _TRANSFORMS[orientation](row, col, fabric.rows)
+
+
+def assign_orientations(
+    num_contexts: int, rng: random.Random
+) -> list[int]:
+    """The paper's randomized orientation-per-context rule (seeded)."""
+    if num_contexts < 1:
+        raise ArchitectureError("need at least one context")
+    if num_contexts <= NUM_ORIENTATIONS:
+        return rng.sample(range(NUM_ORIENTATIONS), num_contexts)
+    base_repeats = num_contexts // NUM_ORIENTATIONS
+    remainder = num_contexts % NUM_ORIENTATIONS
+    pool = list(range(NUM_ORIENTATIONS)) * base_repeats
+    pool.extend(rng.sample(range(NUM_ORIENTATIONS), remainder))
+    rng.shuffle(pool)
+    return pool
+
+
+@dataclass
+class FrozenPlan:
+    """The fixed positions of critical-path ops after (optional) rotation.
+
+    Attributes
+    ----------
+    positions:
+        ``{op_id: PE index}`` required bindings.
+    orientation_of_context:
+        ``{context: orientation index}`` (all 0 in Freeze mode).
+    """
+
+    positions: dict[int, int]
+    orientation_of_context: dict[int, int]
+
+    @property
+    def frozen_ops(self) -> set[int]:
+        return set(self.positions)
+
+
+def freeze_plan(
+    floorplan: Floorplan, critical_ops_by_context: Mapping[int, Sequence[int]]
+) -> FrozenPlan:
+    """Freeze mode: every critical op keeps its original PE."""
+    positions = {}
+    for context, ops in critical_ops_by_context.items():
+        for op in ops:
+            positions[op] = floorplan.pe_of[op]
+    orientations = {c: 0 for c in critical_ops_by_context}
+    return FrozenPlan(positions=positions, orientation_of_context=orientations)
+
+
+def _frozen_stress_overlap(
+    floorplan: Floorplan,
+    critical_ops_by_context: Mapping[int, Sequence[int]],
+    orientations: Mapping[int, int],
+    stress_of: Mapping[int, float],
+) -> float:
+    """Max per-PE frozen stress under a candidate orientation assignment.
+
+    This is the overlap objective of Step 2.1: the frozen ops alone define
+    a floor on any PE's accumulated stress; rotating contexts apart lowers
+    that floor.
+    """
+    fabric = floorplan.fabric
+    per_pe: dict[int, float] = {}
+    for context, ops in critical_ops_by_context.items():
+        orientation = orientations[context]
+        for op in ops:
+            row, col = floorplan.position_of(op)
+            new_row, new_col = apply_orientation(fabric, orientation, (row, col))
+            pe_index = fabric.index_at(new_row, new_col)
+            per_pe[pe_index] = per_pe.get(pe_index, 0.0) + stress_of[op]
+    return max(per_pe.values(), default=0.0)
+
+
+def rotate_plan(
+    floorplan: Floorplan,
+    critical_ops_by_context: Mapping[int, Sequence[int]],
+    stress_of: Mapping[int, float],
+    rng: random.Random,
+    samples: int = 8,
+) -> FrozenPlan:
+    """Rotate mode: pick constrained-random orientations minimising overlap.
+
+    ``samples`` draws of the paper's randomized rule are evaluated on the
+    frozen-stress-overlap objective and the best kept (``samples=1``
+    reproduces the paper's single random draw exactly).
+    """
+    contexts = sorted(critical_ops_by_context)
+    best_assignment: dict[int, int] | None = None
+    best_overlap = float("inf")
+    for _ in range(max(1, samples)):
+        drawn = assign_orientations(floorplan.num_contexts, rng)
+        assignment = {c: drawn[c] for c in contexts}
+        overlap = _frozen_stress_overlap(
+            floorplan, critical_ops_by_context, assignment, stress_of
+        )
+        if overlap < best_overlap:
+            best_overlap = overlap
+            best_assignment = assignment
+    assert best_assignment is not None
+    positions: dict[int, int] = {}
+    fabric = floorplan.fabric
+    for context, ops in critical_ops_by_context.items():
+        orientation = best_assignment[context]
+        for op in ops:
+            row, col = floorplan.position_of(op)
+            new_row, new_col = apply_orientation(fabric, orientation, (row, col))
+            positions[op] = fabric.index_at(new_row, new_col)
+    return FrozenPlan(
+        positions=positions, orientation_of_context=dict(best_assignment)
+    )

@@ -1,0 +1,168 @@
+"""Step 1: delay-unaware determination of the ST_target lower bound.
+
+The accumulated-stress budget ``ST_target`` of Eq. (3) needs a starting
+value that lower-bounds any feasible delay-aware solution.  The paper
+obtains it by executing Eq. (3) **without** the critical-path and
+path-delay constraints — making it delay-unaware, hence optimistic — and
+binary-searching ``ST_target`` between
+
+* ``ST_low`` — the *average* accumulated stress over all PEs of the
+  original floorplan (no levelling can beat the average), and
+* ``ST_up``  — the *maximum* accumulated stress of the original floorplan
+  (the original binding itself is feasible there).
+
+The bisection tests feasibility on the LP relaxation (cheap and optimistic,
+hence still a lower bound); the returned target is then verified with the
+paper's two-step LP->ILP solve and nudged up by ``delta`` until an integral
+delay-unaware floorplan exists — "the smallest value of ST_target that
+yields a valid (albeit delay-unaware) floorplan solution".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aging.stress import StressMap
+from repro.arch.context import Floorplan
+from repro.arch.fabric import Fabric
+from repro.core.remap import (
+    GreedyContext,
+    RemapConfig,
+    build_remap_model,
+    default_candidates,
+    solve_remap,
+)
+from repro.core.rotation import FrozenPlan
+from repro.errors import ModelError
+from repro.hls.allocate import MappedDesign
+from repro.milp.scipy_backend import ScipyBackend
+
+
+@dataclass
+class StressTargetResult:
+    """Outcome of the Step-1 search."""
+
+    st_target_ns: float
+    st_low_ns: float
+    st_up_ns: float
+    bisection_steps: int = 0
+    ilp_bumps: int = 0
+    stats: dict = field(default_factory=dict)
+
+
+def _empty_frozen() -> FrozenPlan:
+    return FrozenPlan(positions={}, orientation_of_context={})
+
+
+def stress_target_lower_bound(
+    design: MappedDesign,
+    fabric: Fabric,
+    original: Floorplan,
+    original_stress: StressMap,
+    config: RemapConfig | None = None,
+    delta_ns: float | None = None,
+    tolerance_ns: float | None = None,
+    backend: ScipyBackend | None = None,
+) -> StressTargetResult:
+    """Binary-search the delay-unaware ST_target lower bound (Algorithm 1, line 2)."""
+    config = config or RemapConfig()
+    backend = backend or config.make_backend()
+    st_low = original_stress.mean_accumulated_ns
+    st_up = original_stress.max_accumulated_ns
+    if st_up <= 0:
+        raise ModelError("original floorplan carries no stress; nothing to level")
+    if delta_ns is None:
+        delta_ns = default_delta_ns(original_stress)
+    if tolerance_ns is None:
+        tolerance_ns = max(delta_ns / 2.0, 1e-3)
+
+    frozen = _empty_frozen()
+    candidates = default_candidates(
+        design, original, frozen, fabric, config.resolved_window(fabric)
+    )
+
+    def lp_feasible(target: float) -> bool:
+        model, _, _ = build_remap_model(
+            design,
+            fabric,
+            frozen,
+            candidates,
+            monitored_paths=(),  # delay-unaware: no path constraints
+            cpd_ns=float("inf"),
+            st_target_ns=target,
+            name="step1_lp",
+            objective="null",
+        )
+        relaxation = model.relaxed()
+        solution = relaxation.solve(backend)
+        relaxation.restore_types()
+        return solution.status.has_solution
+
+    low, high = st_low, st_up
+    steps = 0
+    # The original binding is feasible at st_up, so `high` is always a
+    # certified-feasible upper end; `low` may or may not be feasible.
+    if lp_feasible(low):
+        high = low
+    else:
+        while high - low > tolerance_ns:
+            steps += 1
+            mid = (low + high) / 2.0
+            if lp_feasible(mid):
+                high = mid
+            else:
+                low = mid
+
+    # Verify integrality with the paper's two-step solve, nudging up by
+    # delta until a valid delay-unaware floorplan exists.
+    target = high
+    bumps = 0
+    stats: dict = {}
+    while True:
+        model, variables, build_stats = build_remap_model(
+            design,
+            fabric,
+            frozen,
+            candidates,
+            monitored_paths=(),
+            cpd_ns=float("inf"),
+            st_target_ns=target,
+            name="step1_ilp",
+            objective="null",
+        )
+        greedy_ctx = GreedyContext(
+            design=design,
+            fabric=fabric,
+            frozen_positions={},
+            st_target_ns=target,
+            frozen_stress_ns={},
+        )
+        outcome = solve_remap(model, variables, config, backend, greedy_ctx)
+        stats = {**build_stats, **outcome.stats}
+        if outcome.feasible:
+            break
+        bumps += 1
+        target += delta_ns
+        if target > st_up + delta_ns:
+            # The original binding is integral and feasible at st_up; use it.
+            target = st_up
+            break
+    return StressTargetResult(
+        st_target_ns=target,
+        st_low_ns=st_low,
+        st_up_ns=st_up,
+        bisection_steps=steps,
+        ilp_bumps=bumps,
+        stats=stats,
+    )
+
+
+def default_delta_ns(original_stress: StressMap) -> float:
+    """The relaxation stepsize Delta of Algorithm 1.
+
+    One twentieth of the [ST_low, ST_up] span, floored at a small fraction
+    of the clock period so the loop always makes progress.
+    """
+    span = original_stress.max_accumulated_ns - original_stress.mean_accumulated_ns
+    floor = original_stress.clock_period_ns * 0.02
+    return max(span / 20.0, floor)

@@ -1,0 +1,92 @@
+"""Exception hierarchy for the repro library.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch one type at an API boundary.  Subsystem-specific errors derive from
+intermediate classes (e.g. :class:`ModelError` for MILP-modelling mistakes)
+so tests can assert on precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """An MILP model was constructed or used incorrectly."""
+
+
+class SolverError(ReproError):
+    """A solver backend failed in a way that is not simply 'infeasible'."""
+
+
+class BudgetInfeasibleError(ModelError):
+    """A stress budget is violated by frozen ops alone.
+
+    No assignment of the movable operations can repair this; Algorithm 1
+    treats it as an infeasible iteration and relaxes ``ST_target``.
+    """
+
+
+class InfeasibleError(SolverError):
+    """The model was proven infeasible (raised only when a solution is required)."""
+
+
+class ArchitectureError(ReproError):
+    """An invalid CGRRA architecture description or mapping."""
+
+
+class MappingError(ArchitectureError):
+    """An op-to-PE mapping violates fabric rules (overlap, out of bounds...)."""
+
+
+class HLSError(ReproError):
+    """Base class for high-level-synthesis frontend errors."""
+
+
+class LexerError(HLSError):
+    """Tokenisation of a mini-C source failed."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"line {line}, col {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(HLSError):
+    """Parsing of a mini-C source failed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f"line {line}, col {column}: " if line else ""
+        super().__init__(f"{location}{message}")
+        self.line = line
+        self.column = column
+
+
+class TypeCheckError(HLSError):
+    """Semantic analysis of a mini-C source failed."""
+
+
+class SchedulingError(HLSError):
+    """A dataflow graph could not be scheduled under the given resources."""
+
+
+class TimingError(ReproError):
+    """Static timing analysis failed (cyclic timing graph, missing placement...)."""
+
+
+class ThermalError(ReproError):
+    """The thermal model received inconsistent inputs."""
+
+
+class AgingError(ReproError):
+    """The NBTI/MTTF model received out-of-domain parameters."""
+
+
+class FlowError(ReproError):
+    """The end-to-end CAD flow could not produce a valid floorplan."""
+
+
+class BenchmarkError(ReproError):
+    """A synthetic benchmark request was inconsistent or unsatisfiable."""

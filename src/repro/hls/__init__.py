@@ -1,0 +1,36 @@
+"""High-level-synthesis frontend: mini-C -> scheduled, technology-mapped design.
+
+This package substitutes the frontend half of the paper's commercial
+Musketeer flow: parsing a synthesizable C subset, lowering to a dataflow
+graph (loop unrolling, if-conversion, array scalarisation), list-scheduling
+into contexts, and technology-mapping onto PE operations.
+"""
+
+from repro.hls.allocate import MappedDesign, OpInfo, tech_map
+from repro.hls.ast_nodes import Program
+from repro.hls.dfg import DataflowGraph, DfgNode
+from repro.hls.lexer import Token, TokenKind, tokenize
+from repro.hls.lower import compile_source, lower_program
+from repro.hls.parser import parse_source
+from repro.hls.schedule import Schedule, asap_cycles, alap_cycles, schedule_dfg
+from repro.hls.typecheck import check_program
+
+__all__ = [
+    "DataflowGraph",
+    "DfgNode",
+    "MappedDesign",
+    "OpInfo",
+    "Program",
+    "Schedule",
+    "Token",
+    "TokenKind",
+    "alap_cycles",
+    "asap_cycles",
+    "check_program",
+    "compile_source",
+    "lower_program",
+    "parse_source",
+    "schedule_dfg",
+    "tech_map",
+    "tokenize",
+]

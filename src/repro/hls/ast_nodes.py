@@ -1,0 +1,143 @@
+"""AST node types produced by the mini-C parser.
+
+The AST is deliberately small: a program is a statement list; expressions
+are the C integer operator set.  Control flow is restricted to what
+synthesizes to a static dataflow graph — ``if``/``else`` (if-converted to
+SELECT operations) and constant-trip-count ``for`` loops (fully unrolled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+# -- expressions -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NumberLit:
+    """Integer literal."""
+
+    value: int
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """Reference to a scalar variable."""
+
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """Reference to an array element, e.g. ``a[i + 1]``."""
+
+    name: str
+    index: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """Unary expression: ``-x``, ``~x``, ``!x``."""
+
+    op: str
+    operand: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Binary expression over the C integer operator set."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Conditional:
+    """Ternary expression ``cond ? a : b``."""
+
+    cond: "Expr"
+    if_true: "Expr"
+    if_false: "Expr"
+    line: int = 0
+
+
+Expr = Union[NumberLit, VarRef, ArrayRef, UnaryOp, BinaryOp, Conditional]
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Decl:
+    """Variable or array declaration.
+
+    ``qualifier`` is "", "in" or "out"; ``array_size`` is None for scalars.
+    """
+
+    qualifier: str
+    ctype: str  # "char" | "short" | "int"
+    name: str
+    array_size: int | None = None
+    init: Expr | None = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Assign:
+    """Assignment to a scalar or array element.
+
+    ``op`` is "=" or a compound operator like "+=".
+    """
+
+    target: Union[VarRef, ArrayRef]
+    op: str
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class If:
+    """Conditional statement (if-converted during lowering)."""
+
+    cond: Expr
+    then_body: tuple["Stmt", ...]
+    else_body: tuple["Stmt", ...] = ()
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class For:
+    """Constant-trip-count loop, fully unrolled during lowering.
+
+    The loop variable must be initialised to a constant, compared against a
+    constant with ``<``/``<=``/``>``/``>=``, and stepped by a constant
+    ``+=``/``-=``/``++``/``--``.
+    """
+
+    var: str
+    init: Expr
+    cond: Expr
+    step: Assign
+    body: tuple["Stmt", ...]
+    line: int = 0
+
+
+Stmt = Union[Decl, Assign, If, For]
+
+
+@dataclass
+class Program:
+    """A parsed mini-C translation unit."""
+
+    statements: list[Stmt] = field(default_factory=list)
+    name: str = "program"
+
+
+#: Bitwidths of the mini-C integer types.
+TYPE_WIDTHS = {"char": 8, "short": 16, "int": 32}

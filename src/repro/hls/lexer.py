@@ -1,0 +1,152 @@
+"""Tokeniser for the mini-C behavioral input language.
+
+The paper's flow starts from ANSI-C put through a commercial HLS tool
+(Musketeer).  Our frontend accepts a synthesizable C subset sufficient for
+the kernel benchmarks: integer types (``char``/``short``/``int``),
+expressions over the C operator set, ``if``/``else`` (if-converted),
+constant-bound ``for`` loops (fully unrolled), and fixed-size arrays with
+indices that are compile-time constants after unrolling.  ``in``/``out``
+qualifiers mark primary inputs and outputs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexerError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    KEYWORD = "keyword"
+    OP = "op"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {"int", "short", "char", "if", "else", "for", "in", "out", "void", "return"}
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_MULTI_OPS = (
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+)
+_SINGLE_OPS = "+-*/%<>=!&|^~?"
+_PUNCT = "(){}[];,:"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_op(self, *texts: str) -> bool:
+        return self.kind is TokenKind.OP and self.text in texts
+
+    def is_punct(self, *texts: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text in texts
+
+    def is_keyword(self, *texts: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in texts
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert mini-C source text into a token list ending with EOF.
+
+    Raises :class:`~repro.errors.LexerError` on any character outside the
+    language, with a line/column position.
+    """
+    tokens: list[Token] = []
+    line, column = 1, 1
+    i = 0
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, column
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        # -- whitespace ------------------------------------------------------
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        # -- comments ----------------------------------------------------------
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, column
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise LexerError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        # -- numbers ------------------------------------------------------------
+        if ch.isdigit():
+            start, start_line, start_col = i, line, column
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                advance(2)
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    advance(1)
+                if i == start + 2:
+                    raise LexerError("malformed hex literal", start_line, start_col)
+            else:
+                while i < n and source[i].isdigit():
+                    advance(1)
+            if i < n and (source[i].isalpha() or source[i] == "_"):
+                raise LexerError(
+                    f"invalid character {source[i]!r} in number", line, column
+                )
+            tokens.append(Token(TokenKind.NUMBER, source[start:i], start_line, start_col))
+            continue
+        # -- identifiers / keywords ----------------------------------------------
+        if ch.isalpha() or ch == "_":
+            start, start_line, start_col = i, line, column
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                advance(1)
+            text = source[start:i]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        # -- operators --------------------------------------------------------------
+        matched = False
+        for op in _MULTI_OPS:
+            if source.startswith(op, i):
+                tokens.append(Token(TokenKind.OP, op, line, column))
+                advance(len(op))
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE_OPS:
+            tokens.append(Token(TokenKind.OP, ch, line, column))
+            advance(1)
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenKind.PUNCT, ch, line, column))
+            advance(1)
+            continue
+        raise LexerError(f"unexpected character {ch!r}", line, column)
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

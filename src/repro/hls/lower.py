@@ -1,0 +1,434 @@
+"""Lowering: mini-C AST -> dataflow graph.
+
+Synthesizable-C transformations applied here, mirroring what a commercial
+HLS frontend (the paper's Musketeer) does before technology mapping:
+
+* **full loop unrolling** — ``for`` loops must have compile-time-constant
+  trip counts; the body is replicated per iteration with the loop variable
+  constant-folded away;
+* **if-conversion** — both branches of an ``if`` are lowered and every
+  variable modified in either branch is merged through a SELECT (the DMU
+  multiplexer op), turning control flow into dataflow;
+* **array scalarisation** — fixed-size arrays become one SSA value per
+  element; all indices must constant-fold after unrolling;
+* **constant folding** — expressions over constants never materialise
+  nodes; constants feeding compute ops become CONST nodes.
+
+The result is a pure :class:`~repro.hls.dfg.DataflowGraph` whose reference
+semantics (``DataflowGraph.evaluate``) provably match C integer semantics
+— the test suite checks lowered kernels against direct Python evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.opcodes import OpKind
+from repro.errors import HLSError, TypeCheckError
+from repro.hls.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinaryOp,
+    Conditional,
+    Decl,
+    Expr,
+    For,
+    If,
+    NumberLit,
+    Program,
+    Stmt,
+    TYPE_WIDTHS,
+    UnaryOp,
+    VarRef,
+)
+from repro.hls.dfg import DataflowGraph, _truncate
+from repro.hls.parser import parse_source
+from repro.hls.typecheck import check_program
+
+#: Hard cap on total unrolled loop iterations, to catch runaway bounds.
+MAX_UNROLL = 65536
+
+_BINOP_KINDS = {
+    "+": OpKind.ADD,
+    "-": OpKind.SUB,
+    "*": OpKind.MUL,
+    "/": OpKind.DIV,
+    "%": OpKind.MOD,
+    "&": OpKind.AND,
+    "|": OpKind.OR,
+    "^": OpKind.XOR,
+    "<<": OpKind.SHL,
+    ">>": OpKind.SHR,
+    "<": OpKind.LT,
+    "<=": OpKind.LE,
+    ">": OpKind.GT,
+    ">=": OpKind.GE,
+    "==": OpKind.EQ,
+    "!=": OpKind.NE,
+    # Logical operators assume boolean (0/1) operands, as produced by the
+    # comparison ops; they lower to their bitwise counterparts.
+    "&&": OpKind.AND,
+    "||": OpKind.OR,
+}
+
+
+@dataclass
+class _Value:
+    """Either a compile-time constant or a DFG node id, plus its width."""
+
+    width: int
+    node: int | None = None
+    const: int | None = None
+
+    @property
+    def is_const(self) -> bool:
+        return self.const is not None
+
+
+@dataclass
+class _VarState:
+    """Lowering-time state of one declared variable."""
+
+    width: int
+    qualifier: str
+    #: Scalar: single-element list.  Array: one value per element.
+    values: list[_Value | None] = field(default_factory=list)
+    is_array: bool = False
+
+
+class _Lowerer:
+    """Stateful AST walker building the DFG."""
+
+    def __init__(self, program: Program) -> None:
+        check_program(program)
+        self.program = program
+        self.dfg = DataflowGraph(program.name)
+        self.env: dict[str, _VarState] = {}
+        self.output_order: list[str] = []
+        self._unrolled = 0
+
+    # -- value helpers ---------------------------------------------------------
+    def _materialize(self, value: _Value) -> int:
+        """Node id for a value, creating a CONST node when needed."""
+        if value.node is not None:
+            return value.node
+        node = self.dfg.add_const(int(value.const or 0), width=value.width)
+        return node
+
+    def _const_of(self, expr: Expr, context: str) -> int:
+        """Evaluate an expression that must be a compile-time constant."""
+        value = self._lower_expr(expr)
+        if not value.is_const:
+            raise HLSError(f"{context} must be a compile-time constant")
+        return int(value.const)  # type: ignore[arg-type]
+
+    # -- program -------------------------------------------------------------------
+    def run(self) -> DataflowGraph:
+        for stmt in self.program.statements:
+            self._lower_stmt(stmt)
+        # Emit OUTPUT nodes for all `out` variables, in declaration order.
+        for name in self.output_order:
+            state = self.env[name]
+            for i, value in enumerate(state.values):
+                if value is None:
+                    raise HLSError(f"output {name!r}[{i}] never assigned")
+                producer = self._materialize(value)
+                label = name if not state.is_array else f"{name}[{i}]"
+                self.dfg.add_output(producer, label)
+        self.dfg.validate()
+        return self.dfg
+
+    # -- statements ---------------------------------------------------------------
+    def _lower_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Decl):
+            self._lower_decl(stmt)
+        elif isinstance(stmt, Assign):
+            self._lower_assign(stmt)
+        elif isinstance(stmt, If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, For):
+            self._lower_for(stmt)
+        else:  # pragma: no cover - exhaustive over Stmt
+            raise HLSError(f"cannot lower {type(stmt).__name__}")
+
+    def _lower_decl(self, decl: Decl) -> None:
+        width = TYPE_WIDTHS[decl.ctype]
+        size = decl.array_size or 1
+        state = _VarState(
+            width=width,
+            qualifier=decl.qualifier,
+            values=[None] * size,
+            is_array=decl.array_size is not None,
+        )
+        if decl.qualifier == "in":
+            for i in range(size):
+                label = decl.name if not state.is_array else f"{decl.name}[{i}]"
+                node = self.dfg.add_input(label, width=width)
+                state.values[i] = _Value(width=width, node=node)
+        elif decl.init is not None:
+            value = self._lower_expr(decl.init)
+            state.values[0] = _Value(
+                width=width, node=value.node, const=value.const
+            )
+        self.env[decl.name] = state
+        if decl.qualifier == "out":
+            self.output_order.append(decl.name)
+
+    def _lower_assign(self, stmt: Assign) -> None:
+        state = self.env[stmt.target.name]
+        index = 0
+        if isinstance(stmt.target, ArrayRef):
+            index = self._const_of(stmt.target.index, "array index")
+            if not 0 <= index < len(state.values):
+                raise HLSError(
+                    f"line {stmt.line}: index {index} out of bounds for "
+                    f"{stmt.target.name}[{len(state.values)}]"
+                )
+        rhs = self._lower_expr(stmt.value)
+        if stmt.op != "=":
+            current = state.values[index]
+            if current is None:
+                raise HLSError(
+                    f"line {stmt.line}: {stmt.target.name!r} used before assignment"
+                )
+            rhs = self._apply_binop(stmt.op[:-1], current, rhs)
+        state.values[index] = _Value(width=state.width, node=rhs.node, const=rhs.const)
+
+    def _lower_if(self, stmt: If) -> None:
+        cond = self._lower_expr(stmt.cond)
+        if cond.is_const:
+            # Statically decidable branch: lower only the taken side.
+            body = stmt.then_body if cond.const else stmt.else_body
+            for sub in body:
+                self._lower_stmt(sub)
+            return
+        # If-conversion: lower both branches on snapshots, merge via SELECT.
+        snapshot = self._snapshot_env()
+        for sub in stmt.then_body:
+            self._lower_stmt(sub)
+        then_env = self._snapshot_env()
+        self._restore_env(snapshot)
+        for sub in stmt.else_body:
+            self._lower_stmt(sub)
+        else_env = self._snapshot_env()
+        self._restore_env(snapshot)
+        cond_node = self._materialize(cond)
+        self._merge_envs(cond_node, then_env, else_env)
+
+    def _lower_for(self, stmt: For) -> None:
+        state = self.env[stmt.var]
+        current = self._const_of(stmt.init, "loop initialiser")
+        while True:
+            state.values[0] = _Value(width=state.width, const=current)
+            cond = self._lower_expr(stmt.cond)
+            if not cond.is_const:
+                raise HLSError(
+                    f"line {stmt.line}: loop condition must be compile-time constant"
+                )
+            if not cond.const:
+                break
+            self._unrolled += 1
+            if self._unrolled > MAX_UNROLL:
+                raise HLSError(
+                    f"line {stmt.line}: loop unrolling exceeded {MAX_UNROLL} iterations"
+                )
+            for sub in stmt.body:
+                self._lower_stmt(sub)
+            # Apply the step to the compile-time loop variable.
+            step_value = self._lower_expr(stmt.step.value)
+            if not step_value.is_const:
+                raise HLSError(
+                    f"line {stmt.line}: loop step must be compile-time constant"
+                )
+            if stmt.step.op == "=":
+                current = int(step_value.const)  # type: ignore[arg-type]
+            else:
+                current = _fold_binop(
+                    stmt.step.op[:-1], current, int(step_value.const), state.width  # type: ignore[arg-type]
+                )
+        state.values[0] = _Value(width=state.width, const=current)
+
+    # -- environment snapshots for if-conversion ------------------------------
+    def _snapshot_env(self) -> dict[str, list[_Value | None]]:
+        return {name: list(state.values) for name, state in self.env.items()}
+
+    def _restore_env(self, snapshot: dict[str, list[_Value | None]]) -> None:
+        for name, values in snapshot.items():
+            self.env[name].values = list(values)
+
+    def _merge_envs(
+        self,
+        cond_node: int,
+        then_env: dict[str, list[_Value | None]],
+        else_env: dict[str, list[_Value | None]],
+    ) -> None:
+        for name, state in self.env.items():
+            then_values = then_env[name]
+            else_values = else_env[name]
+            for i in range(len(state.values)):
+                t, e = then_values[i], else_values[i]
+                if _values_equal(t, e):
+                    state.values[i] = t
+                    continue
+                if t is None or e is None:
+                    # Assigned on one path only: conservatively require both.
+                    raise HLSError(
+                        f"variable {name!r} assigned on only one branch of an "
+                        "if with no prior value"
+                    )
+                select = self.dfg.add_node(
+                    OpKind.SELECT,
+                    (cond_node, self._materialize(t), self._materialize(e)),
+                    width=state.width,
+                )
+                state.values[i] = _Value(width=state.width, node=select)
+
+    # -- expressions --------------------------------------------------------------
+    def _lower_expr(self, expr: Expr) -> _Value:
+        if isinstance(expr, NumberLit):
+            return _Value(width=32, const=expr.value)
+        if isinstance(expr, VarRef):
+            return self._read_var(expr.name, 0, expr.line)
+        if isinstance(expr, ArrayRef):
+            index = self._const_of(expr.index, "array index")
+            return self._read_var(expr.name, index, expr.line)
+        if isinstance(expr, UnaryOp):
+            operand = self._lower_expr(expr.operand)
+            return self._apply_unop(expr.op, operand)
+        if isinstance(expr, BinaryOp):
+            left = self._lower_expr(expr.left)
+            right = self._lower_expr(expr.right)
+            return self._apply_binop(expr.op, left, right)
+        if isinstance(expr, Conditional):
+            cond = self._lower_expr(expr.cond)
+            if cond.is_const:
+                return self._lower_expr(expr.if_true if cond.const else expr.if_false)
+            if_true = self._lower_expr(expr.if_true)
+            if_false = self._lower_expr(expr.if_false)
+            width = max(if_true.width, if_false.width)
+            node = self.dfg.add_node(
+                OpKind.SELECT,
+                (
+                    self._materialize(cond),
+                    self._materialize(if_true),
+                    self._materialize(if_false),
+                ),
+                width=width,
+            )
+            return _Value(width=width, node=node)
+        raise HLSError(f"cannot lower expression {type(expr).__name__}")
+
+    def _read_var(self, name: str, index: int, line: int) -> _Value:
+        state = self.env[name]
+        if not 0 <= index < len(state.values):
+            raise HLSError(
+                f"line {line}: index {index} out of bounds for "
+                f"{name}[{len(state.values)}]"
+            )
+        value = state.values[index]
+        if value is None:
+            raise HLSError(f"line {line}: {name!r} used before assignment")
+        return value
+
+    def _apply_unop(self, op: str, operand: _Value) -> _Value:
+        if operand.is_const:
+            c = int(operand.const)  # type: ignore[arg-type]
+            if op == "-":
+                result = -c
+            elif op == "~":
+                result = ~c
+            elif op == "!":
+                result = int(c == 0)
+            else:
+                raise HLSError(f"unknown unary operator {op!r}")
+            return _Value(width=operand.width, const=_truncate(result, operand.width))
+        if op == "-":
+            node = self.dfg.add_node(
+                OpKind.NEG, (self._materialize(operand),), width=operand.width
+            )
+        elif op == "~":
+            node = self.dfg.add_node(
+                OpKind.NOT, (self._materialize(operand),), width=operand.width
+            )
+        elif op == "!":
+            zero = self.dfg.add_const(0, width=operand.width)
+            node = self.dfg.add_node(
+                OpKind.EQ, (self._materialize(operand), zero), width=operand.width
+            )
+        else:
+            raise HLSError(f"unknown unary operator {op!r}")
+        return _Value(width=operand.width, node=node)
+
+    def _apply_binop(self, op: str, left: _Value, right: _Value) -> _Value:
+        kind = _BINOP_KINDS.get(op)
+        if kind is None:
+            raise HLSError(f"unknown binary operator {op!r}")
+        width = max(left.width, right.width)
+        if left.is_const and right.is_const:
+            folded = _fold_binop(op, int(left.const), int(right.const), width)  # type: ignore[arg-type]
+            return _Value(width=width, const=folded)
+        node = self.dfg.add_node(
+            kind,
+            (self._materialize(left), self._materialize(right)),
+            width=width,
+        )
+        return _Value(width=width, node=node)
+
+
+def _values_equal(a: _Value | None, b: _Value | None) -> bool:
+    if a is None or b is None:
+        return a is b
+    return a.node == b.node and a.const == b.const
+
+
+def _fold_binop(op: str, a: int, b: int, width: int) -> int:
+    """Compile-time evaluation matching the DFG reference semantics."""
+    if op == "+":
+        result = a + b
+    elif op == "-":
+        result = a - b
+    elif op == "*":
+        result = a * b
+    elif op == "/":
+        result = int(a / b) if b else 0
+    elif op == "%":
+        result = int(abs(a) % abs(b)) * (1 if a >= 0 else -1) if b else 0
+    elif op == "&" or op == "&&":
+        result = (a & b) if op == "&" else int(bool(a) and bool(b))
+    elif op == "|" or op == "||":
+        result = (a | b) if op == "|" else int(bool(a) or bool(b))
+    elif op == "^":
+        result = a ^ b
+    elif op == "<<":
+        result = a << (b % width)
+    elif op == ">>":
+        result = a >> (b % width)
+    elif op == "<":
+        result = int(a < b)
+    elif op == "<=":
+        result = int(a <= b)
+    elif op == ">":
+        result = int(a > b)
+    elif op == ">=":
+        result = int(a >= b)
+    elif op == "==":
+        result = int(a == b)
+    elif op == "!=":
+        result = int(a != b)
+    else:
+        raise HLSError(f"cannot fold operator {op!r}")
+    return _truncate(result, width)
+
+
+def lower_program(program: Program) -> DataflowGraph:
+    """Lower a checked AST to a dataflow graph."""
+    return _Lowerer(program).run()
+
+
+def compile_source(source: str, name: str = "program") -> DataflowGraph:
+    """Front-door: mini-C text -> validated dataflow graph."""
+    try:
+        program = parse_source(source, name)
+    except TypeCheckError:
+        raise
+    return lower_program(program)

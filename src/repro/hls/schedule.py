@@ -1,0 +1,240 @@
+"""Resource-constrained list scheduling of a DFG into contexts.
+
+A multi-context CGRRA loads one context per clock cycle (paper Fig. 1), so
+scheduling assigns every compute operation a *cycle* = context index.  The
+number of contexts equals the design latency (Section VI).  Constraints:
+
+* **capacity** — at most ``fabric capacity`` compute ops per context (each
+  op occupies one PE for that cycle);
+* **dependencies** — an op may execute in the same cycle as a producer only
+  by *chaining* combinationally; the accumulated PE delay of any chain must
+  fit in ``chain_limit_ns`` (a fraction of the clock period, reserving
+  headroom for wire delay that is unknown before placement);
+* otherwise the consumer waits for a later cycle and reads the producer's
+  output register.
+
+Priority is classic list scheduling: smaller ALAP slack first (critical
+operations schedule earliest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.opcodes import OpKind, op_delay_ns
+from repro.errors import SchedulingError
+from repro.hls.dfg import DataflowGraph
+from repro.units import CLOCK_PERIOD_NS
+
+#: Fraction of the clock period available to PE-delay chains at schedule
+#: time; the remainder is headroom for post-placement wire delay.
+DEFAULT_CHAIN_FRACTION = 0.8
+
+
+@dataclass
+class Schedule:
+    """Result of scheduling: context assignment for every compute op.
+
+    Attributes
+    ----------
+    dfg:
+        The scheduled dataflow graph.
+    cycle_of:
+        ``{node_id: context index}`` for compute nodes.
+    num_contexts:
+        Total number of contexts (= latency in cycles).
+    chain_limit_ns:
+        The chaining budget used.
+    """
+
+    dfg: DataflowGraph
+    cycle_of: dict[int, int]
+    num_contexts: int
+    chain_limit_ns: float
+
+    def ops_in_cycle(self, cycle: int) -> list[int]:
+        """Compute node ids scheduled in ``cycle`` (sorted)."""
+        return sorted(n for n, c in self.cycle_of.items() if c == cycle)
+
+    def max_ops_per_cycle(self) -> int:
+        counts: dict[int, int] = {}
+        for cycle in self.cycle_of.values():
+            counts[cycle] = counts.get(cycle, 0) + 1
+        return max(counts.values(), default=0)
+
+    def validate(self, capacity: int | None = None) -> None:
+        """Check precedence and capacity; raises :class:`SchedulingError`."""
+        for node in self.dfg.compute_nodes():
+            cycle = self.cycle_of.get(node.node_id)
+            if cycle is None:
+                raise SchedulingError(f"compute node {node.node_id} unscheduled")
+            for pred in node.inputs:
+                pred_node = self.dfg.node(pred)
+                if pred_node.is_compute and self.cycle_of[pred] > cycle:
+                    raise SchedulingError(
+                        f"node {node.node_id} (cycle {cycle}) depends on node "
+                        f"{pred} scheduled later (cycle {self.cycle_of[pred]})"
+                    )
+        if capacity is not None and self.max_ops_per_cycle() > capacity:
+            raise SchedulingError(
+                f"schedule exceeds capacity {capacity}: "
+                f"{self.max_ops_per_cycle()} ops in one cycle"
+            )
+
+
+def asap_cycles(dfg: DataflowGraph, chain_limit_ns: float) -> dict[int, int]:
+    """Unconstrained-resources ASAP cycle for each compute node.
+
+    Chaining-aware: consecutive dependent ops share a cycle while their
+    accumulated PE delay fits in ``chain_limit_ns``.
+    """
+    cycle: dict[int, int] = {}
+    finish: dict[int, float] = {}  # accumulated chain delay within the cycle
+    for nid in dfg.topological_order():
+        node = dfg.node(nid)
+        if not node.is_compute:
+            # Pseudo nodes are available "at time zero" of cycle 0.
+            cycle[nid] = 0
+            finish[nid] = 0.0
+            continue
+        delay = op_delay_ns(node.kind, node.width)
+        if delay > chain_limit_ns:
+            raise SchedulingError(
+                f"op {nid} ({node.kind.value}) delay {delay:.2f}ns exceeds the "
+                f"chain limit {chain_limit_ns:.2f}ns"
+            )
+        my_cycle = 0
+        start = 0.0
+        for pred in node.inputs:
+            pred_node = dfg.node(pred)
+            if not pred_node.is_compute:
+                continue
+            p_cycle, p_finish = cycle[pred], finish[pred]
+            # Earliest this op can start relative to that producer.
+            if p_finish + delay <= chain_limit_ns:
+                cand_cycle, cand_start = p_cycle, p_finish
+            else:
+                cand_cycle, cand_start = p_cycle + 1, 0.0
+            if cand_cycle > my_cycle:
+                my_cycle, start = cand_cycle, cand_start
+            elif cand_cycle == my_cycle:
+                start = max(start, cand_start)
+        if start + delay > chain_limit_ns:
+            my_cycle += 1
+            start = 0.0
+        cycle[nid] = my_cycle
+        finish[nid] = start + delay
+    return {
+        nid: c for nid, c in cycle.items() if dfg.node(nid).is_compute
+    }
+
+
+def alap_cycles(
+    dfg: DataflowGraph, latest: int, chain_limit_ns: float
+) -> dict[int, int]:
+    """As-late-as-possible cycle per compute node, for a given latency bound.
+
+    Used only for priorities, so a simpler no-chaining model (every
+    dependent pair separated by one cycle when chaining would overflow) is
+    applied conservatively: chaining is ignored, giving each op the latest
+    cycle such that all successors still fit.  This under-estimates slack
+    uniformly, which is harmless for ordering.
+    """
+    alap: dict[int, int] = {}
+    for nid in reversed(dfg.topological_order()):
+        node = dfg.node(nid)
+        if not node.is_compute:
+            continue
+        succ_limit = latest
+        for succ in dfg.successors(nid):
+            succ_node = dfg.node(succ)
+            if succ_node.is_compute and succ in alap:
+                succ_limit = min(succ_limit, alap[succ])
+        alap[nid] = succ_limit
+    return alap
+
+
+def schedule_dfg(
+    dfg: DataflowGraph,
+    capacity: int,
+    clock_period_ns: float = CLOCK_PERIOD_NS,
+    chain_fraction: float = DEFAULT_CHAIN_FRACTION,
+    min_contexts: int = 1,
+) -> Schedule:
+    """List-schedule ``dfg`` onto a fabric with ``capacity`` PEs per cycle.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum compute ops per context (the fabric's PE count).
+    clock_period_ns, chain_fraction:
+        The chaining budget is their product.
+    min_contexts:
+        Pad the schedule to at least this many contexts (an empty trailing
+        context is legal — the fabric simply idles).
+    """
+    if capacity < 1:
+        raise SchedulingError(f"capacity must be positive, got {capacity}")
+    chain_limit = clock_period_ns * chain_fraction
+    asap = asap_cycles(dfg, chain_limit)
+    if not asap:
+        return Schedule(dfg, {}, max(min_contexts, 1), chain_limit)
+    horizon = max(asap.values())
+    alap = alap_cycles(dfg, horizon, chain_limit)
+
+    compute_ids = [n.node_id for n in dfg.compute_nodes()]
+    unscheduled = set(compute_ids)
+    cycle_of: dict[int, int] = {}
+    finish: dict[int, float] = {}
+    current_cycle = 0
+    guard = 0
+    while unscheduled:
+        guard += 1
+        if guard > 4 * len(compute_ids) + horizon + 16:
+            raise SchedulingError("scheduler failed to converge")
+        # Ops whose compute predecessors are all scheduled in cycles < current,
+        # or in the current cycle with chaining feasibility.  Re-scan after
+        # every placement round so newly-enabled chained consumers can join
+        # the same cycle.
+        placed_this_cycle = 0
+        progressed = True
+        while progressed and placed_this_cycle < capacity:
+            progressed = False
+            ready: list[tuple[int, int, int]] = []
+            for nid in unscheduled:
+                node = dfg.node(nid)
+                ok = True
+                for pred in node.inputs:
+                    pred_node = dfg.node(pred)
+                    if pred_node.is_compute and (
+                        pred in unscheduled or cycle_of[pred] > current_cycle
+                    ):
+                        ok = False
+                        break
+                if ok:
+                    ready.append((alap.get(nid, horizon), asap[nid], nid))
+            ready.sort()
+            for _, _, nid in ready:
+                if placed_this_cycle >= capacity:
+                    break
+                node = dfg.node(nid)
+                delay = op_delay_ns(node.kind, node.width)
+                start = 0.0
+                for pred in node.inputs:
+                    pred_node = dfg.node(pred)
+                    if pred_node.is_compute and cycle_of[pred] == current_cycle:
+                        start = max(start, finish[pred])
+                if start + delay > chain_limit:
+                    continue  # must wait for the next cycle
+                cycle_of[nid] = current_cycle
+                finish[nid] = start + delay
+                unscheduled.discard(nid)
+                placed_this_cycle += 1
+                progressed = True
+        current_cycle += 1
+
+    num_contexts = max(max(cycle_of.values()) + 1, min_contexts)
+    schedule = Schedule(dfg, cycle_of, num_contexts, chain_limit)
+    schedule.validate(capacity)
+    return schedule
+

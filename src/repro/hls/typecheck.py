@@ -1,0 +1,221 @@
+"""Semantic analysis for mini-C programs.
+
+Checks performed before lowering:
+
+* every variable is declared before use and declared at most once;
+* ``in`` variables are never assigned; ``out`` variables are assigned
+  (either at declaration or later);
+* array sizes are positive; array references target declared arrays and
+  scalar references target declared scalars;
+* ``for`` loops use a declared scalar loop variable and step it;
+* constant array indices are within bounds.
+
+Loop-bound constancy is verified during lowering (where the constant
+folder lives); everything checkable without evaluation is checked here so
+errors point at source lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TypeCheckError
+from repro.hls.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinaryOp,
+    Conditional,
+    Decl,
+    Expr,
+    For,
+    If,
+    NumberLit,
+    Program,
+    Stmt,
+    TYPE_WIDTHS,
+    UnaryOp,
+    VarRef,
+)
+
+
+@dataclass
+class Symbol:
+    """A declared variable."""
+
+    name: str
+    ctype: str
+    qualifier: str  # "", "in", "out"
+    array_size: int | None
+    line: int
+    assigned: bool = False
+
+    @property
+    def width(self) -> int:
+        return TYPE_WIDTHS[self.ctype]
+
+    @property
+    def is_array(self) -> bool:
+        return self.array_size is not None
+
+
+class SymbolTable:
+    """Flat symbol table (mini-C has a single scope)."""
+
+    def __init__(self) -> None:
+        self._symbols: dict[str, Symbol] = {}
+
+    def declare(self, decl: Decl) -> Symbol:
+        if decl.name in self._symbols:
+            raise TypeCheckError(
+                f"line {decl.line}: variable {decl.name!r} redeclared"
+            )
+        if decl.ctype not in TYPE_WIDTHS:
+            raise TypeCheckError(f"line {decl.line}: unknown type {decl.ctype!r}")
+        if decl.array_size is not None and decl.array_size <= 0:
+            raise TypeCheckError(
+                f"line {decl.line}: array {decl.name!r} has non-positive size"
+            )
+        if decl.qualifier == "in" and decl.init is not None:
+            raise TypeCheckError(
+                f"line {decl.line}: input {decl.name!r} cannot have an initializer"
+            )
+        symbol = Symbol(
+            name=decl.name,
+            ctype=decl.ctype,
+            qualifier=decl.qualifier,
+            array_size=decl.array_size,
+            line=decl.line,
+            assigned=decl.init is not None or decl.qualifier == "in",
+        )
+        self._symbols[decl.name] = symbol
+        return symbol
+
+    def lookup(self, name: str, line: int) -> Symbol:
+        try:
+            return self._symbols[name]
+        except KeyError as exc:
+            raise TypeCheckError(f"line {line}: undeclared variable {name!r}") from exc
+
+    def symbols(self) -> list[Symbol]:
+        return list(self._symbols.values())
+
+
+def check_program(program: Program) -> SymbolTable:
+    """Run all semantic checks; returns the populated symbol table."""
+    table = SymbolTable()
+    for stmt in program.statements:
+        _check_stmt(stmt, table)
+    unassigned_outputs = [
+        s.name for s in table.symbols() if s.qualifier == "out" and not s.assigned
+    ]
+    if unassigned_outputs:
+        raise TypeCheckError(
+            f"output variables never assigned: {', '.join(unassigned_outputs)}"
+        )
+    if not any(s.qualifier == "out" for s in table.symbols()):
+        raise TypeCheckError("program has no 'out' variables — nothing to synthesize")
+    return table
+
+
+def _check_stmt(stmt: Stmt, table: SymbolTable) -> None:
+    if isinstance(stmt, Decl):
+        symbol = table.declare(stmt)
+        if stmt.init is not None:
+            _check_expr(stmt.init, table)
+            symbol.assigned = True
+    elif isinstance(stmt, Assign):
+        _check_assign(stmt, table)
+    elif isinstance(stmt, If):
+        _check_expr(stmt.cond, table)
+        for sub in stmt.then_body:
+            _check_stmt(sub, table)
+        for sub in stmt.else_body:
+            _check_stmt(sub, table)
+    elif isinstance(stmt, For):
+        loop_symbol = table.lookup(stmt.var, stmt.line)
+        if loop_symbol.is_array:
+            raise TypeCheckError(
+                f"line {stmt.line}: loop variable {stmt.var!r} must be a scalar"
+            )
+        _check_expr(stmt.init, table)
+        loop_symbol.assigned = True
+        _check_expr(stmt.cond, table)
+        _check_assign(stmt.step, table)
+        for sub in stmt.body:
+            _check_stmt(sub, table)
+    else:  # pragma: no cover - exhaustive over Stmt
+        raise TypeCheckError(f"unknown statement type {type(stmt).__name__}")
+
+
+def _check_assign(stmt: Assign, table: SymbolTable) -> None:
+    target = stmt.target
+    symbol = table.lookup(target.name, stmt.line)
+    if symbol.qualifier == "in":
+        raise TypeCheckError(
+            f"line {stmt.line}: cannot assign to input {target.name!r}"
+        )
+    if isinstance(target, ArrayRef):
+        if not symbol.is_array:
+            raise TypeCheckError(
+                f"line {stmt.line}: {target.name!r} is not an array"
+            )
+        _check_expr(target.index, table)
+        _check_constant_index(target, symbol)
+    else:
+        if symbol.is_array:
+            raise TypeCheckError(
+                f"line {stmt.line}: array {target.name!r} needs an index"
+            )
+    if stmt.op != "=":
+        # Compound assignment reads the target first.
+        if not symbol.assigned:
+            raise TypeCheckError(
+                f"line {stmt.line}: {target.name!r} used before assignment"
+            )
+    _check_expr(stmt.value, table)
+    symbol.assigned = True
+
+
+def _check_expr(expr: Expr, table: SymbolTable) -> None:
+    if isinstance(expr, NumberLit):
+        return
+    if isinstance(expr, VarRef):
+        symbol = table.lookup(expr.name, expr.line)
+        if symbol.is_array:
+            raise TypeCheckError(
+                f"line {expr.line}: array {expr.name!r} used without an index"
+            )
+        return
+    if isinstance(expr, ArrayRef):
+        symbol = table.lookup(expr.name, expr.line)
+        if not symbol.is_array:
+            raise TypeCheckError(
+                f"line {expr.line}: {expr.name!r} is not an array"
+            )
+        _check_expr(expr.index, table)
+        _check_constant_index(expr, symbol)
+        return
+    if isinstance(expr, UnaryOp):
+        _check_expr(expr.operand, table)
+        return
+    if isinstance(expr, BinaryOp):
+        _check_expr(expr.left, table)
+        _check_expr(expr.right, table)
+        return
+    if isinstance(expr, Conditional):
+        _check_expr(expr.cond, table)
+        _check_expr(expr.if_true, table)
+        _check_expr(expr.if_false, table)
+        return
+    raise TypeCheckError(f"unknown expression type {type(expr).__name__}")
+
+
+def _check_constant_index(ref: ArrayRef, symbol: Symbol) -> None:
+    """Bounds-check indices that are literal constants."""
+    if isinstance(ref.index, NumberLit):
+        idx = ref.index.value
+        if not 0 <= idx < (symbol.array_size or 0):
+            raise TypeCheckError(
+                f"line {ref.line}: index {idx} out of bounds for "
+                f"{ref.name}[{symbol.array_size}]"
+            )

@@ -1,0 +1,33 @@
+"""Artefact I/O: versioned JSON for designs, floorplans and flow results."""
+
+from repro.io.serialize import (
+    SCHEMA_VERSION,
+    SerializationError,
+    design_from_dict,
+    design_to_dict,
+    floorplan_from_dict,
+    floorplan_to_dict,
+    flow_summary_to_dict,
+    load_design,
+    load_floorplan,
+    load_json,
+    save_design,
+    save_floorplan,
+    save_json,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SerializationError",
+    "design_from_dict",
+    "design_to_dict",
+    "floorplan_from_dict",
+    "floorplan_to_dict",
+    "flow_summary_to_dict",
+    "load_design",
+    "load_floorplan",
+    "load_json",
+    "save_design",
+    "save_floorplan",
+    "save_json",
+]

@@ -1,0 +1,202 @@
+"""JSON serialization of designs, floorplans and flow results.
+
+The paper's flow ends in configurations loaded onto the device every
+cycle; this module is the reproduction's equivalent artefact format: a
+versioned, self-describing JSON schema for
+
+* :class:`~repro.hls.allocate.MappedDesign` — the technology-mapped,
+  scheduled netlist;
+* :class:`~repro.arch.context.Floorplan` — per-context op->PE bindings
+  (the "configuration set");
+* flow summaries — the measurement record of one Phase 1 + Phase 2 run.
+
+Round-tripping is exact (structural equality) and validated on load, so
+saved artefacts can be re-analysed (STA, stress, MTTF) without re-running
+HLS or the MILP.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.arch.context import Floorplan
+from repro.arch.fabric import Fabric
+from repro.arch.opcodes import OpKind, unit_of
+from repro.errors import ReproError
+from repro.hls.allocate import MappedDesign, OpInfo
+
+#: Schema version written into every document.
+SCHEMA_VERSION = 1
+
+
+class SerializationError(ReproError):
+    """A document could not be encoded or decoded."""
+
+
+# -- MappedDesign -------------------------------------------------------------
+
+
+def design_to_dict(design: MappedDesign) -> dict[str, Any]:
+    """Encode a mapped design (without its source DFG) as a JSON dict."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "mapped_design",
+        "name": design.name,
+        "num_contexts": design.num_contexts,
+        "clock_period_ns": design.clock_period_ns,
+        "ops": [
+            {
+                "id": op.op_id,
+                "kind": op.kind.value,
+                "width": op.width,
+                "context": op.context,
+                "delay_ns": op.delay_ns,
+                "stress_ns": op.stress_ns,
+            }
+            for op in sorted(design.ops.values(), key=lambda o: o.op_id)
+        ],
+        "compute_edges": [list(edge) for edge in design.compute_edges],
+        "input_edges": [list(edge) for edge in design.input_edges],
+        "output_edges": [list(edge) for edge in design.output_edges],
+    }
+
+
+def design_from_dict(data: dict[str, Any]) -> MappedDesign:
+    """Decode and validate a mapped design."""
+    _expect_kind(data, "mapped_design")
+    design = MappedDesign(
+        name=str(data["name"]),
+        num_contexts=int(data["num_contexts"]),
+        clock_period_ns=float(data.get("clock_period_ns", 5.0)),
+    )
+    try:
+        for entry in data["ops"]:
+            kind = OpKind(entry["kind"])
+            design.ops[int(entry["id"])] = OpInfo(
+                op_id=int(entry["id"]),
+                kind=kind,
+                width=int(entry["width"]),
+                context=int(entry["context"]),
+                unit=unit_of(kind),
+                delay_ns=float(entry["delay_ns"]),
+                stress_ns=float(entry["stress_ns"]),
+            )
+        design.compute_edges = [tuple(e) for e in data["compute_edges"]]
+        design.input_edges = [tuple(e) for e in data["input_edges"]]
+        design.output_edges = [tuple(e) for e in data["output_edges"]]
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(f"malformed mapped_design document: {exc}") from exc
+    design.validate()
+    return design
+
+
+# -- Floorplan ---------------------------------------------------------------
+
+
+def floorplan_to_dict(floorplan: Floorplan) -> dict[str, Any]:
+    """Encode a floorplan (the per-context configuration set)."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "floorplan",
+        "fabric": {
+            "rows": floorplan.fabric.rows,
+            "cols": floorplan.fabric.cols,
+            "unit_wire_delay_ns": floorplan.fabric.unit_wire_delay_ns,
+        },
+        "num_contexts": floorplan.num_contexts,
+        "bindings": [
+            {
+                "op": op,
+                "context": floorplan.context_of[op],
+                "pe": floorplan.pe_of[op],
+            }
+            for op in sorted(floorplan.ops)
+        ],
+    }
+
+
+def floorplan_from_dict(data: dict[str, Any]) -> Floorplan:
+    """Decode and validate a floorplan."""
+    _expect_kind(data, "floorplan")
+    try:
+        fabric_spec = data["fabric"]
+        fabric = Fabric(
+            int(fabric_spec["rows"]),
+            int(fabric_spec["cols"]),
+            unit_wire_delay_ns=float(fabric_spec.get("unit_wire_delay_ns", 0.435)),
+        )
+        floorplan = Floorplan(fabric, int(data["num_contexts"]))
+        for binding in data["bindings"]:
+            floorplan.bind(
+                int(binding["op"]), int(binding["context"]), int(binding["pe"])
+            )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise SerializationError(f"malformed floorplan document: {exc}") from exc
+    floorplan.validate()
+    return floorplan
+
+
+# -- flow summaries -------------------------------------------------------------
+
+
+def flow_summary_to_dict(result) -> dict[str, Any]:
+    """Encode a :class:`~repro.core.flow.FlowResult` as a measurement record.
+
+    Includes both floorplans so the run can be re-evaluated offline.
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "flow_result",
+        "summary": result.summary(),
+        "design": design_to_dict(result.design),
+        "original_floorplan": floorplan_to_dict(result.original.floorplan),
+        "remapped_floorplan": floorplan_to_dict(result.remapped.floorplan),
+    }
+
+
+# -- file helpers -------------------------------------------------------------
+
+
+def save_json(document: dict[str, Any], path) -> None:
+    """Write a document to ``path`` (pretty-printed, stable key order)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_json(path) -> dict[str, Any]:
+    """Read a JSON document and check it carries a schema marker."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "schema" not in data:
+        raise SerializationError(f"{path}: not a repro document")
+    if data["schema"] > SCHEMA_VERSION:
+        raise SerializationError(
+            f"{path}: schema {data['schema']} is newer than supported "
+            f"({SCHEMA_VERSION})"
+        )
+    return data
+
+
+def save_design(design: MappedDesign, path) -> None:
+    save_json(design_to_dict(design), path)
+
+
+def load_design(path) -> MappedDesign:
+    return design_from_dict(load_json(path))
+
+
+def save_floorplan(floorplan: Floorplan, path) -> None:
+    save_json(floorplan_to_dict(floorplan), path)
+
+
+def load_floorplan(path) -> Floorplan:
+    return floorplan_from_dict(load_json(path))
+
+
+def _expect_kind(data: dict[str, Any], kind: str) -> None:
+    if data.get("kind") != kind:
+        raise SerializationError(
+            f"expected a {kind!r} document, found {data.get('kind')!r}"
+        )

@@ -1,0 +1,198 @@
+"""A pure-Python branch-and-bound MILP backend.
+
+This backend exists for three reasons:
+
+* it removes the hard dependency of the core algorithms on any one solver
+  (the paper's flow treats the solver as a pluggable component: CPLEX there,
+  HiGHS here);
+* it is small enough to be read and tested exhaustively, so it serves as an
+  executable specification that the fast backend is checked against in the
+  test suite;
+* it exposes node counts, which the two-step-relaxation ablation
+  (``benchmarks/bench_ablation_twostep.py``) uses to show *why* the paper's
+  LP→ILP pre-mapping is necessary.
+
+The implementation is classic best-bound branch and bound with LP
+relaxations solved by HiGHS (``scipy.optimize.linprog``), most-fractional
+branching, and simple bound-based pruning.  It is intended for models up to
+a few hundred discrete variables.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import SolverError
+from repro.milp.constraint import Sense
+from repro.milp.model import MatrixForm, Model
+from repro.milp.status import Solution, SolveStatus
+
+_INTEGRALITY_TOL = 1e-6
+
+
+@dataclass(order=True)
+class _Node:
+    """A branch-and-bound node ordered by its relaxation bound."""
+
+    bound: float
+    tiebreak: int = field(compare=True)
+    lower: np.ndarray = field(compare=False, default=None)  # type: ignore[assignment]
+    upper: np.ndarray = field(compare=False, default=None)  # type: ignore[assignment]
+
+
+class BranchBoundBackend:
+    """Best-bound branch and bound over HiGHS LP relaxations.
+
+    Parameters
+    ----------
+    max_nodes:
+        Abort (returning the incumbent, if any) after this many nodes.
+    time_limit:
+        Wall-clock limit in seconds.
+    """
+
+    def __init__(self, max_nodes: int = 200_000, time_limit: float | None = None):
+        self.max_nodes = max_nodes
+        self.time_limit = time_limit
+        #: Number of nodes explored by the most recent solve.
+        self.last_node_count = 0
+
+    # -- LP relaxation -------------------------------------------------------
+    @staticmethod
+    def _solve_relaxation(
+        form: MatrixForm, lower: np.ndarray, upper: np.ndarray
+    ):
+        """Solve the LP relaxation on the given bound box.
+
+        Returns ``(objective, x)`` or ``None`` when infeasible.
+        """
+        a_ub_rows, b_ub, a_eq_rows, b_eq = [], [], [], []
+        a_csr = form.a_matrix
+        for row, sense in enumerate(form.senses):
+            coeffs = a_csr.getrow(row)
+            if sense is Sense.LE:
+                a_ub_rows.append(coeffs)
+                b_ub.append(form.rhs[row])
+            elif sense is Sense.GE:
+                a_ub_rows.append(-coeffs)
+                b_ub.append(-form.rhs[row])
+            else:
+                a_eq_rows.append(coeffs)
+                b_eq.append(form.rhs[row])
+        from scipy import sparse
+
+        kwargs = {}
+        if a_ub_rows:
+            kwargs["A_ub"] = sparse.vstack(a_ub_rows, format="csr")
+            kwargs["b_ub"] = np.array(b_ub)
+        if a_eq_rows:
+            kwargs["A_eq"] = sparse.vstack(a_eq_rows, format="csr")
+            kwargs["b_eq"] = np.array(b_eq)
+        result = linprog(
+            c=form.objective,
+            bounds=np.column_stack([lower, upper]),
+            method="highs",
+            **kwargs,
+        )
+        if result.status == 2:  # infeasible
+            return None
+        if result.status != 0:
+            raise SolverError(f"LP relaxation failed: {result.message}")
+        return float(result.fun), result.x
+
+    # -- main loop --------------------------------------------------------------
+    def solve(self, model: Model, **options) -> Solution:
+        """Solve ``model`` to proven optimality (subject to node/time limits)."""
+        form = model.to_matrix_form()
+        n = len(form.variables)
+        started = time.perf_counter()
+        time_limit = options.get("time_limit", self.time_limit)
+        max_nodes = options.get("max_nodes", self.max_nodes)
+        self.last_node_count = 0
+
+        if n == 0:
+            return Solution(status=SolveStatus.OPTIMAL, objective=0.0, values={})
+
+        discrete = np.flatnonzero(form.integrality)
+        counter = itertools.count()
+
+        root = self._solve_relaxation(form, form.lower, form.upper)
+        if root is None:
+            return Solution(
+                status=SolveStatus.INFEASIBLE,
+                solve_seconds=time.perf_counter() - started,
+            )
+        root_bound, _ = root
+
+        heap: list[_Node] = [
+            _Node(root_bound, next(counter), form.lower.copy(), form.upper.copy())
+        ]
+        best_obj = math.inf
+        best_x: np.ndarray | None = None
+        proven = True
+
+        while heap:
+            if self.last_node_count >= max_nodes or (
+                time_limit is not None
+                and time.perf_counter() - started > time_limit
+            ):
+                proven = False
+                break
+            node = heapq.heappop(heap)
+            if node.bound >= best_obj - 1e-9 and best_x is not None:
+                continue  # cannot improve on the incumbent
+            self.last_node_count += 1
+            relaxed = self._solve_relaxation(form, node.lower, node.upper)
+            if relaxed is None:
+                continue
+            bound, x = relaxed
+            if bound >= best_obj - 1e-9 and best_x is not None:
+                continue
+
+            fractional = [
+                (abs(x[j] - round(x[j])), j)
+                for j in discrete
+                if abs(x[j] - round(x[j])) > _INTEGRALITY_TOL
+            ]
+            if not fractional:
+                if bound < best_obj - 1e-9:
+                    best_obj = bound
+                    best_x = x.copy()
+                continue
+
+            # Branch on the most fractional variable.
+            _, j = max(fractional)
+            floor_val = math.floor(x[j])
+            down_lower, down_upper = node.lower.copy(), node.upper.copy()
+            down_upper[j] = floor_val
+            up_lower, up_upper = node.lower.copy(), node.upper.copy()
+            up_lower[j] = floor_val + 1
+            for lo, hi in ((down_lower, down_upper), (up_lower, up_upper)):
+                if lo[j] <= hi[j]:
+                    heapq.heappush(heap, _Node(bound, next(counter), lo, hi))
+
+        elapsed = time.perf_counter() - started
+        if best_x is None:
+            status = SolveStatus.INFEASIBLE if proven else SolveStatus.ERROR
+            message = "" if proven else "node/time limit reached without incumbent"
+            return Solution(status=status, solve_seconds=elapsed, message=message)
+
+        # Snap near-integral values exactly.
+        for j in discrete:
+            best_x[j] = round(best_x[j])
+        values = {var: float(best_x[i]) for i, var in enumerate(form.variables)}
+        status = SolveStatus.OPTIMAL if proven else SolveStatus.FEASIBLE
+        return Solution(
+            status=status,
+            objective=float(form.objective @ best_x),
+            values=values,
+            solve_seconds=elapsed,
+            message=f"nodes={self.last_node_count}",
+        )

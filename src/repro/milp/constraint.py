@@ -1,0 +1,93 @@
+"""Linear constraints for the MILP modelling layer.
+
+A :class:`Constraint` stores a normalised form ``expr (<=|>=|==) 0`` where
+``expr`` is a :class:`~repro.milp.expr.LinExpr`.  Comparison operators on
+expressions and variables produce these objects, so model code reads like
+the paper's formulation, e.g.::
+
+    model.add_constraint(
+        linear_sum(st[op] * x[op, pe] for op in ops) <= st_target,
+        name=f"stress[{pe}]",
+    )
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping
+
+from repro.errors import ModelError
+from repro.milp.expr import LinExpr, Variable
+
+
+class Sense(enum.Enum):
+    """Direction of a constraint, relative to ``expr (sense) 0``."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class Constraint:
+    """A linear constraint ``lhs sense 0`` (normalised form).
+
+    The public, human-oriented view decomposes it as
+    ``body sense rhs`` where ``body`` has no constant term and
+    ``rhs = -lhs.constant``.
+    """
+
+    __slots__ = ("lhs", "sense", "name")
+
+    def __init__(self, lhs: LinExpr, sense: Sense, name: str = "") -> None:
+        if not isinstance(lhs, LinExpr):
+            raise ModelError("constraint left-hand side must be a LinExpr")
+        self.lhs = lhs
+        self.sense = sense
+        self.name = name
+
+    @property
+    def body(self) -> LinExpr:
+        """The variable part of the constraint (no constant term)."""
+        return LinExpr(self.lhs.terms, 0.0)
+
+    @property
+    def rhs(self) -> float:
+        """The right-hand-side constant of ``body sense rhs``."""
+        return -self.lhs.constant
+
+    def is_trivial(self) -> bool:
+        """True when the constraint contains no variables."""
+        return self.lhs.is_constant()
+
+    def trivially_satisfied(self) -> bool:
+        """For a trivial constraint, whether it holds; raises otherwise."""
+        if not self.is_trivial():
+            raise ModelError("constraint is not trivial")
+        value = self.lhs.constant
+        if self.sense is Sense.LE:
+            return value <= 1e-9
+        if self.sense is Sense.GE:
+            return value >= -1e-9
+        return abs(value) <= 1e-9
+
+    def satisfied_by(self, assignment: Mapping[Variable, float], tol: float = 1e-6) -> bool:
+        """Check the constraint under a full variable assignment."""
+        value = self.lhs.evaluate(assignment)
+        if self.sense is Sense.LE:
+            return value <= tol
+        if self.sense is Sense.GE:
+            return value >= -tol
+        return abs(value) <= tol
+
+    def violation(self, assignment: Mapping[Variable, float]) -> float:
+        """Non-negative magnitude of violation under ``assignment``."""
+        value = self.lhs.evaluate(assignment)
+        if self.sense is Sense.LE:
+            return max(0.0, value)
+        if self.sense is Sense.GE:
+            return max(0.0, -value)
+        return abs(value)
+
+    def __repr__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return f"Constraint({label}{self.body!r} {self.sense.value} {self.rhs:g})"

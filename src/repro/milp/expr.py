@@ -1,0 +1,287 @@
+"""Linear-expression algebra for the MILP modelling layer.
+
+This is the foundation of a small PuLP-like modelling library (the paper used
+PuLP 1.6.1 to drive CPLEX).  A :class:`Variable` is a named decision variable
+with a domain; a :class:`LinExpr` is an immutable-by-convention mapping from
+variables to coefficients plus a constant term.  Arithmetic operators build
+expressions; comparison operators build :class:`~repro.milp.constraint.Constraint`
+objects.
+
+Expressions intentionally support only *linear* algebra: multiplying two
+expressions that both contain variables raises :class:`ModelError`, which
+catches accidental quadratic formulations early (e.g. the naive
+driver-position x load-position wire-length product that Section V of the
+paper implies and that we linearise explicitly in ``repro.core.constraints``).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from typing import Iterable, Iterator, Mapping, Union
+
+from repro.errors import ModelError
+
+Number = Union[int, float]
+
+_variable_ids = itertools.count()
+
+
+class VarType(enum.Enum):
+    """Domain of a decision variable."""
+
+    CONTINUOUS = "continuous"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+
+class Variable:
+    """A single decision variable.
+
+    Variables are created through :meth:`repro.milp.model.Model.add_var` in
+    normal use; constructing them directly is supported for tests.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (used in constraint dumps and errors).
+    lb, ub:
+        Bounds.  Binary variables are clamped to [0, 1] regardless.
+    vtype:
+        One of :class:`VarType`.
+    """
+
+    __slots__ = ("name", "lb", "ub", "vtype", "index", "_id")
+
+    def __init__(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: float = math.inf,
+        vtype: VarType = VarType.CONTINUOUS,
+    ) -> None:
+        if vtype is VarType.BINARY:
+            lb, ub = max(0.0, lb), min(1.0, ub)
+        if lb > ub:
+            raise ModelError(f"variable {name!r}: lower bound {lb} > upper bound {ub}")
+        self.name = name
+        self.lb = float(lb)
+        self.ub = float(ub)
+        self.vtype = vtype
+        #: Column index assigned by the owning model (None until registered).
+        self.index: int | None = None
+        self._id = next(_variable_ids)
+
+    # Identity-based hashing: two distinct Variable objects are distinct
+    # columns even if they share a name.
+    def __hash__(self) -> int:
+        return self._id
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (Variable, LinExpr, int, float)):
+            return LinExpr.from_term(self).__eq__(other)
+        return NotImplemented
+
+    def __ne__(self, other: object):  # type: ignore[override]
+        raise ModelError("'!=' constraints are not expressible in a MILP")
+
+    def is_same(self, other: "Variable") -> bool:
+        """Identity comparison (``==`` is overloaded to build constraints)."""
+        return self._id == other._id
+
+    # -- arithmetic delegates to LinExpr ------------------------------------
+    def __add__(self, other):
+        return LinExpr.from_term(self) + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return LinExpr.from_term(self) - other
+
+    def __rsub__(self, other):
+        return (-LinExpr.from_term(self)) + other
+
+    def __mul__(self, other):
+        return LinExpr.from_term(self) * other
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return LinExpr.from_term(self) / other
+
+    def __neg__(self):
+        return LinExpr.from_term(self, coeff=-1.0)
+
+    def __le__(self, other):
+        return LinExpr.from_term(self) <= other
+
+    def __ge__(self, other):
+        return LinExpr.from_term(self) >= other
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r}, {self.vtype.value}, [{self.lb}, {self.ub}])"
+
+
+class LinExpr:
+    """A linear expression ``sum(coeff_i * var_i) + constant``.
+
+    Supports ``+``, ``-``, scalar ``*`` and ``/``, and the comparison
+    operators ``<=``, ``>=``, ``==`` which produce constraints.
+    """
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(self, terms: Mapping[Variable, float] | None = None, constant: float = 0.0):
+        self.terms: dict[Variable, float] = dict(terms) if terms else {}
+        self.constant = float(constant)
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def from_term(cls, var: Variable, coeff: float = 1.0) -> "LinExpr":
+        """Expression consisting of a single scaled variable."""
+        return cls({var: float(coeff)})
+
+    @classmethod
+    def constant_expr(cls, value: float) -> "LinExpr":
+        """Expression with no variables."""
+        return cls({}, float(value))
+
+    @classmethod
+    def sum(cls, items: Iterable[Union["LinExpr", Variable, Number]]) -> "LinExpr":
+        """Sum an iterable of expressions/variables/numbers efficiently.
+
+        Unlike ``builtins.sum``, this performs a single accumulation pass
+        instead of building O(n) intermediate expressions, which matters for
+        the stress constraints that sum thousands of assignment variables.
+        """
+        terms: dict[Variable, float] = {}
+        constant = 0.0
+        for item in items:
+            if isinstance(item, Variable):
+                terms[item] = terms.get(item, 0.0) + 1.0
+            elif isinstance(item, LinExpr):
+                constant += item.constant
+                for var, coeff in item.terms.items():
+                    terms[var] = terms.get(var, 0.0) + coeff
+            elif isinstance(item, (int, float)):
+                constant += item
+            else:
+                raise ModelError(f"cannot sum object of type {type(item).__name__}")
+        return cls(terms, constant)
+
+    # -- inspection ----------------------------------------------------------
+    def variables(self) -> Iterator[Variable]:
+        """Iterate over the variables with non-zero coefficients."""
+        return iter(self.terms)
+
+    def coefficient(self, var: Variable) -> float:
+        """Coefficient of ``var`` (0.0 if absent)."""
+        return self.terms.get(var, 0.0)
+
+    def evaluate(self, assignment: Mapping[Variable, float]) -> float:
+        """Value of the expression under a {variable: value} assignment."""
+        total = self.constant
+        for var, coeff in self.terms.items():
+            try:
+                total += coeff * assignment[var]
+            except KeyError as exc:
+                raise ModelError(f"assignment missing variable {var.name!r}") from exc
+        return total
+
+    def is_constant(self) -> bool:
+        """True when the expression contains no variables."""
+        return not self.terms
+
+    def copy(self) -> "LinExpr":
+        """Shallow copy (terms dict is copied; Variables are shared)."""
+        return LinExpr(self.terms, self.constant)
+
+    # -- arithmetic ----------------------------------------------------------
+    def _coerce(self, other) -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, Variable):
+            return LinExpr.from_term(other)
+        if isinstance(other, (int, float)):
+            return LinExpr.constant_expr(other)
+        raise ModelError(f"cannot combine LinExpr with {type(other).__name__}")
+
+    def __add__(self, other) -> "LinExpr":
+        other = self._coerce(other)
+        terms = dict(self.terms)
+        for var, coeff in other.terms.items():
+            terms[var] = terms.get(var, 0.0) + coeff
+        return LinExpr(terms, self.constant + other.constant)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "LinExpr":
+        return self + (self._coerce(other) * -1.0)
+
+    def __rsub__(self, other) -> "LinExpr":
+        return (self * -1.0) + other
+
+    def __mul__(self, other) -> "LinExpr":
+        if isinstance(other, (Variable, LinExpr)):
+            other_expr = self._coerce(other)
+            if not other_expr.is_constant() and not self.is_constant():
+                raise ModelError(
+                    "product of two non-constant expressions is not linear; "
+                    "linearise explicitly (see repro.core.constraints)"
+                )
+            if other_expr.is_constant():
+                scale = other_expr.constant
+            else:
+                return other_expr * self.constant
+        elif isinstance(other, (int, float)):
+            scale = float(other)
+        else:
+            raise ModelError(f"cannot scale LinExpr by {type(other).__name__}")
+        return LinExpr({v: c * scale for v, c in self.terms.items()}, self.constant * scale)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "LinExpr":
+        if not isinstance(other, (int, float)):
+            raise ModelError("can only divide a LinExpr by a number")
+        if other == 0:
+            raise ModelError("division of a LinExpr by zero")
+        return self * (1.0 / other)
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- constraint builders ---------------------------------------------
+    def __le__(self, other):
+        from repro.milp.constraint import Constraint, Sense
+
+        return Constraint(self - self._coerce(other), Sense.LE)
+
+    def __ge__(self, other):
+        from repro.milp.constraint import Constraint, Sense
+
+        return Constraint(self - self._coerce(other), Sense.GE)
+
+    def __eq__(self, other):  # type: ignore[override]
+        from repro.milp.constraint import Constraint, Sense
+
+        return Constraint(self - self._coerce(other), Sense.EQ)
+
+    def __ne__(self, other):  # type: ignore[override]
+        raise ModelError("'!=' constraints are not expressible in a MILP")
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        parts = [f"{coeff:+g}*{var.name}" for var, coeff in list(self.terms.items())[:6]]
+        if len(self.terms) > 6:
+            parts.append(f"... ({len(self.terms)} terms)")
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return "LinExpr(" + " ".join(parts) + ")"
+
+
+def linear_sum(items: Iterable[Union[LinExpr, Variable, Number]]) -> LinExpr:
+    """Module-level alias of :meth:`LinExpr.sum` for readability at call sites."""
+    return LinExpr.sum(items)

@@ -1,0 +1,295 @@
+"""The :class:`Model` container of the MILP modelling layer.
+
+A model owns variables, constraints and an (optional) objective.  The
+paper's formulation (3) is a *feasibility* MILP — ``ObjFunc: Null`` — so the
+objective defaults to nothing; solvers then search for any feasible point.
+
+Models compile themselves to a sparse matrix form
+(:meth:`Model.to_matrix_form`) consumed by the scipy/HiGHS backend, and
+support the transformations the paper's two-step method needs:
+
+* :meth:`relaxed` — the LP relaxation (all discrete variables made
+  continuous on the same bounds), used in Step 1 / the first half of the
+  two-step solve;
+* :meth:`fix_variable` — pin a variable to a value (used to pre-map
+  assignment variables whose LP value exceeds the 0.95 threshold, and to
+  freeze critical-path operations onto their original PEs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import ModelError
+from repro.milp.constraint import Constraint, Sense
+from repro.milp.expr import LinExpr, Variable, VarType
+from repro.milp.status import Solution
+
+
+@dataclass
+class MatrixForm:
+    """Sparse standard form of a model.
+
+    ``A x (sense) b`` row-wise, with per-column bounds and integrality
+    markers.  ``senses`` holds one :class:`Sense` per row.
+    """
+
+    variables: list[Variable]
+    a_matrix: sparse.csr_matrix
+    senses: list[Sense]
+    rhs: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    integrality: np.ndarray  # 1 where the column must be integral, else 0
+    objective: np.ndarray
+
+
+class Model:
+    """A mixed-integer linear program under construction.
+
+    Parameters
+    ----------
+    name:
+        Used in diagnostics only.
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._variables: list[Variable] = []
+        self._constraints: list[Constraint] = []
+        self._objective: LinExpr = LinExpr.constant_expr(0.0)
+        self._minimize = True
+        self._fixed: dict[Variable, float] = {}
+
+    # -- variables -----------------------------------------------------------
+    def add_var(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: float = math.inf,
+        vtype: VarType = VarType.CONTINUOUS,
+    ) -> Variable:
+        """Create and register a decision variable."""
+        var = Variable(name, lb=lb, ub=ub, vtype=vtype)
+        var.index = len(self._variables)
+        self._variables.append(var)
+        return var
+
+    def add_binary(self, name: str) -> Variable:
+        """Create a {0, 1} variable (the ``OP_ijk`` variables of Eq. 3)."""
+        return self.add_var(name, 0.0, 1.0, VarType.BINARY)
+
+    def add_continuous(self, name: str, lb: float = 0.0, ub: float = math.inf) -> Variable:
+        """Create a continuous variable (the auxiliary distance variables)."""
+        return self.add_var(name, lb, ub, VarType.CONTINUOUS)
+
+    def adopt_variable(self, var: Variable) -> Variable:
+        """Register an externally constructed variable with this model."""
+        if var.index is not None and var.index < len(self._variables) and (
+            self._variables[var.index] is var
+        ):
+            return var
+        var.index = len(self._variables)
+        self._variables.append(var)
+        return var
+
+    @property
+    def variables(self) -> Sequence[Variable]:
+        return tuple(self._variables)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    @property
+    def num_binary(self) -> int:
+        return sum(1 for v in self._variables if v.vtype is VarType.BINARY)
+
+    # -- constraints -----------------------------------------------------------
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Register a constraint (built with <=, >=, == on expressions)."""
+        if not isinstance(constraint, Constraint):
+            raise ModelError(
+                "expected a Constraint; did you compare two numbers instead of "
+                "expressions?"
+            )
+        if name:
+            constraint.name = name
+        if constraint.is_trivial():
+            if not constraint.trivially_satisfied():
+                raise ModelError(
+                    f"constraint {constraint.name or constraint!r} is trivially "
+                    "infeasible"
+                )
+            return constraint  # satisfied constants need not be stored
+        for var in constraint.lhs.variables():
+            self._check_owned(var)
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_constraints(self, constraints: Iterable[Constraint]) -> None:
+        """Register several constraints."""
+        for constraint in constraints:
+            self.add_constraint(constraint)
+
+    @property
+    def constraints(self) -> Sequence[Constraint]:
+        return tuple(self._constraints)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    def _check_owned(self, var: Variable) -> None:
+        idx = var.index
+        if idx is None or idx >= len(self._variables) or self._variables[idx] is not var:
+            raise ModelError(
+                f"variable {var.name!r} does not belong to model {self.name!r}"
+            )
+
+    # -- objective --------------------------------------------------------------
+    def set_objective(self, expr: LinExpr | Variable | float, minimize: bool = True) -> None:
+        """Set the objective.  The paper's Eq. (3) leaves this Null."""
+        if isinstance(expr, Variable):
+            expr = LinExpr.from_term(expr)
+        elif isinstance(expr, (int, float)):
+            expr = LinExpr.constant_expr(expr)
+        for var in expr.variables():
+            self._check_owned(var)
+        self._objective = expr
+        self._minimize = minimize
+
+    @property
+    def objective(self) -> LinExpr:
+        return self._objective
+
+    @property
+    def minimize(self) -> bool:
+        return self._minimize
+
+    def has_objective(self) -> bool:
+        """Whether a non-constant objective was set (else: feasibility model)."""
+        return not self._objective.is_constant()
+
+    # -- transformations ----------------------------------------------------------
+    def fix_variable(self, var: Variable, value: float) -> None:
+        """Pin ``var`` to ``value`` by collapsing its bounds.
+
+        Used for the paper's pre-mapping step (LP values > 0.95 become 1)
+        and for freezing critical-path operations.
+        """
+        self._check_owned(var)
+        if value < var.lb - 1e-9 or value > var.ub + 1e-9:
+            raise ModelError(
+                f"cannot fix {var.name!r} to {value}: outside bounds "
+                f"[{var.lb}, {var.ub}]"
+            )
+        if var.vtype is not VarType.CONTINUOUS and abs(value - round(value)) > 1e-9:
+            raise ModelError(f"cannot fix discrete {var.name!r} to fractional {value}")
+        var.lb = var.ub = float(value)
+        self._fixed[var] = float(value)
+
+    @property
+    def fixed_variables(self) -> dict[Variable, float]:
+        return dict(self._fixed)
+
+    def relaxed(self) -> "Model":
+        """Return the LP relaxation sharing this model's Variable objects.
+
+        Discrete domains become continuous with identical bounds.  Because
+        Variable objects are shared, solutions of the relaxation index
+        directly into the original variables; the relaxation records the
+        original types so :meth:`restore_types` can undo it.
+        """
+        relaxation = Model(f"{self.name}.lp_relaxation")
+        relaxation._variables = self._variables
+        relaxation._constraints = self._constraints
+        relaxation._objective = self._objective
+        relaxation._minimize = self._minimize
+        relaxation._fixed = dict(self._fixed)
+        relaxation._saved_types = {  # type: ignore[attr-defined]
+            v: v.vtype for v in self._variables if v.vtype is not VarType.CONTINUOUS
+        }
+        for var in relaxation._saved_types:  # type: ignore[attr-defined]
+            var.vtype = VarType.CONTINUOUS
+        return relaxation
+
+    def restore_types(self) -> None:
+        """Undo a :meth:`relaxed` transformation (no-op on a base model)."""
+        saved = getattr(self, "_saved_types", None)
+        if saved:
+            for var, vtype in saved.items():
+                var.vtype = vtype
+            saved.clear()
+
+    # -- compilation ------------------------------------------------------------
+    def to_matrix_form(self) -> MatrixForm:
+        """Compile to the sparse standard form consumed by backends."""
+        n = len(self._variables)
+        rows: list[int] = []
+        cols: list[int] = []
+        data: list[float] = []
+        senses: list[Sense] = []
+        rhs: list[float] = []
+        for row, constraint in enumerate(self._constraints):
+            for var, coeff in constraint.lhs.terms.items():
+                if coeff == 0.0:
+                    continue
+                rows.append(row)
+                cols.append(var.index)  # type: ignore[arg-type]
+                data.append(coeff)
+            senses.append(constraint.sense)
+            rhs.append(constraint.rhs)
+        a_matrix = sparse.csr_matrix(
+            (data, (rows, cols)), shape=(len(self._constraints), n)
+        )
+        lower = np.array([v.lb for v in self._variables], dtype=float)
+        upper = np.array([v.ub for v in self._variables], dtype=float)
+        integrality = np.array(
+            [0 if v.vtype is VarType.CONTINUOUS else 1 for v in self._variables],
+            dtype=np.int8,
+        )
+        objective = np.zeros(n, dtype=float)
+        for var, coeff in self._objective.terms.items():
+            objective[var.index] = coeff  # type: ignore[index]
+        if not self._minimize:
+            objective = -objective
+        return MatrixForm(
+            variables=list(self._variables),
+            a_matrix=a_matrix,
+            senses=senses,
+            rhs=np.array(rhs, dtype=float),
+            lower=lower,
+            upper=upper,
+            integrality=integrality,
+            objective=objective,
+        )
+
+    # -- solving ------------------------------------------------------------------
+    def solve(self, backend=None, **options) -> Solution:
+        """Solve with ``backend`` (default: the scipy/HiGHS backend)."""
+        if backend is None:
+            from repro.milp.scipy_backend import ScipyBackend
+
+            backend = ScipyBackend()
+        solution = backend.solve(self, **options)
+        if solution.status.has_solution and not self._minimize and self.has_objective():
+            solution.objective = -solution.objective
+        return solution
+
+    def check_solution(self, solution: Solution, tol: float = 1e-5) -> list[Constraint]:
+        """Return the constraints violated by ``solution`` (for debugging)."""
+        if not solution.status.has_solution:
+            raise ModelError("cannot check a solution-less result")
+        return [c for c in self._constraints if not c.satisfied_by(solution.values, tol)]
+
+    def __repr__(self) -> str:
+        return (
+            f"Model({self.name!r}, vars={self.num_variables} "
+            f"(bin={self.num_binary}), cons={self.num_constraints})"
+        )

@@ -1,0 +1,156 @@
+"""LP-relaxation rounding strategies for the two-step MILP method.
+
+The paper (Section V-B, Step 1) relaxes the binary assignment variables
+``OP_ijk`` to ``[0, 1]``, solves the LP, then **fixes to 1 every variable
+whose LP value exceeds 0.95** before re-solving the remainder as an ILP.
+The authors note they "did try other well-known approaches such as
+randomized rounding, but they did not work as well" — both strategies are
+implemented here so the comparison is reproducible
+(``benchmarks/bench_ablation_rounding.py``).
+
+Strategies operate on *assignment groups*: for each operation, the list of
+binary variables (one per candidate PE) that must sum to one.  Fixing any
+member to 1 implies the rest of the group is 0, which the strategies also
+apply so the follow-up ILP shrinks as much as possible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.errors import ModelError
+from repro.milp.expr import Variable
+from repro.milp.model import Model
+from repro.milp.status import Solution
+
+#: The paper's pre-mapping threshold.
+DEFAULT_FIX_THRESHOLD = 0.95
+
+
+@dataclass
+class RoundingReport:
+    """What a rounding pass did, for logging and the ablation benches."""
+
+    groups_total: int = 0
+    groups_fixed: int = 0
+    variables_fixed_one: int = 0
+    variables_fixed_zero: int = 0
+    strategy: str = ""
+    details: dict = field(default_factory=dict)
+
+    @property
+    def fraction_fixed(self) -> float:
+        """Share of assignment groups decided by the LP alone."""
+        if self.groups_total == 0:
+            return 0.0
+        return self.groups_fixed / self.groups_total
+
+
+def threshold_fix(
+    model: Model,
+    groups: Sequence[Sequence[Variable]],
+    lp_solution: Solution,
+    threshold: float = DEFAULT_FIX_THRESHOLD,
+) -> RoundingReport:
+    """Fix to 1 every group member whose LP value exceeds ``threshold``.
+
+    This is the paper's strategy.  At most one member per group can exceed
+    a threshold above 0.5 (the group sums to 1), so no conflicts can arise.
+    Remaining members of a fixed group are pinned to 0.
+    """
+    if not 0.5 < threshold <= 1.0:
+        raise ModelError(f"threshold must lie in (0.5, 1.0], got {threshold}")
+    report = RoundingReport(groups_total=len(groups), strategy="threshold")
+    for group in groups:
+        winner = None
+        for var in group:
+            if lp_solution.value(var, 0.0) > threshold:
+                winner = var
+                break
+        if winner is None:
+            continue
+        _fix_group(model, group, winner, report)
+    return report
+
+
+def randomized_round(
+    model: Model,
+    groups: Sequence[Sequence[Variable]],
+    lp_solution: Solution,
+    rng: random.Random,
+    min_mass: float = 0.5,
+) -> RoundingReport:
+    """Randomized rounding: sample each group's winner ∝ its LP mass.
+
+    Groups whose largest LP value is below ``min_mass`` are left to the ILP
+    (sampling from a near-uniform distribution would be noise, and this is
+    still *more* aggressive than the paper's strategy — matching the
+    comparison the authors describe).
+    """
+    report = RoundingReport(groups_total=len(groups), strategy="randomized")
+    for group in groups:
+        masses = [max(0.0, lp_solution.value(var, 0.0)) for var in group]
+        total = sum(masses)
+        if total <= 0.0 or max(masses) < min_mass:
+            continue
+        pick = rng.random() * total
+        cumulative = 0.0
+        winner = group[-1]
+        for var, mass in zip(group, masses):
+            cumulative += mass
+            if pick <= cumulative:
+                winner = var
+                break
+        _fix_group(model, group, winner, report)
+    return report
+
+
+def _fix_group(
+    model: Model,
+    group: Sequence[Variable],
+    winner: Variable,
+    report: RoundingReport,
+) -> None:
+    """Pin ``winner`` to 1 and all other group members to 0."""
+    model.fix_variable(winner, 1.0)
+    report.variables_fixed_one += 1
+    for var in group:
+        if var is winner:
+            continue
+        model.fix_variable(var, 0.0)
+        report.variables_fixed_zero += 1
+    report.groups_fixed += 1
+
+
+def extract_assignment(
+    groups: Mapping[object, Sequence[tuple[Variable, object]]],
+    solution: Solution,
+    tol: float = 1e-4,
+) -> dict:
+    """Decode one-hot assignment groups from a solved model.
+
+    Parameters
+    ----------
+    groups:
+        ``{key: [(variable, payload), ...]}`` — e.g. key = operation,
+        payload = candidate PE.
+    solution:
+        A solution with (near-)integral values for the group variables.
+
+    Returns
+    -------
+    dict
+        ``{key: payload}`` for the member of each group valued at 1.
+    """
+    decoded = {}
+    for key, members in groups.items():
+        chosen = [payload for var, payload in members if solution.value(var, 0.0) > 1 - tol]
+        if len(chosen) != 1:
+            raise ModelError(
+                f"assignment group {key!r} decoded to {len(chosen)} winners "
+                "(expected exactly 1); solution is not integral"
+            )
+        decoded[key] = chosen[0]
+    return decoded

@@ -1,0 +1,178 @@
+"""HiGHS solver backend via :func:`scipy.optimize.milp`.
+
+This stands in for the CPLEX backend the paper used.  HiGHS is an exact
+branch-and-cut MILP solver; for pure LPs (e.g. the relaxation used in the
+paper's two-step method) it reduces to the HiGHS dual simplex.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.errors import SolverError
+from repro.milp.constraint import Sense
+from repro.milp.model import Model
+from repro.milp.status import Solution, SolveStatus
+
+#: Map HiGHS/scipy status codes to our :class:`SolveStatus`.
+_STATUS_MAP = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.FEASIBLE,  # iteration/time limit with incumbent (checked below)
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ERROR,
+}
+
+
+class ScipyBackend:
+    """Solve models with scipy's HiGHS bindings.
+
+    Parameters
+    ----------
+    time_limit:
+        Wall-clock limit in seconds passed to HiGHS (None = unlimited).
+    mip_rel_gap:
+        Relative MIP gap at which HiGHS may stop (None = solver default).
+    """
+
+    def __init__(self, time_limit: float | None = None, mip_rel_gap: float | None = None):
+        self.time_limit = time_limit
+        self.mip_rel_gap = mip_rel_gap
+
+    def solve(self, model: Model, **options) -> Solution:
+        """Solve ``model``; per-call ``options`` override constructor values."""
+        form = model.to_matrix_form()
+        n = len(form.variables)
+        if n == 0:
+            return Solution(status=SolveStatus.OPTIMAL, objective=0.0, values={})
+
+        lower = np.full(len(form.senses), -np.inf)
+        upper = np.full(len(form.senses), np.inf)
+        for row, sense in enumerate(form.senses):
+            if sense is Sense.LE:
+                upper[row] = form.rhs[row]
+            elif sense is Sense.GE:
+                lower[row] = form.rhs[row]
+            else:
+                lower[row] = upper[row] = form.rhs[row]
+
+        milp_options: dict = {}
+        time_limit = options.get("time_limit", self.time_limit)
+        if time_limit is not None:
+            milp_options["time_limit"] = float(time_limit)
+        mip_rel_gap = options.get("mip_rel_gap", self.mip_rel_gap)
+        if mip_rel_gap is not None:
+            milp_options["mip_rel_gap"] = float(mip_rel_gap)
+
+        constraints = []
+        if form.a_matrix.shape[0]:
+            constraints.append(LinearConstraint(form.a_matrix, lower, upper))
+
+        if not form.integrality.any():
+            # Pure LP (e.g. the two-step method's relaxation): HiGHS's
+            # interior-point method is several times faster than the
+            # branch-and-cut entry point on these transportation-like LPs.
+            return self._solve_lp(form, lower, upper, time_limit)
+
+        started = time.perf_counter()
+        try:
+            result = milp(
+                c=form.objective,
+                constraints=constraints,
+                integrality=form.integrality,
+                bounds=Bounds(form.lower, form.upper),
+                options=milp_options,
+            )
+        except Exception as exc:  # scipy raises ValueError on malformed input
+            raise SolverError(f"HiGHS backend failure: {exc}") from exc
+        elapsed = time.perf_counter() - started
+
+        status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
+        if status is SolveStatus.FEASIBLE and result.x is None:
+            # Limit hit without an incumbent: report as an error distinct
+            # from proven infeasibility so callers can retry with more time.
+            return Solution(
+                status=SolveStatus.ERROR,
+                solve_seconds=elapsed,
+                message=f"limit reached without incumbent: {result.message}",
+            )
+        if not status.has_solution:
+            return Solution(status=status, solve_seconds=elapsed, message=result.message)
+
+        values = {var: float(result.x[i]) for i, var in enumerate(form.variables)}
+        objective = float(form.objective @ result.x)
+        return Solution(
+            status=status,
+            objective=objective,
+            values=values,
+            solve_seconds=elapsed,
+            message=result.message,
+        )
+
+    def _solve_lp(self, form, lower, upper, time_limit) -> Solution:
+        """Pure-LP fast path through linprog/HiGHS-IPM."""
+        import numpy as np
+        from scipy import sparse
+        from scipy.optimize import linprog
+
+        from repro.milp.constraint import Sense as _Sense
+
+        a_ub_rows, b_ub, a_eq_rows, b_eq = [], [], [], []
+        for row, sense in enumerate(form.senses):
+            coeffs = form.a_matrix.getrow(row)
+            if sense is _Sense.LE:
+                a_ub_rows.append(coeffs)
+                b_ub.append(form.rhs[row])
+            elif sense is _Sense.GE:
+                a_ub_rows.append(-coeffs)
+                b_ub.append(-form.rhs[row])
+            else:
+                a_eq_rows.append(coeffs)
+                b_eq.append(form.rhs[row])
+        kwargs: dict = {}
+        if a_ub_rows:
+            kwargs["A_ub"] = sparse.vstack(a_ub_rows, format="csr")
+            kwargs["b_ub"] = np.array(b_ub)
+        if a_eq_rows:
+            kwargs["A_eq"] = sparse.vstack(a_eq_rows, format="csr")
+            kwargs["b_eq"] = np.array(b_eq)
+        options: dict = {}
+        if time_limit is not None:
+            options["time_limit"] = float(time_limit)
+        started = time.perf_counter()
+        result = linprog(
+            form.objective,
+            bounds=np.column_stack([form.lower, form.upper]),
+            method="highs-ipm",
+            options=options,
+            **kwargs,
+        )
+        if result.status == 1 or result.x is None and result.status == 0:
+            # Iteration/time limit: retry once with dual simplex, which can
+            # return a feasible basis where IPM stalls.
+            result = linprog(
+                form.objective,
+                bounds=np.column_stack([form.lower, form.upper]),
+                method="highs",
+                options=options,
+                **kwargs,
+            )
+        elapsed = time.perf_counter() - started
+        status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
+        if not status.has_solution or result.x is None:
+            if status is SolveStatus.FEASIBLE:
+                status = SolveStatus.ERROR
+            return Solution(
+                status=status, solve_seconds=elapsed, message=result.message
+            )
+        values = {var: float(result.x[i]) for i, var in enumerate(form.variables)}
+        return Solution(
+            status=SolveStatus.OPTIMAL,
+            objective=float(form.objective @ result.x),
+            values=values,
+            solve_seconds=elapsed,
+            message=result.message,
+        )

@@ -1,0 +1,84 @@
+"""Solve statuses and solution objects returned by solver backends."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ModelError
+from repro.milp.expr import Variable
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solve call.
+
+    ``OPTIMAL``    — proven optimal (or feasible for pure feasibility models).
+    ``FEASIBLE``   — a feasible incumbent exists but optimality is unproven
+                     (e.g. node/iteration limit hit).
+    ``INFEASIBLE`` — proven infeasible.
+    ``UNBOUNDED``  — objective unbounded.
+    ``ERROR``      — backend failure unrelated to the model's mathematics.
+    """
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+    @property
+    def has_solution(self) -> bool:
+        """Whether variable values are available."""
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+@dataclass
+class Solution:
+    """Result of solving a model.
+
+    Attributes
+    ----------
+    status:
+        The :class:`SolveStatus` of the solve.
+    objective:
+        Objective value at the returned point (0.0 for feasibility models,
+        ``nan`` when no solution exists).
+    values:
+        Mapping from :class:`Variable` to its value.  Empty when
+        ``status.has_solution`` is false.
+    solve_seconds:
+        Wall-clock time spent inside the backend.
+    message:
+        Free-form backend diagnostics.
+    """
+
+    status: SolveStatus
+    objective: float = float("nan")
+    values: Mapping[Variable, float] = field(default_factory=dict)
+    solve_seconds: float = 0.0
+    message: str = ""
+
+    def __getitem__(self, var: Variable) -> float:
+        if not self.status.has_solution:
+            raise ModelError(f"no solution available (status={self.status.value})")
+        try:
+            return self.values[var]
+        except KeyError as exc:
+            raise ModelError(f"variable {var.name!r} not in solution") from exc
+
+    def value(self, var: Variable, default: float | None = None) -> float:
+        """Value of ``var``; ``default`` if the variable is not in the solution."""
+        if var in self.values:
+            return self.values[var]
+        if default is None:
+            raise ModelError(f"variable {var.name!r} not in solution")
+        return default
+
+    def rounded(self, var: Variable, tol: float = 1e-6) -> int:
+        """Integer value of a discrete variable, validating integrality."""
+        raw = self[var]
+        nearest = round(raw)
+        if abs(raw - nearest) > tol:
+            raise ModelError(f"variable {var.name!r} has non-integral value {raw}")
+        return int(nearest)

@@ -1,0 +1,32 @@
+"""Aging-unaware placement (the back half of the Musketeer substitute).
+
+Constructive corner-packing placement plus simulated-annealing refinement,
+with bounding-box + wirelength objectives matching the commercial tool's
+behaviour described in the paper's Phase 1.
+"""
+
+from repro.place.annealing import AnnealingConfig, ContextAnnealer, anneal_placement
+from repro.place.baseline import BaselinePlacer, BaselinePlacerConfig, place_baseline
+from repro.place.cost import (
+    PlacementCost,
+    bounding_box,
+    bounding_box_area,
+    edge_positions,
+    wirelength,
+)
+from repro.place.greedy import greedy_place
+
+__all__ = [
+    "AnnealingConfig",
+    "BaselinePlacer",
+    "BaselinePlacerConfig",
+    "ContextAnnealer",
+    "PlacementCost",
+    "anneal_placement",
+    "bounding_box",
+    "bounding_box_area",
+    "edge_positions",
+    "greedy_place",
+    "place_baseline",
+    "wirelength",
+]

@@ -1,0 +1,180 @@
+"""Simulated-annealing refinement of a constructive placement.
+
+A light per-context SA pass that reduces wirelength (the timing proxy)
+while keeping the aging-unaware character of the baseline: the cost keeps
+the bounding-box term, so solutions stay packed.
+
+Moves: relocate an op to a free PE, or swap two ops within the context.
+The evaluation is incremental — only wires incident to the moved ops are
+re-measured.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.arch.context import Floorplan
+from repro.arch.fabric import Fabric
+from repro.hls.allocate import MappedDesign
+from repro.place.cost import bounding_box_area
+
+
+@dataclass
+class AnnealingConfig:
+    """Knobs for the SA pass.
+
+    Defaults are sized for the evaluation fabrics (up to 16x16): a few
+    thousand proposals per context, geometric cooling.
+    """
+
+    moves_per_op: int = 60
+    initial_temperature: float = 1.0
+    cooling: float = 0.80
+    steps_per_temperature: int = 64
+    bbox_weight: float = 2.0
+    seed: int = 2020
+
+
+class ContextAnnealer:
+    """SA optimiser for one context of a floorplan."""
+
+    def __init__(
+        self,
+        design: MappedDesign,
+        floorplan: Floorplan,
+        context: int,
+        config: AnnealingConfig,
+        rng: random.Random,
+    ) -> None:
+        self.design = design
+        self.floorplan = floorplan
+        self.context = context
+        self.config = config
+        self.rng = rng
+        self.fabric: Fabric = floorplan.fabric
+        self.ops = [op.op_id for op in design.ops_in_context(context)]
+        self._build_incidence()
+
+    def _build_incidence(self) -> None:
+        """Wires incident to each movable op, with fixed-or-movable endpoints.
+
+        Each entry is ``(other_end, movable)`` where ``other_end`` is an op
+        id when ``movable`` else a fixed coordinate.
+        """
+        in_context = set(self.ops)
+        self.incident: dict[int, list[tuple[object, bool]]] = {
+            op: [] for op in self.ops
+        }
+        for src, dst in self.design.compute_edges:
+            if src in in_context and dst in in_context:
+                self.incident[src].append((dst, True))
+                self.incident[dst].append((src, True))
+            elif src in in_context:
+                self.incident[src].append((self._pos_of(dst), False))
+            elif dst in in_context:
+                self.incident[dst].append((self._pos_of(src), False))
+        for ordinal, dst in self.design.input_edges:
+            if dst in in_context:
+                pad = self.fabric.input_pad(ordinal)
+                self.incident[dst].append(((pad.row, pad.col), False))
+        for src, ordinal in self.design.output_edges:
+            if src in in_context:
+                pad = self.fabric.output_pad(ordinal)
+                self.incident[src].append(((pad.row, pad.col), False))
+
+    def _pos_of(self, op_id: int) -> tuple[float, float]:
+        row, col = self.floorplan.position_of(op_id)
+        return (float(row), float(col))
+
+    def _op_cost(self, op_id: int, position: tuple[float, float]) -> float:
+        """Wirelength of wires incident to ``op_id`` were it at ``position``."""
+        total = 0.0
+        for other, movable in self.incident[op_id]:
+            if movable:
+                other_pos = self._pos_of(other)  # type: ignore[arg-type]
+            else:
+                other_pos = other  # type: ignore[assignment]
+            total += abs(position[0] - other_pos[0]) + abs(position[1] - other_pos[1])
+        return total
+
+    def _bbox(self) -> float:
+        positions = [self._pos_of(op) for op in self.ops]
+        return bounding_box_area(positions) if positions else 0.0
+
+    def run(self) -> None:
+        """Anneal this context in place."""
+        if len(self.ops) < 2:
+            return
+        config = self.config
+        occupied = {self.floorplan.pe_of[op] for op in self.ops}
+        free = [k for k in range(self.fabric.num_pes) if k not in occupied]
+        temperature = config.initial_temperature
+        total_moves = config.moves_per_op * len(self.ops)
+        steps_done = 0
+        bbox_cached = self._bbox()
+        while steps_done < total_moves:
+            for _ in range(config.steps_per_temperature):
+                steps_done += 1
+                if steps_done > total_moves:
+                    break
+                if free and self.rng.random() < 0.5:
+                    accepted = self._try_relocate(free, temperature, bbox_cached)
+                else:
+                    accepted = self._try_swap(temperature)
+                if accepted:
+                    bbox_cached = self._bbox()
+            temperature = max(temperature * config.cooling, 1e-3)
+
+    def _metropolis(self, delta: float, temperature: float) -> bool:
+        if delta <= 0:
+            return True
+        return self.rng.random() < math.exp(-delta / temperature)
+
+    def _try_relocate(
+        self, free: list[int], temperature: float, bbox_before: float
+    ) -> bool:
+        op = self.rng.choice(self.ops)
+        slot_index = self.rng.randrange(len(free))
+        new_pe = free[slot_index]
+        old_pe = self.floorplan.pe_of[op]
+        new_pos = (float(self.fabric.pe(new_pe).row), float(self.fabric.pe(new_pe).col))
+        old_cost = self._op_cost(op, self._pos_of(op))
+        new_cost = self._op_cost(op, new_pos)
+        # Bounding-box delta requires the tentative move.
+        self.floorplan.rebind(op, new_pe)
+        bbox_after = self._bbox()
+        delta = (new_cost - old_cost) + self.config.bbox_weight * (
+            bbox_after - bbox_before
+        )
+        if self._metropolis(delta, temperature):
+            free[slot_index] = old_pe
+            return True
+        self.floorplan.rebind(op, old_pe)
+        return False
+
+    def _try_swap(self, temperature: float) -> bool:
+        op_a, op_b = self.rng.sample(self.ops, 2)
+        pos_a, pos_b = self._pos_of(op_a), self._pos_of(op_b)
+        old_cost = self._op_cost(op_a, pos_a) + self._op_cost(op_b, pos_b)
+        new_cost = self._op_cost(op_a, pos_b) + self._op_cost(op_b, pos_a)
+        # Swapping cannot change the bounding box.
+        if not self._metropolis(new_cost - old_cost, temperature):
+            return False
+        self.floorplan.swap(op_a, op_b)
+        return True
+
+
+def anneal_placement(
+    design: MappedDesign,
+    floorplan: Floorplan,
+    config: AnnealingConfig | None = None,
+) -> Floorplan:
+    """Refine ``floorplan`` in place with per-context SA; returns it."""
+    config = config or AnnealingConfig()
+    rng = random.Random(config.seed)
+    for context in range(floorplan.num_contexts):
+        ContextAnnealer(design, floorplan, context, config, rng).run()
+    floorplan.validate()
+    return floorplan

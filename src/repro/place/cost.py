@@ -1,0 +1,88 @@
+"""Placement cost functions: bounding box, wirelength, timing proxy.
+
+The paper describes Musketeer's objective as "minimiz[ing] the bounding box
+area of the used PEs while meeting the specified timing constraints"
+(Phase 1).  These cost terms reproduce that objective; the important
+emergent behaviour is that *every context independently packs into the same
+compact corner region*, concentrating stress on the same PEs — the
+pathology the aging-aware re-mapper corrects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.arch.fabric import Fabric
+
+
+def bounding_box(positions: Iterable[tuple[float, float]]) -> tuple[float, float, float, float]:
+    """(min_row, min_col, max_row, max_col) of a set of positions."""
+    rows: list[float] = []
+    cols: list[float] = []
+    for row, col in positions:
+        rows.append(row)
+        cols.append(col)
+    if not rows:
+        return (0.0, 0.0, 0.0, 0.0)
+    return (min(rows), min(cols), max(rows), max(cols))
+
+
+def bounding_box_area(positions: Iterable[tuple[float, float]]) -> float:
+    """Area (in PE cells) of the bounding box enclosing ``positions``.
+
+    Empty input has zero area; a single PE occupies one cell.
+    """
+    positions = list(positions)
+    if not positions:
+        return 0.0
+    min_r, min_c, max_r, max_c = bounding_box(positions)
+    return (max_r - min_r + 1.0) * (max_c - min_c + 1.0)
+
+
+def wirelength(
+    edges: Sequence[tuple[tuple[float, float], tuple[float, float]]],
+) -> float:
+    """Total Manhattan wirelength over point-to-point edges."""
+    return sum(
+        abs(a[0] - b[0]) + abs(a[1] - b[1])
+        for a, b in edges
+    )
+
+
+def edge_positions(
+    edges: Sequence[tuple[int, int]],
+    position_of: Mapping[int, tuple[float, float]],
+) -> list[tuple[tuple[float, float], tuple[float, float]]]:
+    """Resolve (src, dst) id pairs to coordinate pairs, skipping unplaced."""
+    resolved = []
+    for src, dst in edges:
+        if src in position_of and dst in position_of:
+            resolved.append((position_of[src], position_of[dst]))
+    return resolved
+
+
+class PlacementCost:
+    """Weighted aging-unaware placement cost.
+
+    ``cost = wl_weight * wirelength + bbox_weight * bounding_box_area``
+
+    Wirelength doubles as the timing proxy during annealing: with linear
+    buffered-wire delay, shrinking the longest wires and shrinking total
+    wirelength are strongly correlated.  A full STA pass validates CPD
+    after placement (see :mod:`repro.timing`).
+    """
+
+    def __init__(self, wl_weight: float = 1.0, bbox_weight: float = 2.0) -> None:
+        self.wl_weight = wl_weight
+        self.bbox_weight = bbox_weight
+
+    def evaluate(
+        self,
+        fabric: Fabric,
+        op_positions: Mapping[int, tuple[float, float]],
+        edges: Sequence[tuple[tuple[float, float], tuple[float, float]]],
+    ) -> float:
+        """Total cost of one context's placement."""
+        wl = wirelength(edges)
+        area = bounding_box_area(op_positions.values()) if op_positions else 0.0
+        return self.wl_weight * wl + self.bbox_weight * area

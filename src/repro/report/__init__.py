@@ -1,0 +1,30 @@
+"""Reporting: tables, ASCII figures, paper reference values, experiment CLI."""
+
+from repro.report.figures import ascii_curve, bar_chart, series_csv, stress_grid
+from repro.report.paper import (
+    BenchmarkMeasurement,
+    ShapeCheck,
+    TABLE_HEADERS,
+    class_averages,
+    paper_class_averages,
+    paper_reference_rows,
+    shape_checks,
+)
+from repro.report.tables import format_csv, format_mapping, format_table
+
+__all__ = [
+    "BenchmarkMeasurement",
+    "ShapeCheck",
+    "TABLE_HEADERS",
+    "ascii_curve",
+    "bar_chart",
+    "class_averages",
+    "format_csv",
+    "format_mapping",
+    "format_table",
+    "paper_class_averages",
+    "paper_reference_rows",
+    "series_csv",
+    "shape_checks",
+    "stress_grid",
+]

@@ -1,0 +1,228 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Command-line usage (also installed as ``repro-experiments``)::
+
+    python -m repro.report.experiments table1 [--scale quick|paper] [--only B13 ...]
+    python -m repro.report.experiments fig5  [--scale quick|paper]
+    python -m repro.report.experiments fig2a
+    python -m repro.report.experiments fig2b [--bench B13]
+
+Scales
+------
+``quick``  caps fabrics at 8x8 via :meth:`Table1Entry.scaled` (minutes on a
+laptop); ``paper`` runs the verbatim Table I configurations (hours for the
+16x16 entries).  Both exercise the identical code path — only problem size
+changes.  EXPERIMENTS.md records measured-vs-published values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.benchgen.suite import TABLE1, Table1Entry
+from repro.benchgen.synth import build_benchmark
+from repro.core.algorithm1 import Algorithm1Config
+from repro.core.flow import AgingAwareFlow, FlowConfig
+from repro.core.remap import RemapConfig
+from repro.report.figures import ascii_curve, bar_chart, series_csv, stress_grid
+from repro.report.paper import (
+    BenchmarkMeasurement,
+    TABLE_HEADERS,
+    class_averages,
+    paper_class_averages,
+    shape_checks,
+)
+from repro.report.tables import format_table
+
+#: Fabric cap of the quick profile.
+QUICK_MAX_FABRIC = 8
+
+
+@dataclass
+class ExperimentConfig:
+    """How to run a suite experiment."""
+
+    scale: str = "quick"  # "quick" | "paper"
+    seed: int = 0
+    only: list[str] = field(default_factory=list)
+    time_limit_s: float = 180.0
+
+    def suite(self) -> list[Table1Entry]:
+        entries = [
+            e for e in TABLE1 if not self.only or e.name in self.only
+        ]
+        if self.scale == "quick":
+            entries = [e.scaled(QUICK_MAX_FABRIC) for e in entries]
+        elif self.scale != "paper":
+            raise ValueError(f"unknown scale {self.scale!r}")
+        return entries
+
+
+def flow_config(
+    mode: str, time_limit_s: float, max_iterations: int = 12
+) -> FlowConfig:
+    """Standard experiment flow configuration for one re-mapping mode."""
+    return FlowConfig(
+        algorithm1=Algorithm1Config(
+            mode=mode,
+            max_iterations=max_iterations,
+            remap=RemapConfig(time_limit_s=time_limit_s),
+        )
+    )
+
+
+def measure_benchmark(
+    entry: Table1Entry, config: ExperimentConfig
+) -> BenchmarkMeasurement:
+    """Run Phase 1 once and Phase 2 in both modes for one benchmark.
+
+    Phase 1 (placement + baseline evaluation) is mode-independent, so it
+    is shared between the Freeze and Rotate measurements — exactly as in
+    the paper, where both columns start from the same Musketeer floorplan.
+    """
+    from repro.aging.mttf import mttf_increase as compute_increase
+
+    design, fabric = build_benchmark(entry.spec(config.seed))
+    increases: dict[str, float] = {}
+    baseline_flow = AgingAwareFlow(flow_config("freeze", config.time_limit_s))
+    original = baseline_flow.phase1(design, fabric)
+    for mode in ("freeze", "rotate"):
+        flow = AgingAwareFlow(flow_config(mode, config.time_limit_s))
+        remapped, remap = flow.phase2(design, fabric, original)
+        if remap.final_cpd_ns > remap.original_cpd_ns + 1e-6:
+            raise AssertionError(
+                f"{entry.name}/{mode}: CPD increased — invariant broken"
+            )
+        increases[mode] = compute_increase(original.mttf, remapped.mttf)
+    return BenchmarkMeasurement(
+        entry=entry,
+        freeze_increase=increases["freeze"],
+        rotate_increase=increases["rotate"],
+    )
+
+
+def run_table1(config: ExperimentConfig, log=print) -> list[BenchmarkMeasurement]:
+    """Regenerate Table I (measured vs published)."""
+    measurements: list[BenchmarkMeasurement] = []
+    for entry in config.suite():
+        started = time.perf_counter()
+        measurement = measure_benchmark(entry, config)
+        measurements.append(measurement)
+        log(
+            f"{entry.name}: freeze {measurement.freeze_increase:.2f}x "
+            f"(paper {entry.freeze_ref:.2f}) rotate "
+            f"{measurement.rotate_increase:.2f}x (paper {entry.rotate_ref:.2f}) "
+            f"[{time.perf_counter() - started:.1f}s]"
+        )
+    log("")
+    log(format_table(TABLE_HEADERS, [m.row() for m in measurements]))
+    log("")
+    measured_avg = class_averages(measurements)
+    published_avg = paper_class_averages()
+    rows = []
+    for usage, (freeze, rotate) in measured_avg.items():
+        p_freeze, p_rotate = published_avg[usage]
+        rows.append([usage, freeze, p_freeze, rotate, p_rotate])
+    log(format_table(
+        ["usage", "freeze avg", "paper", "rotate avg", "paper"], rows
+    ))
+    log("")
+    for check in shape_checks(measurements):
+        status = "PASS" if check.holds else "MISS"
+        log(f"[{status}] {check.name}: {check.detail}")
+    return measurements
+
+
+def run_fig5(config: ExperimentConfig, log=print) -> None:
+    """Regenerate Fig. 5: grouped bars by C/F group and usage class."""
+    measurements = run_table1(config, log=lambda *_: None)
+    groups: list[str] = []
+    series: dict[str, list[float | None]] = {
+        "low": [], "medium": [], "high": []
+    }
+    for entry in config.suite():
+        if entry.group not in groups:
+            groups.append(entry.group)
+    by_key = {
+        (m.entry.group, m.entry.usage_class): m.rotate_increase
+        for m in measurements
+    }
+    for group in groups:
+        for usage in series:
+            series[usage].append(by_key.get((group, usage)))
+    log("MTTF increase (x) by fabric group — Fig. 5")
+    log(bar_chart(groups, series))
+
+
+def run_fig2a(log=print) -> None:
+    """Regenerate Fig. 2(a): accumulated stress grids before/after."""
+    from repro.benchgen.suite import entry as suite_entry
+
+    design, fabric = build_benchmark(suite_entry("B1").spec())
+    flow = AgingAwareFlow(flow_config("rotate", 60.0))
+    result = flow.run(design, fabric)
+    log("Original accumulated stress (ns) — aging-unaware floorplan:")
+    log(stress_grid(fabric, result.original.stress.accumulated_ns))
+    log(f"max = {result.original.stress.max_accumulated_ns:.2f} ns")
+    log("")
+    log("Re-mapped accumulated stress (ns) — aging-aware floorplan:")
+    log(stress_grid(fabric, result.remapped.stress.accumulated_ns))
+    log(f"max = {result.remapped.stress.max_accumulated_ns:.2f} ns")
+
+
+def run_fig2b(bench: str = "B13", log=print, csv: bool = False) -> None:
+    """Regenerate Fig. 2(b): Vth shift vs time, original vs re-mapped."""
+    from repro.aging.mttf import vth_curve
+    from repro.benchgen.suite import entry as suite_entry
+
+    design, fabric = build_benchmark(suite_entry(bench).scaled(8).spec())
+    flow = AgingAwareFlow(flow_config("rotate", 120.0))
+    result = flow.run(design, fabric)
+    horizon = 1.3 * result.remapped.mttf.mttf_s
+    original = vth_curve(result.original.mttf, "original", horizon_s=horizon)
+    remapped = vth_curve(result.remapped.mttf, "re-mapped", horizon_s=horizon)
+    if csv:
+        log(series_csv([original, remapped]))
+        return
+    log(f"Vth shift vs time — {bench} (Fig. 2b)")
+    log(ascii_curve([original, remapped]))
+    log(f"MTTF increase: {result.mttf_increase:.2f}x")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiment", choices=["table1", "fig5", "fig2a", "fig2b"]
+    )
+    parser.add_argument("--scale", default="quick", choices=["quick", "paper"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--only", nargs="*", default=[])
+    parser.add_argument("--bench", default="B13")
+    parser.add_argument("--csv", action="store_true")
+    parser.add_argument("--time-limit", type=float, default=180.0)
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig(
+        scale=args.scale,
+        seed=args.seed,
+        only=list(args.only),
+        time_limit_s=args.time_limit,
+    )
+    if args.experiment == "table1":
+        run_table1(config)
+    elif args.experiment == "fig5":
+        run_fig5(config)
+    elif args.experiment == "fig2a":
+        run_fig2a()
+    else:
+        run_fig2b(bench=args.bench, csv=args.csv)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""ASCII renderings of the paper's figures.
+
+* :func:`bar_chart` — grouped horizontal bars (Fig. 5: MTTF increase per
+  C/F group, one bar per usage class);
+* :func:`series_csv` / :func:`ascii_curve` — the Fig. 2(b) Vth-shift-vs-
+  time curves;
+* :func:`stress_grid` — the Fig. 2(a) accumulated-stress heat grid.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.aging.mttf import VthCurve
+from repro.arch.fabric import Fabric
+from repro.units import seconds_to_years
+
+
+def bar_chart(
+    groups: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    width: int = 40,
+    unit: str = "x",
+) -> str:
+    """Grouped horizontal bar chart.
+
+    ``groups`` are the x-axis categories (e.g. C4F4..C16F16); ``series``
+    maps a label (low/medium/high) to one value per group.
+    """
+    peak = max(
+        (v for values in series.values() for v in values if v is not None),
+        default=1.0,
+    )
+    label_width = max(len(g) for g in groups) + 2
+    series_width = max(len(s) for s in series) + 2
+    lines: list[str] = []
+    for gi, group in enumerate(groups):
+        for si, (label, values) in enumerate(series.items()):
+            value = values[gi]
+            prefix = group.ljust(label_width) if si == 0 else " " * label_width
+            if value is None:
+                lines.append(f"{prefix}{label.ljust(series_width)}(n/a)")
+                continue
+            bar = "#" * max(1, round(width * value / peak))
+            lines.append(
+                f"{prefix}{label.ljust(series_width)}{bar} {value:.2f}{unit}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def ascii_curve(
+    curves: Sequence[VthCurve], height: int = 16, width: int = 64
+) -> str:
+    """Overlayed Vth-shift-vs-time curves with the failure threshold line.
+
+    Each curve gets a distinct marker; '=' marks the failure shift level.
+    Reproduces the *shape* of Fig. 2(b): the re-mapped (lower-slope) curve
+    crosses the threshold later.
+    """
+    if not curves:
+        return "(no curves)"
+    markers = "ox+*"
+    t_max = max(float(c.times_s[-1]) for c in curves)
+    v_max = max(
+        max(float(c.shifts_v.max()) for c in curves),
+        max(c.failure_shift_v for c in curves),
+    )
+    canvas = [[" "] * width for _ in range(height)]
+    threshold_row = height - 1 - round(
+        (curves[0].failure_shift_v / v_max) * (height - 1)
+    )
+    for x in range(width):
+        canvas[threshold_row][x] = "="
+    for ci, curve in enumerate(curves):
+        marker = markers[ci % len(markers)]
+        for t, v in zip(curve.times_s, curve.shifts_v):
+            x = round((float(t) / t_max) * (width - 1)) if t_max else 0
+            y = height - 1 - round((float(v) / v_max) * (height - 1))
+            canvas[y][x] = marker
+    lines = ["".join(row) for row in canvas]
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {c.label} "
+        f"(MTTF {seconds_to_years(c.mttf_s):.1f}y)"
+        for i, c in enumerate(curves)
+    )
+    lines.append(f"time -> ({seconds_to_years(t_max):.1f} years full scale)")
+    lines.append(legend + "   = failure shift")
+    return "\n".join(lines)
+
+
+def series_csv(curves: Sequence[VthCurve]) -> str:
+    """CSV of the Fig. 2(b) series (time_years, one shift column per curve)."""
+    header = ["time_years"] + [c.label for c in curves]
+    base = curves[0].times_s
+    rows = []
+    for i, t in enumerate(base):
+        row = [f"{seconds_to_years(float(t)):.4f}"]
+        for c in curves:
+            row.append(f"{float(c.shifts_v[i]):.6f}")
+        rows.append(",".join(row))
+    return "\n".join([",".join(header), *rows])
+
+
+def stress_grid(fabric: Fabric, accumulated: np.ndarray, cell: int = 5) -> str:
+    """The Fig. 2(a) view: accumulated stress per PE as a number grid."""
+    values = np.asarray(accumulated, dtype=float).reshape(fabric.rows, fabric.cols)
+    lines = []
+    for r in range(fabric.rows):
+        lines.append(
+            " ".join(f"{values[r, c]:>{cell}.1f}" for c in range(fabric.cols))
+        )
+    return "\n".join(lines)

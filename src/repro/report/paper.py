@@ -1,0 +1,153 @@
+"""Published reference values and comparison helpers.
+
+The numbers live with the benchmark suite (:mod:`repro.benchgen.suite`);
+this module adds the comparison logic used by EXPERIMENTS.md: per-class
+averages, shape checks (who wins, which direction trends point), and the
+formatting of measured-vs-paper rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Mapping, Sequence
+
+from repro.benchgen.suite import (
+    PAPER_HEADLINE_INCREASE,
+    TABLE1,
+    TABLE1_AVERAGES,
+    USAGE_CLASSES,
+    Table1Entry,
+)
+
+
+@dataclass
+class BenchmarkMeasurement:
+    """Measured MTTF increases of one benchmark (both modes)."""
+
+    entry: Table1Entry
+    freeze_increase: float
+    rotate_increase: float
+
+    def row(self) -> list[object]:
+        """Table row: measured next to published."""
+        return [
+            self.entry.name,
+            self.entry.num_contexts,
+            f"{self.entry.fabric_dim}x{self.entry.fabric_dim}",
+            self.entry.pe_count,
+            self.entry.usage_class,
+            self.freeze_increase,
+            self.entry.freeze_ref,
+            self.rotate_increase,
+            self.entry.rotate_ref,
+        ]
+
+
+TABLE_HEADERS = [
+    "bench", "ctx", "fabric", "PE#", "usage",
+    "freeze(x)", "paper", "rotate(x)", "paper",
+]
+
+
+def class_averages(
+    measurements: Sequence[BenchmarkMeasurement],
+) -> dict[str, tuple[float, float]]:
+    """(Freeze, Rotate) averages per usage class, like Table I's Avg row."""
+    result: dict[str, tuple[float, float]] = {}
+    for usage in USAGE_CLASSES:
+        subset = [m for m in measurements if m.entry.usage_class == usage]
+        if subset:
+            result[usage] = (
+                mean(m.freeze_increase for m in subset),
+                mean(m.rotate_increase for m in subset),
+            )
+    return result
+
+
+@dataclass
+class ShapeCheck:
+    """One qualitative property the paper's results exhibit."""
+
+    name: str
+    holds: bool
+    detail: str
+
+
+def shape_checks(measurements: Sequence[BenchmarkMeasurement]) -> list[ShapeCheck]:
+    """The qualitative 'shape' assertions of DESIGN.md's experiment index.
+
+    1. Rotate >= Freeze on (almost) every benchmark;
+    2. gain decreases with utilisation class: low > medium > high averages;
+    3. gain increases with context count within each class;
+    4. overall Rotate average lands in the paper's 2-3x band.
+    """
+    checks: list[ShapeCheck] = []
+
+    worse = [
+        m.entry.name
+        for m in measurements
+        if m.rotate_increase < m.freeze_increase - 0.05
+    ]
+    checks.append(
+        ShapeCheck(
+            "rotate >= freeze",
+            not worse,
+            "all benchmarks" if not worse else f"violations: {worse}",
+        )
+    )
+
+    averages = class_averages(measurements)
+    if all(c in averages for c in USAGE_CLASSES):
+        low, med, high = (averages[c][1] for c in USAGE_CLASSES)
+        checks.append(
+            ShapeCheck(
+                "low > medium > high (rotate avg)",
+                low > med > high,
+                f"low={low:.2f} medium={med:.2f} high={high:.2f}",
+            )
+        )
+
+    # Context trend: within each usage class, average over fabric sizes per
+    # context count must be non-decreasing from C4 to C16.
+    for usage in USAGE_CLASSES:
+        subset = [m for m in measurements if m.entry.usage_class == usage]
+        by_contexts: dict[int, list[float]] = {}
+        for m in subset:
+            by_contexts.setdefault(m.entry.num_contexts, []).append(
+                m.rotate_increase
+            )
+        if len(by_contexts) >= 2:
+            ordered = [mean(by_contexts[c]) for c in sorted(by_contexts)]
+            holds = all(b >= a - 0.10 for a, b in zip(ordered, ordered[1:]))
+            checks.append(
+                ShapeCheck(
+                    f"gain grows with contexts ({usage})",
+                    holds,
+                    " -> ".join(f"{v:.2f}" for v in ordered),
+                )
+            )
+
+    if measurements:
+        overall = mean(m.rotate_increase for m in measurements)
+        checks.append(
+            ShapeCheck(
+                "overall rotate average near paper's 2.5x",
+                1.5 <= overall,
+                f"measured {overall:.2f}x vs paper {PAPER_HEADLINE_INCREASE}x",
+            )
+        )
+    return checks
+
+
+def paper_reference_rows() -> list[list[object]]:
+    """Table I's published values as rows (for side-by-side reports)."""
+    return [
+        [e.name, e.num_contexts, f"{e.fabric_dim}x{e.fabric_dim}", e.pe_count,
+         e.usage_class, e.freeze_ref, e.rotate_ref]
+        for e in TABLE1
+    ]
+
+
+def paper_class_averages() -> Mapping[str, tuple[float, float]]:
+    return dict(TABLE1_AVERAGES)

@@ -1,0 +1,60 @@
+"""Plain-text table rendering for experiment reports.
+
+No plotting dependencies are available offline, so tables and figures are
+emitted as aligned ASCII (and optionally CSV) — enough to compare shapes
+against the paper's Table I and Fig. 5.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 2,
+) -> str:
+    """Render rows as an aligned ASCII table with a header rule."""
+    rendered_rows = [
+        [_cell(value, precision) for value in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_csv(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Minimal CSV (values contain no commas in our reports)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(str(v) for v in row))
+    return "\n".join(lines)
+
+
+def format_mapping(title: str, mapping: Mapping[str, object]) -> str:
+    """A small key/value block used for summaries."""
+    width = max((len(k) for k in mapping), default=0)
+    lines = [title, "-" * len(title)]
+    for key, value in mapping.items():
+        rendered = f"{value:.3f}" if isinstance(value, float) else str(value)
+        lines.append(f"{key.ljust(width)}  {rendered}")
+    return "\n".join(lines)

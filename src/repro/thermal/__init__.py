@@ -1,0 +1,18 @@
+"""Compact steady-state thermal model (HotSpot 6.0 substitute).
+
+Per-PE power from duty cycles, a lateral+vertical conduction grid solved
+with sparse LU, and a simulator facade producing the per-context thermal
+maps the aging model consumes.
+"""
+
+from repro.thermal.grid import ThermalGrid, ThermalGridConfig
+from repro.thermal.hotspot import ThermalReport, ThermalSimulator
+from repro.thermal.power import PowerModel
+
+__all__ = [
+    "PowerModel",
+    "ThermalGrid",
+    "ThermalGridConfig",
+    "ThermalReport",
+    "ThermalSimulator",
+]

@@ -1,0 +1,50 @@
+"""Static timing analysis: per-context CPD, critical paths, path filtering.
+
+Substitute for the commercial timing-analysis tool the paper calls after
+each re-mapping, plus the M-longest-paths / within-20%-of-CPD filter of
+Section V-B.2.
+"""
+
+from repro.timing.graph import (
+    ContextTimingGraph,
+    Endpoint,
+    EndpointKind,
+    build_timing_graphs,
+)
+from repro.timing.kpaths import (
+    DEFAULT_MAX_PATHS,
+    DEFAULT_RETENTION,
+    MonitoredPath,
+    PathFilterResult,
+    enumerate_context_paths,
+    filter_paths,
+)
+from repro.timing.sta import (
+    ContextTiming,
+    TimingPath,
+    TimingReport,
+    all_critical_paths,
+    analyze,
+    analyze_context,
+    critical_paths,
+)
+
+__all__ = [
+    "ContextTiming",
+    "ContextTimingGraph",
+    "DEFAULT_MAX_PATHS",
+    "DEFAULT_RETENTION",
+    "Endpoint",
+    "EndpointKind",
+    "MonitoredPath",
+    "PathFilterResult",
+    "TimingPath",
+    "TimingReport",
+    "all_critical_paths",
+    "analyze",
+    "analyze_context",
+    "build_timing_graphs",
+    "critical_paths",
+    "enumerate_context_paths",
+    "filter_paths",
+]

@@ -1,0 +1,97 @@
+"""Physical constants and unit conventions used across the library.
+
+Internal unit conventions
+-------------------------
+* time       — nanoseconds (ns) for circuit delays, seconds (s) for lifetimes
+* frequency  — hertz (Hz)
+* length     — PE-grid units (the pitch between adjacent PE centres is 1.0)
+* temperature— kelvin (K)
+* voltage    — volts (V)
+* energy     — electron-volts (eV) for activation energies
+
+The paper characterises the Renesas STP PE as: ALU delay 0.87 ns and DMU
+delay 3.14 ns, with an HLS target clock of 200 MHz (5 ns period).  Stress
+rate of a functional unit is its delay divided by the clock period
+(Section III of the paper).
+"""
+
+from __future__ import annotations
+
+# --- Fundamental constants -------------------------------------------------
+
+#: Boltzmann constant in eV/K (used in the NBTI Arrhenius factor).
+BOLTZMANN_EV_PER_K: float = 8.617333262e-5
+
+#: Absolute zero offset for Celsius conversions.
+CELSIUS_OFFSET: float = 273.15
+
+# --- Paper-calibrated device characterisation ------------------------------
+
+#: Delay through the ALU portion of a PE, in ns (paper Section III).
+ALU_DELAY_NS: float = 0.87
+
+#: Delay through the DMU portion of a PE, in ns (paper Section III).
+DMU_DELAY_NS: float = 3.14
+
+#: HLS target clock frequency (paper Section VI): 200 MHz.
+TARGET_CLOCK_HZ: float = 200e6
+
+#: Clock period corresponding to :data:`TARGET_CLOCK_HZ`, in ns.
+CLOCK_PERIOD_NS: float = 1e9 / TARGET_CLOCK_HZ
+
+# --- NBTI model constants (paper Eq. 1 and cited literature) ---------------
+
+#: Fabrication-dependent time exponent ``n`` in Eq. (1); 0.25 is the standard
+#: reaction-diffusion value used by the NBTI literature the paper cites.
+NBTI_TIME_EXPONENT: float = 0.25
+
+#: Activation energy ``Ea`` in eV.
+NBTI_ACTIVATION_ENERGY_EV: float = 0.49
+
+#: Technology-dependent prefactor ``A_NBTI``.  Only MTTF *ratios* are
+#: reported, which cancel this constant; the absolute value is calibrated so
+#: a PE at 100 % duty and 358.15 K (85 C junction) fails — reaches the 10 %
+#: Vth shift — after 5 years.  See ``repro.aging.nbti.calibrate_prefactor``,
+#: which reproduces this number from those reference conditions.
+NBTI_PREFACTOR: float = 7008.303596313481
+
+#: Reference conditions behind :data:`NBTI_PREFACTOR`.
+NBTI_REFERENCE_TEMP_K: float = 358.15
+NBTI_REFERENCE_MTTF_YEARS: float = 5.0
+
+#: Fresh threshold voltage ``Vth0`` in volts.
+VTH0_V: float = 0.4
+
+#: Fractional Vth increase considered a failure (paper cites 10 % [3]).
+VTH_FAILURE_FRACTION: float = 0.10
+
+# --- Interconnect model -----------------------------------------------------
+
+#: Delay of one grid unit of buffered wire, in ns.  The paper determines this
+#: proportionality constant by simulation; we calibrate it so that a wire
+#: spanning one PE pitch costs roughly half an ALU delay, which makes wire
+#: delay a first-order but not dominant term, as in the paper's example
+#: (unit wire delay 1 vs PE delay 2 in Fig. 4).
+UNIT_WIRE_DELAY_NS: float = 0.435
+
+# --- Helpers ----------------------------------------------------------------
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert a temperature from Celsius to kelvin."""
+    return celsius + CELSIUS_OFFSET
+
+
+def kelvin_to_celsius(kelvin: float) -> float:
+    """Convert a temperature from kelvin to Celsius."""
+    return kelvin - CELSIUS_OFFSET
+
+
+def seconds_to_years(seconds: float) -> float:
+    """Convert seconds to (Julian) years."""
+    return seconds / (365.25 * 24 * 3600.0)
+
+
+def years_to_seconds(years: float) -> float:
+    """Convert (Julian) years to seconds."""
+    return years * 365.25 * 24 * 3600.0

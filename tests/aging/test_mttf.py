@@ -1,0 +1,113 @@
+"""Fabric-MTTF evaluation tests (including Fig. 2(b) curves)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.aging import (
+    NbtiModel,
+    StressMap,
+    compute_mttf,
+    mttf_increase,
+    vth_curve,
+)
+from repro.errors import AgingError
+
+
+def stress_map(per_context):
+    return StressMap(
+        per_context_ns=np.asarray(per_context, dtype=float),
+        clock_period_ns=5.0,
+    )
+
+
+@pytest.fixture
+def uneven():
+    """4 PEs, 2 contexts: PE0 heavily stressed, PE3 idle."""
+    return stress_map([
+        [3.0, 1.0, 0.5, 0.0],
+        [3.0, 0.0, 0.5, 0.0],
+    ])
+
+
+class TestComputeMttf:
+    def test_limiting_pe_is_busiest_at_uniform_temp(self, uneven):
+        temps = np.full(4, 350.0)
+        report = compute_mttf(uneven, temps)
+        assert report.limiting_pe == 0
+        assert report.mttf_s == report.per_pe_mttf_s[0]
+        assert math.isinf(report.per_pe_mttf_s[3])
+
+    def test_temperature_can_shift_limiter(self, uneven):
+        temps = np.array([320.0, 390.0, 320.0, 320.0])
+        report = compute_mttf(uneven, temps)
+        # PE1 has 6x less stress but is 70K hotter — it fails first.
+        assert report.limiting_pe == 1
+
+    def test_shape_validation(self, uneven):
+        with pytest.raises(AgingError):
+            compute_mttf(uneven, np.full(5, 350.0))
+
+    def test_all_idle_rejected(self):
+        idle = stress_map([[0.0, 0.0], [0.0, 0.0]])
+        with pytest.raises(AgingError):
+            compute_mttf(idle, np.full(2, 350.0))
+
+    def test_mttf_years_conversion(self, uneven):
+        report = compute_mttf(uneven, np.full(4, 350.0))
+        assert report.mttf_years == pytest.approx(
+            report.mttf_s / (365.25 * 24 * 3600), rel=1e-12
+        )
+
+
+class TestMttfIncrease:
+    def test_levelling_increases_mttf(self, uneven):
+        temps = np.full(4, 350.0)
+        original = compute_mttf(uneven, temps)
+        levelled = stress_map([
+            [2.0, 2.0, 2.0, 2.0],
+            [0.0, 0.0, 0.0, 0.0],
+        ])
+        remapped = compute_mttf(levelled, temps)
+        increase = mttf_increase(original, remapped)
+        # max accumulated stress 6 -> 2 at equal temperature: 3x.
+        assert increase == pytest.approx(3.0, rel=1e-9)
+
+    def test_identity_is_one(self, uneven):
+        temps = np.full(4, 350.0)
+        report = compute_mttf(uneven, temps)
+        assert mttf_increase(report, report) == pytest.approx(1.0)
+
+
+class TestVthCurve:
+    def test_curve_crosses_failure_at_mttf(self, uneven):
+        model = NbtiModel()
+        report = compute_mttf(uneven, np.full(4, 350.0), model)
+        curve = vth_curve(report, "orig", model, num_points=200)
+        # Find the first sample beyond the failure threshold.
+        crossing = np.argmax(curve.shifts_v >= curve.failure_shift_v)
+        crossing_time = curve.times_s[crossing]
+        assert crossing_time == pytest.approx(report.mttf_s, rel=0.05)
+
+    def test_common_horizon(self, uneven):
+        report = compute_mttf(uneven, np.full(4, 350.0))
+        curve = vth_curve(report, "x", horizon_s=1e9, num_points=16)
+        assert curve.times_s[-1] == pytest.approx(1e9)
+        assert len(curve.shifts_v) == 16
+
+    def test_lower_slope_for_levelled_map(self, uneven):
+        """The Fig. 2(b) shape: re-mapped curve sits below the original."""
+        temps = np.full(4, 350.0)
+        original = compute_mttf(uneven, temps)
+        levelled = stress_map([
+            [2.0, 2.0, 2.0, 2.0],
+            [0.0, 0.0, 0.0, 0.0],
+        ])
+        remapped = compute_mttf(levelled, temps)
+        horizon = original.mttf_s * 1.5
+        c_orig = vth_curve(original, "o", horizon_s=horizon)
+        c_new = vth_curve(remapped, "n", horizon_s=horizon)
+        assert np.all(c_new.shifts_v[1:] < c_orig.shifts_v[1:])

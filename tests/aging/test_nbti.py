@@ -1,0 +1,144 @@
+"""NBTI model tests (paper Eq. 1): calibration, inversion, monotonicity."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aging import NbtiModel, calibrate_prefactor
+from repro.errors import AgingError
+from repro.units import (
+    NBTI_PREFACTOR,
+    NBTI_REFERENCE_MTTF_YEARS,
+    NBTI_REFERENCE_TEMP_K,
+    VTH0_V,
+    years_to_seconds,
+)
+
+
+@pytest.fixture
+def model():
+    return NbtiModel()
+
+
+class TestEquationOne:
+    def test_zero_stress_zero_shift(self, model):
+        assert model.vth_shift(0.0, 350.0) == 0.0
+
+    def test_power_law_exponent(self, model):
+        """Shift scales as ST^n: 16x stress -> 2x shift at n = 1/4."""
+        s1 = model.vth_shift(1e6, 350.0)
+        s16 = model.vth_shift(16e6, 350.0)
+        assert s16 / s1 == pytest.approx(2.0, rel=1e-9)
+
+    def test_arrhenius_acceleration(self, model):
+        """Hotter devices degrade more."""
+        assert model.vth_shift(1e6, 370.0) > model.vth_shift(1e6, 330.0)
+
+    def test_duty_scaling(self, model):
+        full = model.vth_shift_at(1e7, 1.0, 350.0)
+        half = model.vth_shift_at(1e7, 0.5, 350.0)
+        assert half == pytest.approx(model.vth_shift(0.5e7, 350.0))
+        assert half < full
+
+    def test_negative_stress_rejected(self, model):
+        with pytest.raises(AgingError):
+            model.vth_shift(-1.0, 350.0)
+
+    def test_bad_temperature_rejected(self, model):
+        with pytest.raises(AgingError):
+            model.vth_shift(1.0, 0.0)
+
+    def test_bad_duty_rejected(self, model):
+        with pytest.raises(AgingError):
+            model.vth_shift_at(1.0, 1.5, 350.0)
+
+
+class TestCalibration:
+    def test_units_constant_reproduced(self):
+        assert calibrate_prefactor() == pytest.approx(NBTI_PREFACTOR, rel=1e-12)
+
+    def test_reference_point_round_trip(self, model):
+        """At reference conditions the model fails at exactly 5 years."""
+        mttf = model.time_to_failure_s(1.0, NBTI_REFERENCE_TEMP_K)
+        assert mttf == pytest.approx(
+            years_to_seconds(NBTI_REFERENCE_MTTF_YEARS), rel=1e-9
+        )
+
+    def test_failure_shift_definition(self, model):
+        assert model.failure_shift_v == pytest.approx(0.1 * VTH0_V)
+
+    def test_shift_at_failure_time_is_failure_shift(self, model):
+        mttf = model.time_to_failure_s(0.4, 345.0)
+        shift = model.vth_shift_at(mttf, 0.4, 345.0)
+        assert shift == pytest.approx(model.failure_shift_v, rel=1e-9)
+
+
+class TestTimeToFailure:
+    def test_idle_pe_lives_forever(self, model):
+        assert model.time_to_failure_s(0.0, 350.0) == math.inf
+
+    def test_inverse_in_duty(self, model):
+        t_full = model.time_to_failure_s(1.0, 350.0)
+        t_half = model.time_to_failure_s(0.5, 350.0)
+        assert t_half == pytest.approx(2 * t_full, rel=1e-9)
+
+    def test_validation(self, model):
+        with pytest.raises(AgingError):
+            model.time_to_failure_s(1.2, 350.0)
+
+
+class TestParameterValidation:
+    def test_bad_exponent(self):
+        with pytest.raises(AgingError):
+            NbtiModel(time_exponent=1.5)
+
+    def test_bad_prefactor(self):
+        with pytest.raises(AgingError):
+            NbtiModel(prefactor=-1)
+
+    def test_bad_failure_fraction(self):
+        with pytest.raises(AgingError):
+            NbtiModel(failure_fraction=0.0)
+
+    def test_calibrate_validation(self):
+        with pytest.raises(AgingError):
+            calibrate_prefactor(mttf_years=-1)
+
+
+duties = st.floats(0.01, 1.0, allow_nan=False)
+temps = st.floats(300.0, 400.0, allow_nan=False)
+
+
+class TestMonotonicityProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(duty=duties, t_low=temps, t_high=temps)
+    def test_hotter_fails_sooner(self, duty, t_low, t_high):
+        model = NbtiModel()
+        if t_low > t_high:
+            t_low, t_high = t_high, t_low
+        assert model.time_to_failure_s(duty, t_high) <= (
+            model.time_to_failure_s(duty, t_low) + 1e-6
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(d_low=duties, d_high=duties, temp=temps)
+    def test_busier_fails_sooner(self, d_low, d_high, temp):
+        model = NbtiModel()
+        if d_low > d_high:
+            d_low, d_high = d_high, d_low
+        assert model.time_to_failure_s(d_high, temp) <= (
+            model.time_to_failure_s(d_low, temp) + 1e-6
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(duty=duties, temp=temps, t1=st.floats(1e3, 1e9), t2=st.floats(1e3, 1e9))
+    def test_shift_monotone_in_time(self, duty, temp, t1, t2):
+        model = NbtiModel()
+        if t1 > t2:
+            t1, t2 = t2, t1
+        assert model.vth_shift_at(t1, duty, temp) <= (
+            model.vth_shift_at(t2, duty, temp) + 1e-12
+        )

@@ -1,0 +1,79 @@
+"""Flow-boundary validator tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import (
+    Fabric,
+    Floorplan,
+    check_capacity,
+    check_frozen_ops,
+    check_same_schedule,
+)
+from repro.errors import MappingError
+
+
+@pytest.fixture
+def pair():
+    fabric = Fabric(2, 2)
+    original = Floorplan(fabric, 2)
+    original.bind(0, 0, 0)
+    original.bind(1, 0, 1)
+    original.bind(2, 1, 0)
+    remapped = original.with_bindings({1: 3})
+    return original, remapped
+
+
+class TestSameSchedule:
+    def test_accepts_rebinding(self, pair):
+        check_same_schedule(*pair)
+
+    def test_rejects_context_change(self, pair):
+        original, remapped = pair
+        remapped.context_of[1] = 1
+        with pytest.raises(MappingError):
+            check_same_schedule(original, remapped)
+
+    def test_rejects_op_set_change(self, pair):
+        original, remapped = pair
+        remapped.context_of[99] = 0
+        remapped.pe_of[99] = 2
+        with pytest.raises(MappingError):
+            check_same_schedule(original, remapped)
+
+    def test_rejects_context_count_change(self, pair):
+        original, _ = pair
+        other = Floorplan(original.fabric, 3)
+        for op, ctx in original.context_of.items():
+            other.bind(op, ctx, original.pe_of[op])
+        with pytest.raises(MappingError):
+            check_same_schedule(original, other)
+
+
+class TestFrozenOps:
+    def test_accepts_respected_freeze(self, pair):
+        original, remapped = pair
+        check_frozen_ops(original, remapped, {0: 0, 2: 0})
+
+    def test_rejects_moved_frozen_op(self, pair):
+        original, remapped = pair
+        with pytest.raises(MappingError):
+            check_frozen_ops(original, remapped, {1: 1})  # op 1 moved to 3
+
+    def test_rejects_missing_frozen_op(self, pair):
+        original, remapped = pair
+        with pytest.raises(MappingError):
+            check_frozen_ops(original, remapped, {42: 0})
+
+
+class TestCapacity:
+    def test_accepts_legal(self, pair):
+        check_capacity(pair[0])
+
+    def test_full_context_is_legal(self):
+        fabric = Fabric(2, 2)
+        fp = Floorplan(fabric, 1)
+        for op in range(4):
+            fp.bind(op, 0, op)
+        check_capacity(fp)

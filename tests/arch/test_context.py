@@ -1,0 +1,152 @@
+"""Floorplan (multi-context binding) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import Fabric, Floorplan
+from repro.errors import MappingError
+
+
+@pytest.fixture
+def fabric():
+    return Fabric(4, 4)
+
+
+@pytest.fixture
+def floorplan(fabric):
+    fp = Floorplan(fabric, num_contexts=2)
+    fp.bind(0, 0, 0)
+    fp.bind(1, 0, 5)
+    fp.bind(2, 1, 0)
+    return fp
+
+
+class TestBinding:
+    def test_basic_queries(self, floorplan):
+        assert floorplan.num_ops == 3
+        assert floorplan.ops_in_context(0) == [0, 1]
+        assert floorplan.ops_in_context(1) == [2]
+        assert floorplan.op_on(0, 5) == 1
+        assert floorplan.op_on(1, 5) is None
+
+    def test_slot_conflict_rejected(self, floorplan):
+        with pytest.raises(MappingError):
+            floorplan.bind(9, 0, 0)
+
+    def test_rebind_same_op_is_ok(self, floorplan):
+        floorplan.bind(0, 0, 0)  # idempotent
+        assert floorplan.pe_of[0] == 0
+
+    def test_out_of_range_context(self, floorplan):
+        with pytest.raises(MappingError):
+            floorplan.bind(9, 2, 0)
+
+    def test_out_of_range_pe(self, floorplan):
+        with pytest.raises(MappingError):
+            floorplan.bind(9, 0, 16)
+
+    def test_rebind_moves_and_frees_slot(self, floorplan):
+        floorplan.rebind(0, 9)
+        assert floorplan.op_on(0, 0) is None
+        assert floorplan.op_on(0, 9) == 0
+
+    def test_rebind_unbound_rejected(self, floorplan):
+        with pytest.raises(MappingError):
+            floorplan.rebind(42, 3)
+
+    def test_same_pe_different_contexts_allowed(self, floorplan):
+        # op 0 (ctx 0) and op 2 (ctx 1) share PE 0 legally.
+        assert floorplan.pe_of[0] == floorplan.pe_of[2] == 0
+        floorplan.validate()
+
+
+class TestSwap:
+    def test_swap_exchanges_pes(self, floorplan):
+        floorplan.swap(0, 1)
+        assert floorplan.pe_of[0] == 5
+        assert floorplan.pe_of[1] == 0
+        floorplan.validate()
+
+    def test_swap_across_contexts_rejected(self, floorplan):
+        with pytest.raises(MappingError):
+            floorplan.swap(0, 2)
+
+    def test_swap_unbound_rejected(self, floorplan):
+        with pytest.raises(MappingError):
+            floorplan.swap(0, 42)
+
+
+class TestDerived:
+    def test_usage_counts(self, floorplan):
+        counts = floorplan.usage_counts()
+        assert counts[0] == 2  # PE 0 used in both contexts
+        assert counts[5] == 1
+        assert sum(counts) == 3
+
+    def test_utilization(self, floorplan):
+        assert floorplan.utilization() == pytest.approx(3 / 32)
+
+    def test_position_of(self, floorplan, fabric):
+        assert floorplan.position_of(1) == (1, 1)
+        with pytest.raises(MappingError):
+            floorplan.position_of(42)
+
+    def test_used_pes(self, floorplan):
+        assert floorplan.used_pes(0) == {0, 5}
+        assert floorplan.used_pes(1) == {0}
+
+    def test_occupancy(self, floorplan):
+        assert floorplan.occupancy(0) == {0: 0, 5: 1}
+
+
+class TestCopyAndRebindSets:
+    def test_copy_independent(self, floorplan):
+        clone = floorplan.copy()
+        clone.rebind(0, 10)
+        assert floorplan.pe_of[0] == 0
+        assert clone.pe_of[0] == 10
+
+    def test_with_bindings(self, floorplan):
+        remapped = floorplan.with_bindings({0: 12, 2: 3})
+        assert remapped.pe_of == {0: 12, 1: 5, 2: 3}
+        assert floorplan.pe_of[0] == 0  # source untouched
+        assert remapped == remapped.copy()
+
+    def test_with_bindings_conflict_rejected(self, floorplan):
+        with pytest.raises(MappingError):
+            floorplan.with_bindings({0: 5})  # collides with op 1
+
+    def test_with_bindings_unknown_op_rejected(self, floorplan):
+        with pytest.raises(MappingError):
+            floorplan.with_bindings({42: 1})
+
+    def test_equality_semantics(self, floorplan):
+        assert floorplan == floorplan.copy()
+        other = floorplan.copy()
+        other.rebind(0, 9)
+        assert floorplan != other
+
+
+class TestValidation:
+    def test_validate_detects_mismatched_maps(self, fabric):
+        fp = Floorplan(fabric, 1)
+        fp.bind(0, 0, 0)
+        fp.context_of[1] = 0  # corrupt directly
+        with pytest.raises(MappingError):
+            fp.validate()
+
+    def test_constructor_with_maps(self, fabric):
+        fp = Floorplan(
+            fabric, 2, context_of={0: 0, 1: 1}, pe_of={0: 3, 1: 3}
+        )
+        assert fp.op_on(0, 3) == 0
+        assert fp.op_on(1, 3) == 1
+
+    def test_constructor_mismatched_maps_rejected(self, fabric):
+        with pytest.raises(MappingError):
+            Floorplan(fabric, 1, context_of={0: 0}, pe_of={})
+
+    def test_nonpositive_contexts_rejected(self, fabric):
+        with pytest.raises(MappingError):
+            Floorplan(fabric, 0)

@@ -1,0 +1,93 @@
+"""Operation-kind characterisation tests (paper Section III constants)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import (
+    ALU_KINDS,
+    DMU_KINDS,
+    OpKind,
+    PSEUDO_KINDS,
+    UnitKind,
+    arity_of,
+    is_compute,
+    op_delay_ns,
+    profile,
+    stress_rate,
+    unit_of,
+    width_scale,
+)
+from repro.errors import ArchitectureError
+from repro.units import ALU_DELAY_NS, CLOCK_PERIOD_NS, DMU_DELAY_NS
+
+
+class TestUnits:
+    def test_paper_delays(self):
+        """The paper characterises ALU = 0.87 ns, DMU = 3.14 ns."""
+        assert op_delay_ns(OpKind.ADD) == pytest.approx(0.87)
+        assert op_delay_ns(OpKind.MUL) == pytest.approx(3.14)
+
+    def test_stress_rate_is_delay_over_clock(self):
+        """Section III: SR = unit delay / clock period."""
+        assert stress_rate(OpKind.ADD) == pytest.approx(
+            ALU_DELAY_NS / CLOCK_PERIOD_NS
+        )
+        assert stress_rate(OpKind.MUL) == pytest.approx(
+            DMU_DELAY_NS / CLOCK_PERIOD_NS
+        )
+
+    def test_every_kind_has_a_unit(self):
+        for kind in OpKind:
+            assert unit_of(kind) in UnitKind
+
+    def test_partition_is_complete_and_disjoint(self):
+        all_kinds = set(ALU_KINDS) | set(DMU_KINDS) | set(PSEUDO_KINDS)
+        assert all_kinds == set(OpKind)
+        assert not (set(ALU_KINDS) & set(DMU_KINDS))
+
+    def test_pseudo_ops_do_not_compute(self):
+        for kind in PSEUDO_KINDS:
+            assert not is_compute(kind)
+        assert is_compute(OpKind.ADD)
+        assert is_compute(OpKind.SELECT)
+
+
+class TestWidthScaling:
+    def test_reference_width_is_identity(self):
+        assert width_scale(32) == pytest.approx(1.0)
+
+    def test_narrow_is_faster(self):
+        assert width_scale(8) < width_scale(16) < width_scale(32)
+
+    def test_unsupported_width_rejected(self):
+        with pytest.raises(ArchitectureError):
+            width_scale(24)
+
+    def test_delay_scales_with_width(self):
+        assert op_delay_ns(OpKind.MUL, 8) < op_delay_ns(OpKind.MUL, 32)
+
+    def test_stress_rate_below_one(self):
+        """No op may stress a PE for more than the clock period."""
+        for kind in list(ALU_KINDS) + list(DMU_KINDS):
+            for width in (8, 16, 32):
+                assert 0 < stress_rate(kind, width) < 1.0
+
+
+class TestProfileAndArity:
+    def test_profile_consistency(self):
+        p = profile(OpKind.XOR, 16)
+        assert p.unit is UnitKind.ALU
+        assert p.delay_ns == pytest.approx(op_delay_ns(OpKind.XOR, 16))
+        assert p.stress_rate == pytest.approx(p.delay_ns / CLOCK_PERIOD_NS)
+
+    def test_pseudo_profile_is_zero(self):
+        p = profile(OpKind.INPUT)
+        assert p.delay_ns == 0.0
+        assert p.stress_rate == 0.0
+
+    def test_arity_defaults_to_binary(self):
+        assert arity_of(OpKind.ADD) == 2
+        assert arity_of(OpKind.NEG) == 1
+        assert arity_of(OpKind.SELECT) == 3
+        assert arity_of(OpKind.INPUT) == 0

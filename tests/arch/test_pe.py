@@ -1,0 +1,43 @@
+"""PE-cell tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import ALU_UNIT, DMU_UNIT, OpKind, PECell, UnitKind
+from repro.errors import ArchitectureError
+from repro.units import CLOCK_PERIOD_NS
+
+
+@pytest.fixture
+def pe():
+    return PECell(index=5, row=1, col=1)
+
+
+class TestFunctionalUnits:
+    def test_unit_selection(self, pe):
+        assert pe.unit_for(OpKind.ADD) is ALU_UNIT
+        assert pe.unit_for(OpKind.MUL) is DMU_UNIT
+
+    def test_pseudo_op_rejected(self, pe):
+        with pytest.raises(ArchitectureError):
+            pe.unit_for(OpKind.INPUT)
+
+    def test_unit_stress_rates(self):
+        assert ALU_UNIT.stress_rate == pytest.approx(0.87 / CLOCK_PERIOD_NS)
+        assert DMU_UNIT.stress_rate == pytest.approx(3.14 / CLOCK_PERIOD_NS)
+        assert ALU_UNIT.kind is UnitKind.ALU
+
+
+class TestDelaysAndStress:
+    def test_delay_matches_characterisation(self, pe):
+        assert pe.delay_for(OpKind.ADD) == pytest.approx(0.87)
+
+    def test_stress_equals_active_time(self, pe):
+        """Stress per cycle = the unit's active time = its delay."""
+        assert pe.stress_for(OpKind.MUL) == pytest.approx(3.14)
+        assert pe.stress_for(OpKind.MUL, 8) < pe.stress_for(OpKind.MUL, 32)
+
+    def test_position(self, pe):
+        assert pe.position == (1, 1)
+        assert "PE5" in repr(pe)

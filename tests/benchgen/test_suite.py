@@ -1,0 +1,125 @@
+"""Table I suite definition tests: the published configuration is encoded
+exactly and every entry synthesizes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen import (
+    TABLE1,
+    TABLE1_AVERAGES,
+    USAGE_CLASSES,
+    entries,
+    entry,
+    load_benchmark,
+)
+from repro.errors import BenchmarkError
+
+
+class TestTableStructure:
+    def test_27_benchmarks(self):
+        assert len(TABLE1) == 27
+        assert [e.name for e in TABLE1] == [f"B{i}" for i in range(1, 28)]
+
+    def test_nine_per_usage_class(self):
+        for usage in USAGE_CLASSES:
+            assert len(entries(usage_class=usage)) == 9
+
+    def test_grid_of_configurations(self):
+        """Each usage class covers {4,8,16} contexts x {4,8,16} fabrics."""
+        for usage in USAGE_CLASSES:
+            combos = {
+                (e.num_contexts, e.fabric_dim)
+                for e in entries(usage_class=usage)
+            }
+            assert combos == {
+                (c, f) for c in (4, 8, 16) for f in (4, 8, 16)
+            }
+
+    def test_published_values_spot_checks(self):
+        """A few cells of Table I, verbatim from the paper."""
+        b1 = entry("B1")
+        assert (b1.pe_count, b1.freeze_ref, b1.rotate_ref) == (24, 1.94, 1.94)
+        b18 = entry("B18")
+        assert (b18.pe_count, b18.freeze_ref, b18.rotate_ref) == (2165, 2.39, 3.08)
+        b27 = entry("B27")
+        assert (b27.pe_count, b27.freeze_ref, b27.rotate_ref) == (3089, 2.07, 2.44)
+
+    def test_published_averages(self):
+        assert TABLE1_AVERAGES["low"] == (2.78, 2.98)
+        assert TABLE1_AVERAGES["medium"] == (2.06, 2.51)
+        assert TABLE1_AVERAGES["high"] == (1.61, 2.01)
+
+    def test_rotate_never_below_freeze_in_paper(self):
+        for e in TABLE1:
+            assert e.rotate_ref >= e.freeze_ref
+
+    def test_utilization_classes_ordered(self):
+        """Within each (contexts, fabric) group: low < medium < high."""
+        for c in (4, 8, 16):
+            for f in (4, 8, 16):
+                group = [
+                    e for e in TABLE1
+                    if e.num_contexts == c and e.fabric_dim == f
+                ]
+                by_class = {e.usage_class: e.utilization for e in group}
+                assert by_class["low"] < by_class["medium"] < by_class["high"]
+
+    def test_all_fit_their_fabric(self):
+        for e in TABLE1:
+            assert e.pe_count <= e.num_contexts * e.fabric_dim**2
+
+
+class TestLookups:
+    def test_entry_lookup(self):
+        assert entry("B13").usage_class == "medium"
+
+    def test_unknown_entry(self):
+        with pytest.raises(BenchmarkError):
+            entry("B99")
+
+    def test_filters(self):
+        small = entries(max_contexts=4, max_fabric_dim=8)
+        assert {e.name for e in small} == {"B1", "B2", "B10", "B11", "B19", "B20"}
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(BenchmarkError):
+            entries(usage_class="extreme")
+
+    def test_group_label(self):
+        assert entry("B14").group == "C8F8"
+
+
+class TestScaling:
+    def test_scaled_preserves_utilization(self):
+        scaled = entry("B27").scaled(8)
+        original = entry("B27")
+        assert scaled.fabric_dim == 8
+        assert scaled.num_contexts == original.num_contexts
+        assert scaled.utilization == pytest.approx(
+            original.utilization, rel=0.05
+        )
+
+    def test_scaled_noop_for_small(self):
+        assert entry("B1").scaled(8) is entry("B1")
+
+    def test_scaled_name_marked(self):
+        assert entry("B27").scaled(8).name == "B27s"
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("name", ["B1", "B10", "B19"])
+    def test_small_benchmarks_build(self, name):
+        design, fabric = load_benchmark(name)
+        design.validate()
+        e = entry(name)
+        assert design.num_ops == e.pe_count
+        assert fabric.rows == e.fabric_dim
+
+    def test_scaled_large_benchmark_builds(self):
+        from repro.benchgen import build_benchmark
+
+        scaled = entry("B24").scaled(8)
+        design, fabric = build_benchmark(scaled.spec())
+        design.validate()
+        assert fabric.rows == 8

@@ -1,0 +1,111 @@
+"""Synthetic benchmark generator tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import UnitKind
+from repro.benchgen import SyntheticSpec, build_benchmark, generate_design
+from repro.errors import BenchmarkError
+
+
+def spec(**kw):
+    defaults = dict(
+        name="t", num_contexts=4, fabric_dim=4, total_ops=30, seed=1
+    )
+    defaults.update(kw)
+    return SyntheticSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_utilization(self):
+        s = spec(total_ops=32)
+        assert s.utilization == pytest.approx(0.5)
+        assert s.capacity == 16
+
+    def test_too_many_ops_rejected(self):
+        with pytest.raises(BenchmarkError):
+            spec(total_ops=100).validate()
+
+    def test_too_few_ops_rejected(self):
+        with pytest.raises(BenchmarkError):
+            spec(total_ops=2).validate()
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(BenchmarkError):
+            spec(fabric_dim=0).validate()
+
+
+class TestGeneratedDesigns:
+    def test_exact_op_count(self):
+        design = generate_design(spec())
+        assert design.num_ops == 30
+
+    def test_contexts_within_capacity(self):
+        design = generate_design(spec(total_ops=60))
+        assert design.max_context_size() <= 16
+        assert all(s >= 1 for s in design.context_sizes())
+
+    def test_validates(self):
+        generate_design(spec()).validate()
+
+    def test_deterministic(self):
+        a = generate_design(spec(seed=9))
+        b = generate_design(spec(seed=9))
+        assert [op.kind for op in a.ops.values()] == [
+            op.kind for op in b.ops.values()
+        ]
+        assert a.compute_edges == b.compute_edges
+
+    def test_seed_changes_design(self):
+        a = generate_design(spec(seed=1))
+        b = generate_design(spec(seed=2))
+        assert (
+            a.compute_edges != b.compute_edges
+            or [op.kind for op in a.ops.values()]
+            != [op.kind for op in b.ops.values()]
+        )
+
+    def test_unit_mix(self):
+        design = generate_design(spec(total_ops=60, num_contexts=8))
+        units = [op.unit for op in design.ops.values()]
+        dmu_fraction = units.count(UnitKind.DMU) / len(units)
+        assert 0.15 < dmu_fraction < 0.55
+
+    def test_every_op_has_inputs(self):
+        design = generate_design(spec())
+        fed = {dst for _, dst in design.compute_edges}
+        fed |= {dst for _, dst in design.input_edges}
+        assert fed == set(design.ops)
+
+    def test_outputs_exist(self):
+        design = generate_design(spec(num_outputs=3))
+        assert len(design.output_edges) >= 1
+
+    def test_build_benchmark_returns_matching_fabric(self):
+        design, fabric = build_benchmark(spec(fabric_dim=8, total_ops=100))
+        assert fabric.num_pes == 64
+        assert design.max_context_size() <= 64
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        contexts=st.integers(2, 8),
+        dim=st.sampled_from([3, 4, 5]),
+        seed=st.integers(0, 99),
+        util=st.floats(0.2, 0.9),
+    )
+    def test_arbitrary_specs_are_legal(self, contexts, dim, seed, util):
+        total = max(contexts, int(util * contexts * dim * dim))
+        s = spec(
+            num_contexts=contexts, fabric_dim=dim, total_ops=total, seed=seed
+        )
+        design = generate_design(s)
+        design.validate()
+        assert design.num_ops == total
+        assert design.max_context_size() <= dim * dim
+        # Edges always flow forward in time.
+        for src, dst in design.compute_edges:
+            assert design.ops[src].context <= design.ops[dst].context

@@ -1,0 +1,73 @@
+"""Shared fixtures: small designs, fabrics and placed floorplans.
+
+Kept deliberately small so the full unit suite stays fast; the heavier
+end-to-end configurations live in tests/test_integration.py.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import Fabric
+from repro.benchgen import SyntheticSpec, generate_design
+from repro.hls import compile_source, schedule_dfg, tech_map
+from repro.place import place_baseline
+
+#: A compact kernel exercising loops, arrays, if-conversion and both units.
+SMALL_KERNEL = """
+in int a, b;
+int i;
+int acc = 0;
+int w[4];
+for (i = 0; i < 4; i++) w[i] = (a >> i) ^ (b << i);
+for (i = 0; i < 4; i++) acc += w[i] * (i + 1);
+out int y;
+if (acc < 0) y = -acc; else y = acc;
+"""
+
+
+@pytest.fixture(scope="session")
+def small_dfg():
+    return compile_source(SMALL_KERNEL, "small")
+
+
+@pytest.fixture(scope="session")
+def small_schedule(small_dfg):
+    return schedule_dfg(small_dfg, capacity=16)
+
+
+@pytest.fixture(scope="session")
+def small_design(small_schedule):
+    return tech_map(small_schedule)
+
+
+@pytest.fixture(scope="session")
+def fabric4():
+    return Fabric(4, 4)
+
+
+@pytest.fixture(scope="session")
+def fabric8():
+    return Fabric(8, 8)
+
+
+@pytest.fixture(scope="session")
+def small_floorplan(small_design, fabric4):
+    return place_baseline(small_design, fabric4)
+
+
+@pytest.fixture(scope="session")
+def synth_spec():
+    return SyntheticSpec(
+        name="synthA", num_contexts=4, fabric_dim=4, total_ops=28, seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def synth_design(synth_spec):
+    return generate_design(synth_spec)
+
+
+@pytest.fixture(scope="session")
+def synth_floorplan(synth_design, fabric4):
+    return place_baseline(synth_design, fabric4)

@@ -1,0 +1,112 @@
+"""Multi-configuration rotation-set extension tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aging import compute_stress_map
+from repro.core import (
+    Algorithm1Config,
+    RemapConfig,
+    build_rotation_set,
+    combined_stress_map,
+)
+from repro.errors import FlowError
+from repro.timing import analyze
+
+
+def fast_config():
+    return Algorithm1Config(remap=RemapConfig(time_limit_s=30))
+
+
+@pytest.fixture(scope="module")
+def rotation_set(synth_design, synth_floorplan, fabric4):
+    return build_rotation_set(
+        synth_design, fabric4, synth_floorplan, k=2, config=fast_config()
+    )
+
+
+class TestRotationSet:
+    def test_size(self, rotation_set):
+        assert rotation_set.size == 2
+        assert len(rotation_set.per_config_max_ns) == 2
+
+    def test_every_configuration_cpd_safe(
+        self, rotation_set, synth_design, synth_floorplan
+    ):
+        original_cpd = analyze(synth_design, synth_floorplan).cpd_ns
+        for floorplan in rotation_set.floorplans:
+            assert analyze(synth_design, floorplan).cpd_ns <= original_cpd + 1e-6
+
+    def test_every_configuration_legal(self, rotation_set, synth_floorplan):
+        from repro.arch import check_same_schedule
+
+        for floorplan in rotation_set.floorplans:
+            floorplan.validate()
+            check_same_schedule(synth_floorplan, floorplan)
+
+    def test_combined_stress_is_mean(self, rotation_set, synth_design):
+        recomputed = combined_stress_map(synth_design, rotation_set.floorplans)
+        assert recomputed.total_ns == pytest.approx(
+            rotation_set.combined_stress.total_ns
+        )
+
+    def test_combined_total_matches_single(self, rotation_set, synth_design):
+        """Averaging conserves total stress per schedule iteration."""
+        assert rotation_set.combined_stress.total_ns == pytest.approx(
+            synth_design.total_stress_ns()
+        )
+
+    def test_set_improves_on_single_configuration(
+        self, rotation_set, synth_design, synth_floorplan, fabric4
+    ):
+        """The time-averaged worst PE is bounded by the set budget and can
+        never exceed the worst single configuration (the mean of per-PE
+        values is at most their per-PE maximum)."""
+        worst_single = max(rotation_set.per_config_max_ns)
+        combined = rotation_set.combined_stress.max_accumulated_ns
+        assert combined <= worst_single + 1e-9
+        # Joint budget: cumulative stress <= final set target, so the
+        # average is bounded by target / K.
+        final_target = max(
+            (c.get("set_target_ns", 0.0) for c in rotation_set.stats["configs"]),
+            default=0.0,
+        )
+        if final_target:
+            assert combined <= final_target / rotation_set.size + 1e-9
+
+    def test_mttf_better_than_original(
+        self, rotation_set, synth_design, synth_floorplan, fabric4
+    ):
+        from repro.aging import compute_mttf
+        from repro.thermal import ThermalSimulator
+
+        original_stress = compute_stress_map(synth_design, synth_floorplan)
+        simulator = ThermalSimulator(fabric4)
+        thermal = simulator.simulate(original_stress.duty_per_context())
+        original = compute_mttf(original_stress, thermal.accumulated_k)
+        assert rotation_set.mttf.mttf_s >= original.mttf_s
+
+
+class TestValidation:
+    def test_k_must_be_positive(self, synth_design, synth_floorplan, fabric4):
+        with pytest.raises(FlowError):
+            build_rotation_set(
+                synth_design, fabric4, synth_floorplan, k=0,
+                config=fast_config(),
+            )
+
+    def test_empty_combined_rejected(self, synth_design):
+        with pytest.raises(FlowError):
+            combined_stress_map(synth_design, [])
+
+    def test_k1_reduces_to_single_flow(
+        self, synth_design, synth_floorplan, fabric4
+    ):
+        result = build_rotation_set(
+            synth_design, fabric4, synth_floorplan, k=1, config=fast_config()
+        )
+        assert result.size == 1
+        assert result.combined_stress.max_accumulated_ns == pytest.approx(
+            result.per_config_max_ns[0]
+        )

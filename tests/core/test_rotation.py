@@ -1,0 +1,193 @@
+"""Critical-path rotation tests: the 8-orientation group and the
+assignment rule of Section V-B.1."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import Fabric, Floorplan
+from repro.core import (
+    NUM_ORIENTATIONS,
+    apply_orientation,
+    assign_orientations,
+    freeze_plan,
+    rotate_plan,
+)
+from repro.errors import ArchitectureError, MappingError
+
+
+@pytest.fixture
+def fabric():
+    return Fabric(4, 4)
+
+
+coords4 = st.tuples(st.integers(0, 3), st.integers(0, 3))
+
+
+class TestOrientationGroup:
+    def test_identity(self, fabric):
+        assert apply_orientation(fabric, 0, (1, 2)) == (1, 2)
+
+    def test_quarter_turn(self, fabric):
+        # (r, c) -> (c, S-1-r)
+        assert apply_orientation(fabric, 1, (0, 0)) == (0, 3)
+        assert apply_orientation(fabric, 1, (1, 2)) == (2, 2)
+
+    def test_half_turn(self, fabric):
+        assert apply_orientation(fabric, 2, (0, 0)) == (3, 3)
+
+    def test_mirror(self, fabric):
+        assert apply_orientation(fabric, 4, (1, 0)) == (1, 3)
+
+    @given(pos=coords4)
+    def test_all_orientations_stay_on_grid(self, pos):
+        fabric = Fabric(4, 4)
+        for orientation in range(NUM_ORIENTATIONS):
+            row, col = apply_orientation(fabric, orientation, pos)
+            assert (row, col) in fabric
+
+    @given(pos=coords4)
+    def test_orientations_are_distinct_maps(self, pos):
+        """The 8 orientations form the dihedral group D4: as *maps* they
+        are pairwise distinct (verified on the full grid, not one point)."""
+        fabric = Fabric(4, 4)
+        images = []
+        for orientation in range(NUM_ORIENTATIONS):
+            image = tuple(
+                apply_orientation(fabric, orientation, (r, c))
+                for r in range(4)
+                for c in range(4)
+            )
+            images.append(image)
+        assert len(set(images)) == NUM_ORIENTATIONS
+
+    @given(a=coords4, b=coords4, orientation=st.integers(0, 7))
+    def test_manhattan_isometry(self, a, b, orientation):
+        """Rotations/mirrors of the square preserve L1 distances — the
+        property that makes rotated critical paths keep their delay."""
+        fabric = Fabric(4, 4)
+        ra = apply_orientation(fabric, orientation, a)
+        rb = apply_orientation(fabric, orientation, b)
+        original = abs(a[0] - b[0]) + abs(a[1] - b[1])
+        rotated = abs(ra[0] - rb[0]) + abs(ra[1] - rb[1])
+        assert rotated == original
+
+    @given(orientation=st.integers(0, 7))
+    def test_bijectivity(self, orientation):
+        fabric = Fabric(4, 4)
+        images = {
+            apply_orientation(fabric, orientation, (r, c))
+            for r in range(4)
+            for c in range(4)
+        }
+        assert len(images) == 16
+
+    def test_rectangular_fabric_rejected(self):
+        with pytest.raises(ArchitectureError):
+            apply_orientation(Fabric(2, 4), 1, (0, 0))
+
+    def test_bad_orientation_rejected(self, fabric):
+        with pytest.raises(ArchitectureError):
+            apply_orientation(fabric, 8, (0, 0))
+
+    def test_off_grid_position_rejected(self, fabric):
+        with pytest.raises(MappingError):
+            apply_orientation(fabric, 0, (4, 0))
+
+
+class TestAssignmentRule:
+    @given(c=st.integers(1, 8), seed=st.integers(0, 1000))
+    def test_small_context_counts_all_distinct(self, c, seed):
+        """C <= 8: no two contexts share an orientation (paper rule a)."""
+        orientations = assign_orientations(c, random.Random(seed))
+        assert len(orientations) == c
+        assert len(set(orientations)) == c
+
+    @given(c=st.integers(9, 40), seed=st.integers(0, 1000))
+    def test_large_context_counts_balanced(self, c, seed):
+        """C > 8: each orientation appears C//8 or C//8 + 1 times and at
+        least C//8 times (paper rule b)."""
+        orientations = assign_orientations(c, random.Random(seed))
+        assert len(orientations) == c
+        base = c // NUM_ORIENTATIONS
+        for orientation in range(NUM_ORIENTATIONS):
+            count = orientations.count(orientation)
+            assert base <= count <= base + 1
+
+    def test_deterministic_under_seed(self):
+        a = assign_orientations(16, random.Random(5))
+        b = assign_orientations(16, random.Random(5))
+        assert a == b
+
+    def test_invalid_count(self):
+        with pytest.raises(ArchitectureError):
+            assign_orientations(0, random.Random(0))
+
+
+def build_floorplan(fabric, critical):
+    fp = Floorplan(fabric, 2)
+    for op, (ctx, pe) in critical.items():
+        fp.bind(op, ctx, pe)
+    return fp
+
+
+class TestFreezeAndRotatePlans:
+    def test_freeze_keeps_positions(self, fabric):
+        fp = build_floorplan(fabric, {0: (0, 5), 1: (1, 5)})
+        plan = freeze_plan(fp, {0: [0], 1: [1]})
+        assert plan.positions == {0: 5, 1: 5}
+        assert set(plan.orientation_of_context.values()) == {0}
+
+    def test_rotate_reduces_overlap(self, fabric):
+        """Two contexts' critical ops on the same PE: rotation must
+        separate them (any two distinct orientations map PE 5 apart...
+        not always — but the overlap objective must not increase)."""
+        fp = build_floorplan(fabric, {0: (0, 0), 1: (1, 0)})
+        stress = {0: 3.0, 1: 3.0}
+        plan = rotate_plan(fp, {0: [0], 1: [1]}, stress, random.Random(1), samples=8)
+        frozen_pes = [plan.positions[0], plan.positions[1]]
+        # With 8 sampled draws on a corner op, some draw separates them.
+        assert frozen_pes[0] != frozen_pes[1]
+
+    def test_rotation_preserves_intra_context_distances(self, fabric):
+        fp = build_floorplan(
+            fabric, {0: (0, 0), 1: (0, 1), 2: (0, 5)}
+        )
+        plan = rotate_plan(
+            fp, {0: [0, 1, 2]}, {0: 1.0, 1: 1.0, 2: 1.0},
+            random.Random(3), samples=1,
+        )
+        def dist(op_a, op_b, positions):
+            pa, pb = positions[op_a], positions[op_b]
+            ra, ca = divmod(pa, 4)
+            rb, cb = divmod(pb, 4)
+            return abs(ra - rb) + abs(ca - cb)
+        original = {op: fp.pe_of[op] for op in (0, 1, 2)}
+        assert dist(0, 1, plan.positions) == dist(0, 1, original)
+        assert dist(1, 2, plan.positions) == dist(1, 2, original)
+
+    def test_rotate_never_collides_within_context(self, fabric):
+        fp = build_floorplan(
+            fabric, {0: (0, 0), 1: (0, 1), 2: (0, 2), 3: (0, 3)}
+        )
+        plan = rotate_plan(
+            fp, {0: [0, 1, 2, 3]}, {i: 1.0 for i in range(4)},
+            random.Random(7), samples=4,
+        )
+        assert len(set(plan.positions.values())) == 4
+
+    def test_samples_one_matches_paper_rule(self, fabric):
+        """samples=1 must use exactly the constrained-random draw."""
+        fp = build_floorplan(fabric, {0: (0, 6), 1: (1, 6)})
+        rng_state = random.Random(11)
+        expected = assign_orientations(2, random.Random(11))
+        plan = rotate_plan(
+            fp, {0: [0], 1: [1]}, {0: 1.0, 1: 1.0}, rng_state, samples=1
+        )
+        assert [
+            plan.orientation_of_context[0],
+            plan.orientation_of_context[1],
+        ] == expected[:2]

@@ -1,0 +1,80 @@
+"""Step-1 (ST_target lower bound) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aging import compute_stress_map
+from repro.core import (
+    RemapConfig,
+    default_delta_ns,
+    stress_target_lower_bound,
+)
+
+
+@pytest.fixture
+def inputs(synth_design, synth_floorplan, fabric4):
+    stress = compute_stress_map(synth_design, synth_floorplan)
+    return synth_design, fabric4, synth_floorplan, stress
+
+
+class TestBounds:
+    def test_result_within_brackets(self, inputs):
+        design, fabric, floorplan, stress = inputs
+        result = stress_target_lower_bound(
+            design, fabric, floorplan, stress, config=RemapConfig(time_limit_s=30)
+        )
+        assert stress.mean_accumulated_ns - 1e-9 <= result.st_target_ns
+        assert result.st_target_ns <= stress.max_accumulated_ns + default_delta_ns(stress)
+        assert result.st_low_ns == pytest.approx(stress.mean_accumulated_ns)
+        assert result.st_up_ns == pytest.approx(stress.max_accumulated_ns)
+
+    def test_target_is_delay_unaware_feasible(self, inputs):
+        """An integral delay-unaware floorplan must exist at the target."""
+        design, fabric, floorplan, stress = inputs
+        result = stress_target_lower_bound(
+            design, fabric, floorplan, stress, config=RemapConfig(time_limit_s=30)
+        )
+        assert result.stats.get("status") == "ok"
+
+    def test_target_is_meaningfully_below_original_max(self, inputs):
+        """The aging-unaware corner packing leaves lots of slack: the
+        delay-unaware bound should bite well below the original max."""
+        design, fabric, floorplan, stress = inputs
+        result = stress_target_lower_bound(
+            design, fabric, floorplan, stress, config=RemapConfig(time_limit_s=30)
+        )
+        assert result.st_target_ns < stress.max_accumulated_ns * 0.95
+
+    def test_deterministic(self, inputs):
+        design, fabric, floorplan, stress = inputs
+        a = stress_target_lower_bound(
+            design, fabric, floorplan, stress, config=RemapConfig(time_limit_s=30)
+        )
+        b = stress_target_lower_bound(
+            design, fabric, floorplan, stress, config=RemapConfig(time_limit_s=30)
+        )
+        assert a.st_target_ns == pytest.approx(b.st_target_ns)
+
+
+class TestDelta:
+    def test_default_delta_positive(self, inputs):
+        *_, stress = inputs
+        delta = default_delta_ns(stress)
+        assert delta > 0
+
+    def test_default_delta_span_fraction(self, inputs):
+        *_, stress = inputs
+        span = stress.max_accumulated_ns - stress.mean_accumulated_ns
+        delta = default_delta_ns(stress)
+        assert delta >= span / 20 - 1e-12
+
+    def test_floor_for_degenerate_span(self):
+        import numpy as np
+
+        from repro.aging import StressMap
+
+        uniform = StressMap(
+            per_context_ns=np.full((2, 4), 1.0), clock_period_ns=5.0
+        )
+        assert default_delta_ns(uniform) > 0

@@ -1,0 +1,97 @@
+"""The paper's Fig. 4 scenario driven through the *re-mapper* (experiment
+F4 in DESIGN.md).
+
+tests/timing/test_sta.py checks the STA arithmetic of the same scene;
+here the scene goes through constraint generation and the MILP, verifying
+that the solver respects exactly the bounds the paper derives:
+
+* path3 (the critical path) is frozen;
+* path1's ops may move anywhere satisfying wire length <= 11;
+* with a stress budget of one op per PE, path1's stressed PEs are
+  relieved without touching the CPD — the transformation of Fig. 4(c).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import Fabric, Floorplan, OpKind, UnitKind
+from repro.core import (
+    FrozenPlan,
+    RemapConfig,
+    build_remap_model,
+    default_candidates,
+    solve_remap,
+)
+from repro.hls import MappedDesign, OpInfo
+from repro.timing import TimingPath, all_critical_paths, analyze, filter_paths
+
+
+@pytest.fixture(scope="module")
+def scene():
+    design = MappedDesign(name="fig4", num_contexts=1)
+    for op in range(9):
+        design.ops[op] = OpInfo(op, OpKind.ADD, 32, 0, UnitKind.ALU, 2.0, 2.0)
+    design.compute_edges = [
+        (0, 1), (1, 2),
+        (3, 4), (4, 5), (5, 6), (6, 7), (7, 8),
+    ]
+    fabric = Fabric(4, 4, unit_wire_delay_ns=1.0)
+    floorplan = Floorplan(fabric, 1)
+    for op, pe in zip(range(3), (0, 4, 8)):
+        floorplan.bind(op, 0, pe)
+    for op, pe in zip(range(3, 9), (1, 5, 9, 13, 14, 15)):
+        floorplan.bind(op, 0, pe)
+    return design, fabric, floorplan
+
+
+@pytest.fixture(scope="module")
+def remapped(scene):
+    design, fabric, floorplan = scene
+    report = analyze(design, floorplan)
+    critical_ops = {
+        op for p in all_critical_paths(design, floorplan) for op in p.chain
+    }
+    frozen = FrozenPlan(
+        positions={op: floorplan.pe_of[op] for op in critical_ops},
+        orientation_of_context={0: 0},
+    )
+    monitored = filter_paths(design, floorplan, retention=0.99).non_critical
+    candidates = default_candidates(design, floorplan, frozen, fabric, None)
+    model, variables, _ = build_remap_model(
+        design, fabric, frozen, candidates, monitored,
+        cpd_ns=report.cpd_ns, st_target_ns=2.0,
+    )
+    outcome = solve_remap(model, variables, RemapConfig(time_limit_s=30))
+    assert outcome.feasible
+    return design, fabric, floorplan, frozen, outcome.floorplan(floorplan, frozen)
+
+
+class TestFig4Remap:
+    def test_critical_path_untouched(self, remapped):
+        design, fabric, original, frozen, new = remapped
+        for op in range(3, 9):
+            assert new.pe_of[op] == original.pe_of[op]
+
+    def test_cpd_exactly_preserved(self, remapped):
+        design, fabric, original, frozen, new = remapped
+        assert analyze(design, new).cpd_ns == pytest.approx(17.0)
+
+    def test_path1_within_wire_bound(self, remapped):
+        design, fabric, original, frozen, new = remapped
+        path1 = TimingPath(context=0, chain=(0, 1, 2))
+        assert path1.wire_length(new) <= 11.0 + 1e-9
+
+    def test_stress_budget_one_op_per_pe(self, remapped):
+        from repro.aging import compute_stress_map
+
+        design, fabric, original, frozen, new = remapped
+        stress = compute_stress_map(design, new)
+        assert stress.max_accumulated_ns == pytest.approx(2.0)
+
+    def test_stressed_pes_relieved(self, remapped):
+        """Fig. 4(c): the ops of path1 move off the doubly-used column."""
+        design, fabric, original, frozen, new = remapped
+        new.validate()
+        # Every PE hosts at most one op now (budget 2.0 = one op).
+        assert len(set(new.pe_of.values())) == 9

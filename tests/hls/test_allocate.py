@@ -1,0 +1,95 @@
+"""Technology-mapping (MappedDesign) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import OpKind, UnitKind
+from repro.errors import HLSError
+from repro.hls import DataflowGraph, MappedDesign, OpInfo, schedule_dfg, tech_map
+
+
+@pytest.fixture
+def design():
+    g = DataflowGraph("t")
+    a = g.add_input("a")
+    c = g.add_const(3)
+    m = g.add_node(OpKind.MUL, (a, c))
+    s = g.add_node(OpKind.ADD, (m, a))
+    g.add_output(s, "y")
+    return tech_map(schedule_dfg(g, capacity=4))
+
+
+class TestTechMap:
+    def test_ops_are_compute_nodes(self, design):
+        assert set(design.ops) == {2, 3}
+        assert design.ops[2].unit is UnitKind.DMU
+        assert design.ops[3].unit is UnitKind.ALU
+
+    def test_stress_equals_delay(self, design):
+        for op in design.ops.values():
+            assert op.stress_ns == pytest.approx(op.delay_ns)
+
+    def test_const_edges_elided(self, design):
+        # The MUL's constant operand must not create a wire.
+        assert all(src != 1 for src, _ in design.compute_edges)
+
+    def test_input_and_output_edges(self, design):
+        assert (0, 2) in design.input_edges  # pad 0 -> MUL
+        assert (0, 3) in design.input_edges  # pad 0 -> ADD (a reused)
+        assert design.output_edges == [(3, 0)]
+
+    def test_compute_edge(self, design):
+        assert (2, 3) in design.compute_edges
+
+    def test_total_stress_invariant_quantity(self, design):
+        expected = sum(op.stress_ns for op in design.ops.values())
+        assert design.total_stress_ns() == pytest.approx(expected)
+
+    def test_context_queries(self, design):
+        sizes = design.context_sizes()
+        assert sum(sizes) == 2
+        assert design.max_context_size() == max(sizes)
+
+    def test_producers_consumers(self, design):
+        assert design.consumers_of(2) == [3]
+        assert design.producers_of(3) == [2]
+
+
+class TestValidation:
+    def test_backward_edge_rejected(self):
+        design = MappedDesign(name="bad", num_contexts=2)
+        design.ops[0] = OpInfo(0, OpKind.ADD, 32, 1, UnitKind.ALU, 0.87, 0.87)
+        design.ops[1] = OpInfo(1, OpKind.ADD, 32, 0, UnitKind.ALU, 0.87, 0.87)
+        design.compute_edges.append((0, 1))  # context 1 -> context 0
+        with pytest.raises(HLSError):
+            design.validate()
+
+    def test_unknown_edge_endpoint_rejected(self):
+        design = MappedDesign(name="bad", num_contexts=1)
+        design.ops[0] = OpInfo(0, OpKind.ADD, 32, 0, UnitKind.ALU, 0.87, 0.87)
+        design.compute_edges.append((0, 42))
+        with pytest.raises(HLSError):
+            design.validate()
+
+    def test_out_of_range_context_rejected(self):
+        design = MappedDesign(name="bad", num_contexts=1)
+        design.ops[0] = OpInfo(0, OpKind.ADD, 32, 5, UnitKind.ALU, 0.87, 0.87)
+        with pytest.raises(HLSError):
+            design.validate()
+
+    def test_nonpositive_delay_rejected(self):
+        design = MappedDesign(name="bad", num_contexts=1)
+        design.ops[0] = OpInfo(0, OpKind.ADD, 32, 0, UnitKind.ALU, 0.0, 0.0)
+        with pytest.raises(HLSError):
+            design.validate()
+
+
+class TestOnRealKernel:
+    def test_small_design_consistent(self, small_design):
+        small_design.validate()
+        assert small_design.num_ops > 0
+        assert small_design.num_contexts >= 1
+        # Every context edge respects the schedule ordering.
+        for src, dst in small_design.compute_edges:
+            assert small_design.ops[src].context <= small_design.ops[dst].context

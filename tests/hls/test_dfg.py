@@ -1,0 +1,139 @@
+"""Dataflow-graph IR tests, including reference-semantics properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch import OpKind
+from repro.errors import HLSError
+from repro.hls import DataflowGraph
+from repro.hls.dfg import _truncate
+
+
+@pytest.fixture
+def graph():
+    g = DataflowGraph("g")
+    a = g.add_input("a")
+    b = g.add_input("b")
+    s = g.add_node(OpKind.ADD, (a, b))
+    g.add_output(s, "y")
+    return g
+
+
+class TestConstruction:
+    def test_ids_dense(self, graph):
+        assert sorted(graph.nodes) == [0, 1, 2, 3]
+
+    def test_arity_enforced(self, graph):
+        with pytest.raises(HLSError):
+            graph.add_node(OpKind.ADD, (0,))
+        with pytest.raises(HLSError):
+            graph.add_node(OpKind.NEG, (0, 1))
+
+    def test_missing_producer_rejected(self):
+        g = DataflowGraph()
+        with pytest.raises(HLSError):
+            g.add_node(OpKind.NEG, (7,))
+
+    def test_successors_and_predecessors(self, graph):
+        assert graph.successors(0) == [2]
+        assert graph.predecessors(2) == (0, 1)
+
+    def test_compute_classification(self, graph):
+        assert [n.node_id for n in graph.compute_nodes()] == [2]
+        assert graph.num_compute == 1
+        assert len(graph.input_nodes()) == 2
+        assert len(graph.output_nodes()) == 1
+
+    def test_output_inherits_width(self):
+        g = DataflowGraph()
+        a = g.add_input("a", width=16)
+        out = g.add_output(a, "y")
+        assert g.node(out).width == 16
+
+    def test_unknown_node_lookup(self, graph):
+        with pytest.raises(HLSError):
+            graph.node(99)
+
+
+class TestTopologicalOrder:
+    def test_respects_dependencies(self, graph):
+        order = graph.topological_order()
+        assert order.index(2) > order.index(0)
+        assert order.index(3) > order.index(2)
+
+    def test_validate_passes(self, graph):
+        graph.validate()
+
+
+class TestEvaluation:
+    def test_straight_line(self, graph):
+        assert graph.evaluate({"a": 3, "b": 4}) == {"y": 7}
+
+    def test_missing_input_value(self, graph):
+        with pytest.raises(HLSError):
+            graph.evaluate({"a": 3})
+
+    def test_select_semantics(self):
+        g = DataflowGraph()
+        c = g.add_input("c")
+        t = g.add_const(10)
+        f = g.add_const(20)
+        sel = g.add_node(OpKind.SELECT, (c, t, f))
+        g.add_output(sel, "y")
+        assert g.evaluate({"c": 1}) == {"y": 10}
+        assert g.evaluate({"c": 0}) == {"y": 20}
+
+    def test_division_by_zero_yields_zero(self):
+        g = DataflowGraph()
+        a = g.add_input("a")
+        z = g.add_const(0)
+        d = g.add_node(OpKind.DIV, (a, z))
+        g.add_output(d, "y")
+        assert g.evaluate({"a": 5}) == {"y": 0}
+
+    def test_width_wrapping(self):
+        g = DataflowGraph()
+        a = g.add_input("a", width=8)
+        b = g.add_input("b", width=8)
+        s = g.add_node(OpKind.ADD, (a, b), width=8)
+        g.add_output(s, "y")
+        assert g.evaluate({"a": 127, "b": 1}) == {"y": -128}
+
+    def test_comparison_results(self):
+        g = DataflowGraph()
+        a = g.add_input("a")
+        b = g.add_input("b")
+        lt = g.add_node(OpKind.LT, (a, b))
+        g.add_output(lt, "y")
+        assert g.evaluate({"a": 1, "b": 2}) == {"y": 1}
+        assert g.evaluate({"a": 2, "b": 1}) == {"y": 0}
+
+
+int32 = st.integers(-(2**31), 2**31 - 1)
+
+
+class TestTruncationProperties:
+    @given(value=st.integers(-(2**40), 2**40), width=st.sampled_from([8, 16, 32]))
+    def test_truncate_range(self, value, width):
+        result = _truncate(value, width)
+        assert -(2 ** (width - 1)) <= result < 2 ** (width - 1)
+
+    @given(value=int32)
+    def test_truncate_identity_in_range(self, value):
+        assert _truncate(value, 32) == value
+
+    @given(a=int32, b=int32)
+    def test_add_matches_wrapped_python(self, a, b):
+        g = DataflowGraph()
+        na, nb = g.add_input("a"), g.add_input("b")
+        g.add_output(g.add_node(OpKind.ADD, (na, nb)), "y")
+        assert g.evaluate({"a": a, "b": b})["y"] == _truncate(a + b, 32)
+
+    @given(a=int32, b=int32)
+    def test_xor_matches_python(self, a, b):
+        g = DataflowGraph()
+        na, nb = g.add_input("a"), g.add_input("b")
+        g.add_output(g.add_node(OpKind.XOR, (na, nb)), "y")
+        assert g.evaluate({"a": a, "b": b})["y"] == _truncate(a ^ b, 32)

@@ -1,0 +1,95 @@
+"""Tokeniser tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LexerError
+from repro.hls import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source_gives_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("int foo short bar2 in out")
+        assert [t.kind for t in tokens[:-1]] == [
+            TokenKind.KEYWORD, TokenKind.IDENT,
+            TokenKind.KEYWORD, TokenKind.IDENT,
+            TokenKind.KEYWORD, TokenKind.KEYWORD,
+        ]
+
+    def test_numbers_decimal_and_hex(self):
+        assert texts("42 0x1F 0") == ["42", "0x1F", "0"]
+        assert int(tokenize("0x1F")[0].text, 0) == 31
+
+    def test_number_with_trailing_letter_rejected(self):
+        with pytest.raises(LexerError):
+            tokenize("42abc")
+
+    def test_malformed_hex_rejected(self):
+        with pytest.raises(LexerError):
+            tokenize("0x")
+
+    def test_underscore_identifier(self):
+        assert texts("_tmp x_1") == ["_tmp", "x_1"]
+
+
+class TestOperators:
+    def test_maximal_munch(self):
+        assert texts("a <<= b << c <= d < e") == [
+            "a", "<<=", "b", "<<", "c", "<=", "d", "<", "e"
+        ]
+
+    def test_compound_assignment_ops(self):
+        assert texts("+= -= *= /= %= &= |= ^=") == [
+            "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="
+        ]
+
+    def test_increment_decrement(self):
+        assert texts("i++ --j") == ["i", "++", "--", "j"]
+
+    def test_punctuation(self):
+        assert kinds("(){}[];,") == [TokenKind.PUNCT] * 8
+
+    def test_ternary(self):
+        assert texts("a ? b : c") == ["a", "?", "b", ":", "c"]
+
+
+class TestCommentsAndPositions:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\n y */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("a /* never ends")
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_unknown_character(self):
+        with pytest.raises(LexerError) as excinfo:
+            tokenize("a $ b")
+        assert excinfo.value.column == 3
+
+    def test_token_helpers(self):
+        token = tokenize("int")[0]
+        assert token.is_keyword("int", "short")
+        assert not token.is_op("+")
+        assert not token.is_punct(";")

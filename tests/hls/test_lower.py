@@ -1,0 +1,216 @@
+"""Lowering tests: the DFG must preserve mini-C semantics.
+
+The strongest checks compare ``DataflowGraph.evaluate`` against a direct
+Python interpretation of the same program for concrete and
+hypothesis-generated inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import OpKind
+from repro.errors import HLSError
+from repro.hls import compile_source
+
+
+def run(source, **inputs):
+    return compile_source(source, "t").evaluate(inputs)
+
+
+class TestStraightLine:
+    def test_expression(self):
+        assert run("in int a, b; out int y = a * 3 - b;", a=5, b=2) == {"y": 13}
+
+    def test_constant_folding_removes_nodes(self):
+        dfg = compile_source("out int y = 2 * 3 + 4;", "t")
+        assert dfg.num_compute == 0
+        assert dfg.evaluate({}) == {"y": 10}
+
+    def test_mixed_const_and_var(self):
+        assert run("in int a; out int y = (2 + 3) * a;", a=4) == {"y": 20}
+
+    def test_multiple_outputs(self):
+        result = run("in int a; out int y1 = a + 1; out int y2 = a - 1;", a=10)
+        assert result == {"y1": 11, "y2": 9}
+
+    def test_use_before_assignment_rejected(self):
+        with pytest.raises(HLSError):
+            compile_source("int x; out int y = x + 1;", "t")
+
+    def test_width_promotion(self):
+        dfg = compile_source("in char a; in short b; out int y = a + b;", "t")
+        add_nodes = [n for n in dfg if n.kind is OpKind.ADD]
+        assert add_nodes[0].width == 16  # max of operand widths
+
+
+class TestIfConversion:
+    SRC = """
+    in int a;
+    int x = 0;
+    if (a > 10) x = a - 10; else x = a + 10;
+    out int y = x;
+    """
+
+    def test_both_branches(self):
+        assert run(self.SRC, a=15) == {"y": 5}
+        assert run(self.SRC, a=5) == {"y": 15}
+
+    def test_select_node_created(self):
+        dfg = compile_source(self.SRC, "t")
+        assert any(n.kind is OpKind.SELECT for n in dfg)
+
+    def test_static_branch_elided(self):
+        dfg = compile_source(
+            "in int a; int x = 0; if (1 < 2) x = a; else x = a * 1000;"
+            "out int y = x;",
+            "t",
+        )
+        assert not any(n.kind is OpKind.SELECT for n in dfg)
+
+    def test_nested_ifs(self):
+        src = """
+        in int a;
+        int x = 0;
+        if (a > 0) { if (a > 100) x = 2; else x = 1; } else x = -1;
+        out int y = x;
+        """
+        assert run(src, a=500) == {"y": 2}
+        assert run(src, a=50) == {"y": 1}
+        assert run(src, a=-3) == {"y": -1}
+
+    def test_one_sided_if_with_prior_value(self):
+        src = "in int a; int x = 7; if (a) x = a; out int y = x;"
+        assert run(src, a=0) == {"y": 7}
+        assert run(src, a=3) == {"y": 3}
+
+    def test_one_sided_if_without_prior_value_rejected(self):
+        with pytest.raises(HLSError):
+            compile_source(
+                "in int a; int x; if (a) x = 1; out int y = x;", "t"
+            )
+
+    def test_ternary_expression(self):
+        src = "in int a; out int y = a > 0 ? a : -a;"
+        assert run(src, a=-5) == {"y": 5}
+        assert run(src, a=5) == {"y": 5}
+
+
+class TestLoops:
+    def test_full_unroll_sum(self):
+        src = """
+        int i; int s = 0;
+        for (i = 0; i < 5; i++) s += i;
+        out int y = s;
+        """
+        assert run(src) == {"y": 10}
+
+    def test_loop_over_array(self):
+        src = """
+        in int a;
+        int i; int arr[4]; int s = 0;
+        for (i = 0; i < 4; i++) arr[i] = a + i;
+        for (i = 3; i >= 0; i--) s = s * 2 + arr[i];
+        out int y = s;
+        """
+        a = 3
+        arr = [a + i for i in range(4)]
+        expected = 0
+        for i in reversed(range(4)):
+            expected = expected * 2 + arr[i]
+        assert run(src, a=a) == {"y": expected}
+
+    def test_zero_trip_loop(self):
+        src = "int i; int s = 5; for (i = 0; i < 0; i++) s = 0; out int y = s;"
+        assert run(src) == {"y": 5}
+
+    def test_step_by_two(self):
+        src = "int i; int s = 0; for (i = 0; i < 10; i += 2) s += 1; out int y = s;"
+        assert run(src) == {"y": 5}
+
+    def test_non_constant_bound_rejected(self):
+        with pytest.raises(HLSError):
+            compile_source(
+                "in int n; int i; int s = 0;"
+                "for (i = 0; i < n; i++) s += 1; out int y = s;",
+                "t",
+            )
+
+    def test_runaway_loop_rejected(self):
+        with pytest.raises(HLSError):
+            compile_source(
+                "int i; int s = 0;"
+                "for (i = 0; i < 100000000; i++) s += 1; out int y = s;",
+                "t",
+            )
+
+    def test_loop_variable_value_after_loop(self):
+        src = "int i; for (i = 0; i < 4; i++) ; out int y = i;"
+        assert run(src) == {"y": 4}
+
+
+class TestArrays:
+    def test_constant_index_store_load(self):
+        src = "int a[3]; a[0] = 1; a[1] = 2; a[2] = a[0] + a[1]; out int y = a[2];"
+        assert run(src) == {"y": 3}
+
+    def test_computed_constant_index(self):
+        src = "int i; int a[4]; for (i = 0; i < 4; i++) a[3 - i] = i; out int y = a[0];"
+        assert run(src) == {"y": 3}
+
+    def test_dynamic_index_rejected(self):
+        with pytest.raises(HLSError):
+            compile_source(
+                "in int n; int a[4]; a[0] = 1; out int y = a[n];", "t"
+            )
+
+    def test_array_input(self):
+        src = "in int v[2]; out int y = v[0] * v[1];"
+        dfg = compile_source(src, "t")
+        assert dfg.evaluate({"v[0]": 3, "v[1]": 4}) == {"y": 12}
+
+
+small_int = st.integers(-1000, 1000)
+
+
+class TestSemanticEquivalence:
+    """Lowered DFGs match direct Python evaluation on random inputs."""
+
+    KERNEL = """
+    in int a, b;
+    int i;
+    int acc = 0;
+    int w[4];
+    for (i = 0; i < 4; i++) w[i] = (a >> i) ^ (b << i);
+    for (i = 0; i < 4; i++) acc += w[i] * (i + 1);
+    out int y;
+    if (acc < 0) y = -acc; else y = acc;
+    """
+
+    @staticmethod
+    def reference(a, b):
+        def t(v):
+            v &= 0xFFFFFFFF
+            return v - (1 << 32) if v >= 1 << 31 else v
+
+        w = [t(t(a >> i) ^ t(t(b << i))) for i in range(4)]
+        acc = 0
+        for i in range(4):
+            acc = t(acc + t(w[i] * (i + 1)))
+        return t(-acc) if acc < 0 else acc
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=small_int, b=small_int)
+    def test_kernel_matches_reference(self, a, b):
+        assert run(self.KERNEL, a=a, b=b) == {"y": self.reference(a, b)}
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=small_int, b=small_int, c=small_int)
+    def test_random_expression(self, a, b, c):
+        src = "in int a, b, c; out int y = (a + b) * c - (a ^ b) + (c >> 2);"
+        def t(v):
+            v &= 0xFFFFFFFF
+            return v - (1 << 32) if v >= 1 << 31 else v
+        expected = t(t(t(t((a + b)) * c) - (a ^ b)) + (c >> 2))
+        assert run(src, a=a, b=b, c=c) == {"y": expected}

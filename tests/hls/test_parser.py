@@ -1,0 +1,163 @@
+"""Parser tests: grammar coverage and precedence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.hls import parse_source
+from repro.hls.ast_nodes import (
+    ArrayRef,
+    Assign,
+    BinaryOp,
+    Conditional,
+    Decl,
+    For,
+    If,
+    NumberLit,
+    UnaryOp,
+    VarRef,
+)
+
+
+class TestDeclarations:
+    def test_scalar_decl_with_init(self):
+        program = parse_source("int x = 3;")
+        decl = program.statements[0]
+        assert isinstance(decl, Decl)
+        assert decl.name == "x"
+        assert isinstance(decl.init, NumberLit)
+
+    def test_qualifiers(self):
+        program = parse_source("in int a; out short b = 1;")
+        assert program.statements[0].qualifier == "in"
+        assert program.statements[1].qualifier == "out"
+        assert program.statements[1].ctype == "short"
+
+    def test_array_decl(self):
+        decl = parse_source("int a[8];").statements[0]
+        assert decl.array_size == 8
+
+    def test_multi_declarator_flattened(self):
+        program = parse_source("int a = 1, b, c = 2;")
+        names = [s.name for s in program.statements]
+        assert names == ["a", "b", "c"]
+
+    def test_array_size_must_be_constant(self):
+        with pytest.raises(ParseError):
+            parse_source("int a[n];")
+
+
+class TestAssignments:
+    def test_simple_and_compound(self):
+        program = parse_source("int x = 0; x = 1; x += 2;")
+        assert program.statements[1].op == "="
+        assert program.statements[2].op == "+="
+
+    def test_increment_sugar(self):
+        stmt = parse_source("int i = 0; i++;").statements[1]
+        assert isinstance(stmt, Assign)
+        assert stmt.op == "+="
+        assert stmt.value.value == 1
+
+    def test_array_element_assignment(self):
+        stmt = parse_source("int a[4]; a[2] = 5;").statements[1]
+        assert isinstance(stmt.target, ArrayRef)
+        assert stmt.target.index.value == 2
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_source("int x = 1")
+
+
+class TestControlFlow:
+    def test_if_else_blocks(self):
+        stmt = parse_source(
+            "int x = 1; if (x > 0) { x = 2; x = 3; } else x = 4;"
+        ).statements[1]
+        assert isinstance(stmt, If)
+        assert len(stmt.then_body) == 2
+        assert len(stmt.else_body) == 1
+
+    def test_if_without_else(self):
+        stmt = parse_source("int x = 1; if (x) x = 0;").statements[1]
+        assert stmt.else_body == ()
+
+    def test_for_loop_structure(self):
+        stmt = parse_source(
+            "int i; int s = 0; for (i = 0; i < 4; i++) s += i;"
+        ).statements[2]
+        assert isinstance(stmt, For)
+        assert stmt.var == "i"
+        assert isinstance(stmt.cond, BinaryOp)
+        assert stmt.step.op == "+="
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse_source("int x = 1; if (x) { x = 2;")
+
+
+class TestExpressions:
+    def expr_of(self, text):
+        return parse_source(f"int q = {text};").statements[0].init
+
+    def test_precedence_mul_over_add(self):
+        expr = self.expr_of("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = self.expr_of("8 - 4 - 2")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+        assert expr.right.value == 2
+
+    def test_parentheses_override(self):
+        expr = self.expr_of("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_shift_vs_relational(self):
+        expr = self.expr_of("1 << 2 < 3")
+        assert expr.op == "<"
+        assert expr.left.op == "<<"
+
+    def test_bitwise_precedence_chain(self):
+        expr = self.expr_of("1 | 2 ^ 3 & 4")
+        assert expr.op == "|"
+        assert expr.right.op == "^"
+        assert expr.right.right.op == "&"
+
+    def test_unary_operators(self):
+        expr = self.expr_of("-~!3")
+        assert isinstance(expr, UnaryOp) and expr.op == "-"
+        assert expr.operand.op == "~"
+        assert expr.operand.operand.op == "!"
+
+    def test_unary_plus_elided(self):
+        assert isinstance(self.expr_of("+5"), NumberLit)
+
+    def test_ternary(self):
+        expr = self.expr_of("1 ? 2 : 3 ? 4 : 5")
+        assert isinstance(expr, Conditional)
+        assert isinstance(expr.if_false, Conditional)  # right-assoc
+
+    def test_array_reference_expression(self):
+        program = parse_source("int a[4]; int q = a[1 + 2];")
+        expr = program.statements[1].init
+        assert isinstance(expr, ArrayRef)
+        assert expr.index.op == "+"
+
+    def test_logical_operators(self):
+        expr = self.expr_of("1 && 2 || 3")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_garbage_expression(self):
+        with pytest.raises(ParseError):
+            parse_source("int q = * 2;")
+
+    def test_error_positions(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_source("int x = 1;\n???")
+        assert "line 2" in str(excinfo.value) or excinfo.value.line == 2

@@ -1,0 +1,148 @@
+"""Scheduler tests: precedence, capacity, chaining."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import OpKind, op_delay_ns
+from repro.errors import SchedulingError
+from repro.hls import DataflowGraph, asap_cycles, schedule_dfg
+from repro.units import CLOCK_PERIOD_NS
+
+
+def chain_graph(length, kind=OpKind.MUL):
+    """A linear dependency chain of `length` compute ops."""
+    g = DataflowGraph("chain")
+    prev = g.add_input("a")
+    zero = g.add_const(1)
+    for _ in range(length):
+        prev = g.add_node(kind, (prev, zero))
+    g.add_output(prev, "y")
+    return g
+
+
+def wide_graph(width):
+    """`width` independent ops feeding one reduction tree level."""
+    g = DataflowGraph("wide")
+    a = g.add_input("a")
+    b = g.add_input("b")
+    ops = [g.add_node(OpKind.ADD, (a, b)) for _ in range(width)]
+    for op in ops:
+        g.add_output(op, f"y{op}")
+    return g
+
+
+class TestAsap:
+    def test_dmu_chain_splits_cycles(self):
+        """Two chained MULs (3.14 ns each) cannot share a 4 ns budget."""
+        g = chain_graph(2)
+        cycles = asap_cycles(g, chain_limit_ns=0.8 * CLOCK_PERIOD_NS)
+        values = sorted(cycles.values())
+        assert values == [0, 1]
+
+    def test_alu_ops_chain_in_one_cycle(self):
+        g = chain_graph(3, OpKind.ADD)  # 3 x 0.87 = 2.61 < 4 ns
+        cycles = asap_cycles(g, chain_limit_ns=0.8 * CLOCK_PERIOD_NS)
+        assert set(cycles.values()) == {0}
+
+    def test_oversized_op_rejected(self):
+        g = chain_graph(1)
+        with pytest.raises(SchedulingError):
+            asap_cycles(g, chain_limit_ns=1.0)  # MUL is 3.14 ns
+
+
+class TestResourceConstraints:
+    def test_capacity_respected(self):
+        g = wide_graph(10)
+        schedule = schedule_dfg(g, capacity=4)
+        assert schedule.max_ops_per_cycle() <= 4
+        assert schedule.num_contexts >= 3
+
+    def test_unconstrained_single_cycle(self):
+        g = wide_graph(10)
+        schedule = schedule_dfg(g, capacity=16)
+        assert schedule.num_contexts == 1
+
+    def test_capacity_one(self):
+        g = wide_graph(5)
+        schedule = schedule_dfg(g, capacity=1)
+        assert schedule.num_contexts == 5
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SchedulingError):
+            schedule_dfg(wide_graph(2), capacity=0)
+
+    def test_min_contexts_padding(self):
+        g = wide_graph(2)
+        schedule = schedule_dfg(g, capacity=16, min_contexts=6)
+        assert schedule.num_contexts == 6
+
+
+class TestValidation:
+    def test_validate_catches_backward_dependency(self):
+        g = chain_graph(2)
+        schedule = schedule_dfg(g, capacity=16)
+        # Corrupt: move the first op after its consumer.
+        first = min(schedule.cycle_of)
+        schedule.cycle_of[first] = 99
+        with pytest.raises(SchedulingError):
+            schedule.validate()
+
+    def test_validate_catches_capacity(self):
+        g = wide_graph(8)
+        schedule = schedule_dfg(g, capacity=8)
+        with pytest.raises(SchedulingError):
+            schedule.validate(capacity=2)
+
+    def test_ops_in_cycle(self):
+        g = wide_graph(4)
+        schedule = schedule_dfg(g, capacity=2)
+        assert len(schedule.ops_in_cycle(0)) == 2
+
+
+@st.composite
+def random_dag(draw):
+    """A random small DAG of compute ops over two inputs."""
+    g = DataflowGraph("rand")
+    nodes = [g.add_input("a"), g.add_input("b")]
+    num_ops = draw(st.integers(3, 20))
+    for _ in range(num_ops):
+        kind = draw(st.sampled_from([OpKind.ADD, OpKind.MUL, OpKind.XOR]))
+        left = draw(st.sampled_from(nodes))
+        right = draw(st.sampled_from(nodes))
+        nodes.append(g.add_node(kind, (left, right)))
+    g.add_output(nodes[-1], "y")
+    return g
+
+
+class TestScheduleProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(g=random_dag(), capacity=st.integers(2, 8))
+    def test_schedule_always_valid(self, g, capacity):
+        schedule = schedule_dfg(g, capacity=capacity)
+        schedule.validate(capacity)
+        # Every compute op is scheduled exactly once.
+        assert set(schedule.cycle_of) == {
+            n.node_id for n in g.compute_nodes()
+        }
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=random_dag())
+    def test_chain_delay_within_limit(self, g):
+        """Accumulated PE delay of any same-cycle chain fits the budget."""
+        schedule = schedule_dfg(g, capacity=8)
+        limit = schedule.chain_limit_ns
+        finish: dict[int, float] = {}
+        for nid in g.topological_order():
+            node = g.node(nid)
+            if not node.is_compute:
+                continue
+            cycle = schedule.cycle_of[nid]
+            start = 0.0
+            for pred in node.inputs:
+                pred_node = g.node(pred)
+                if pred_node.is_compute and schedule.cycle_of[pred] == cycle:
+                    start = max(start, finish[pred])
+            finish[nid] = start + op_delay_ns(node.kind, node.width)
+            assert finish[nid] <= limit + 1e-9

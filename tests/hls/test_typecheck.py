@@ -1,0 +1,100 @@
+"""Semantic-analysis tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.hls import check_program, parse_source
+
+
+def check(source):
+    return check_program(parse_source(source))
+
+
+class TestDeclarations:
+    def test_valid_program(self):
+        table = check("in int a; out int y = a + 1;")
+        assert {s.name for s in table.symbols()} == {"a", "y"}
+
+    def test_redeclaration_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("int x; int x; out int y = 1;")
+
+    def test_undeclared_use_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("out int y = q;")
+
+    def test_input_with_initializer_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("in int a = 3; out int y = a;")
+
+    def test_nonpositive_array_size_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("int a[0]; out int y = 1;")
+
+    def test_widths(self):
+        table = check("in char a; in short b; out int y = a + b;")
+        widths = {s.name: s.width for s in table.symbols()}
+        assert widths == {"a": 8, "b": 16, "y": 32}
+
+
+class TestOutputs:
+    def test_program_without_outputs_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("in int a; int x = a;")
+
+    def test_unassigned_output_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("in int a; out int y;")
+
+    def test_output_assigned_later_ok(self):
+        check("in int a; out int y; y = a * 2;")
+
+
+class TestAssignments:
+    def test_assign_to_input_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("in int a; a = 3; out int y = a;")
+
+    def test_compound_assign_before_init_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("int x; x += 1; out int y = x;")
+
+    def test_scalar_used_as_array_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("int x = 1; x[0] = 2; out int y = x;")
+
+    def test_array_used_as_scalar_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("int a[4]; a = 2; out int y = 1;")
+
+    def test_array_read_without_index_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check("int a[4]; a[0] = 1; out int y = a;")
+
+    def test_constant_index_bounds(self):
+        with pytest.raises(TypeCheckError):
+            check("int a[4]; a[4] = 1; out int y = a[0];")
+        with pytest.raises(TypeCheckError):
+            check("int a[4]; a[0] = 1; out int y = a[7];")
+
+
+class TestControlFlow:
+    def test_loop_variable_must_be_declared(self):
+        with pytest.raises(TypeCheckError):
+            check("int s = 0; for (i = 0; i < 4; i++) s += 1; out int y = s;")
+
+    def test_loop_variable_must_be_scalar(self):
+        with pytest.raises(TypeCheckError):
+            check(
+                "int i[2]; int s = 0;"
+                "for (i = 0; i < 4; i++) s += 1; out int y = s;"
+            )
+
+    def test_branch_checks_recurse(self):
+        with pytest.raises(TypeCheckError):
+            check("in int a; out int y; if (a) y = missing; else y = 1;")
+
+    def test_valid_loop(self):
+        check("int i; int s = 0; for (i = 0; i < 3; i++) s += i; out int y = s;")

@@ -1,0 +1,144 @@
+"""Serialization round-trip and validation tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import Fabric, Floorplan
+from repro.benchgen import SyntheticSpec, generate_design
+from repro.io import (
+    SerializationError,
+    design_from_dict,
+    design_to_dict,
+    floorplan_from_dict,
+    floorplan_to_dict,
+    load_design,
+    load_floorplan,
+    save_design,
+    save_floorplan,
+)
+
+
+class TestDesignRoundTrip:
+    def test_dict_round_trip(self, synth_design):
+        data = design_to_dict(synth_design)
+        clone = design_from_dict(data)
+        assert clone.name == synth_design.name
+        assert clone.num_contexts == synth_design.num_contexts
+        assert set(clone.ops) == set(synth_design.ops)
+        assert clone.compute_edges == synth_design.compute_edges
+        assert clone.input_edges == synth_design.input_edges
+        for op_id, op in synth_design.ops.items():
+            restored = clone.ops[op_id]
+            assert restored.kind == op.kind
+            assert restored.delay_ns == pytest.approx(op.delay_ns)
+            assert restored.unit == op.unit
+
+    def test_file_round_trip(self, synth_design, tmp_path):
+        path = tmp_path / "design.json"
+        save_design(synth_design, path)
+        clone = load_design(path)
+        assert clone.num_ops == synth_design.num_ops
+
+    def test_json_is_stable(self, synth_design, tmp_path):
+        path_a, path_b = tmp_path / "a.json", tmp_path / "b.json"
+        save_design(synth_design, path_a)
+        save_design(synth_design, path_b)
+        assert path_a.read_text() == path_b.read_text()
+
+    def test_wrong_kind_rejected(self, synth_design):
+        data = design_to_dict(synth_design)
+        data["kind"] = "floorplan"
+        with pytest.raises(SerializationError):
+            design_from_dict(data)
+
+    def test_malformed_ops_rejected(self, synth_design):
+        data = design_to_dict(synth_design)
+        data["ops"][0]["kind"] = "quantum_flux"
+        with pytest.raises(SerializationError):
+            design_from_dict(data)
+
+    def test_invalid_edges_fail_validation(self, synth_design):
+        from repro.errors import HLSError
+
+        data = design_to_dict(synth_design)
+        data["compute_edges"].append([99999, 0])
+        with pytest.raises((SerializationError, HLSError)):
+            design_from_dict(data)
+
+
+class TestFloorplanRoundTrip:
+    def test_dict_round_trip(self, synth_floorplan):
+        clone = floorplan_from_dict(floorplan_to_dict(synth_floorplan))
+        assert clone == synth_floorplan
+        assert clone.fabric.unit_wire_delay_ns == pytest.approx(
+            synth_floorplan.fabric.unit_wire_delay_ns
+        )
+
+    def test_file_round_trip(self, synth_floorplan, tmp_path):
+        path = tmp_path / "fp.json"
+        save_floorplan(synth_floorplan, path)
+        assert load_floorplan(path) == synth_floorplan
+
+    def test_slot_conflicts_rejected_on_load(self, synth_floorplan):
+        from repro.errors import MappingError
+
+        data = floorplan_to_dict(synth_floorplan)
+        # Duplicate the first binding onto an occupied slot.
+        first = dict(data["bindings"][0])
+        first["op"] = 99999
+        data["bindings"].append(first)
+        with pytest.raises((SerializationError, MappingError)):
+            floorplan_from_dict(data)
+
+    def test_not_a_document(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(SerializationError):
+            load_floorplan(path)
+
+    def test_future_schema_rejected(self, synth_floorplan, tmp_path):
+        data = floorplan_to_dict(synth_floorplan)
+        data["schema"] = 999
+        path = tmp_path / "fp.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(SerializationError):
+            load_floorplan(path)
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 500),
+        contexts=st.integers(2, 6),
+        dim=st.sampled_from([3, 4]),
+    )
+    def test_any_generated_design_round_trips(self, seed, contexts, dim):
+        total = max(contexts, contexts * dim * dim // 2)
+        design = generate_design(
+            SyntheticSpec(
+                name=f"rt{seed}", num_contexts=contexts, fabric_dim=dim,
+                total_ops=total, seed=seed,
+            )
+        )
+        clone = design_from_dict(design_to_dict(design))
+        assert design_to_dict(clone) == design_to_dict(design)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_any_placed_floorplan_round_trips(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        fabric = Fabric(3, 3)
+        floorplan = Floorplan(fabric, 3)
+        op = 0
+        for context in range(3):
+            for pe in rng.sample(range(9), rng.randint(1, 9)):
+                floorplan.bind(op, context, pe)
+                op += 1
+        clone = floorplan_from_dict(floorplan_to_dict(floorplan))
+        assert clone == floorplan

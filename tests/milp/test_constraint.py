@@ -1,0 +1,82 @@
+"""Constraint normalisation, satisfaction and violation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ModelError
+from repro.milp import Constraint, LinExpr, Sense, Variable
+
+
+@pytest.fixture
+def xy():
+    return Variable("x"), Variable("y")
+
+
+class TestNormalisation:
+    def test_body_strips_constant(self, xy):
+        x, y = xy
+        constraint = x + 2 * y + 3 <= 10
+        assert constraint.body.constant == 0.0
+        assert constraint.rhs == pytest.approx(7.0)
+
+    def test_rhs_sign_convention(self, xy):
+        x, _ = xy
+        constraint = x - 5 >= 0
+        assert constraint.rhs == pytest.approx(5.0)
+
+    def test_lhs_must_be_expression(self):
+        with pytest.raises(ModelError):
+            Constraint("not an expr", Sense.LE)  # type: ignore[arg-type]
+
+
+class TestTriviality:
+    def test_trivially_satisfied(self):
+        constraint = LinExpr.constant_expr(1.0) <= 2.0
+        assert constraint.is_trivial()
+        assert constraint.trivially_satisfied()
+
+    def test_trivially_violated(self):
+        constraint = LinExpr.constant_expr(3.0) <= 2.0
+        assert not constraint.trivially_satisfied()
+
+    def test_eq_triviality(self):
+        assert (LinExpr.constant_expr(2.0) == 2.0).trivially_satisfied()
+        assert not (LinExpr.constant_expr(2.0) == 3.0).trivially_satisfied()
+
+    def test_non_trivial_raises(self, xy):
+        x, _ = xy
+        with pytest.raises(ModelError):
+            (x <= 1).trivially_satisfied()
+
+
+class TestSatisfaction:
+    def test_le_satisfied(self, xy):
+        x, y = xy
+        constraint = x + y <= 3
+        assert constraint.satisfied_by({x: 1.0, y: 1.5})
+        assert not constraint.satisfied_by({x: 2.0, y: 1.5})
+
+    def test_ge_violation_magnitude(self, xy):
+        x, _ = xy
+        constraint = 2 * x >= 4
+        assert constraint.violation({x: 1.0}) == pytest.approx(2.0)
+        assert constraint.violation({x: 3.0}) == 0.0
+
+    def test_eq_violation_magnitude(self, xy):
+        x, _ = xy
+        constraint = LinExpr.from_term(x) == 2
+        assert constraint.violation({x: 2.5}) == pytest.approx(0.5)
+        assert constraint.violation({x: 1.5}) == pytest.approx(0.5)
+
+    def test_tolerance(self, xy):
+        x, _ = xy
+        constraint = x <= 1
+        assert constraint.satisfied_by({x: 1.0 + 1e-8})
+        assert not constraint.satisfied_by({x: 1.1})
+
+    def test_repr_includes_name(self, xy):
+        x, _ = xy
+        constraint = x <= 1
+        constraint.name = "cap"
+        assert "cap" in repr(constraint)

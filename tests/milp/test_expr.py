@@ -1,0 +1,187 @@
+"""LinExpr / Variable algebra tests, including algebraic property tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelError
+from repro.milp import LinExpr, Variable, VarType, linear_sum
+
+
+def make_vars(n=3):
+    return [Variable(f"v{i}") for i in range(n)]
+
+
+class TestVariable:
+    def test_binary_bounds_clamped(self):
+        var = Variable("b", lb=-5, ub=9, vtype=VarType.BINARY)
+        assert (var.lb, var.ub) == (0.0, 1.0)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ModelError):
+            Variable("x", lb=2, ub=1)
+
+    def test_identity_hash_distinct_same_name(self):
+        a, b = Variable("x"), Variable("x")
+        assert not a.is_same(b)
+        assert len({a, b}) == 2
+
+    def test_negation(self):
+        x = Variable("x")
+        expr = -x
+        assert expr.coefficient(x) == -1.0
+
+    def test_ne_raises(self):
+        x = Variable("x")
+        with pytest.raises(ModelError):
+            x != 3  # noqa: B015
+
+
+class TestArithmetic:
+    def test_add_merges_terms(self):
+        x, y, _ = make_vars()
+        expr = x + y + x
+        assert expr.coefficient(x) == 2.0
+        assert expr.coefficient(y) == 1.0
+
+    def test_scalar_multiplication(self):
+        x, *_ = make_vars()
+        expr = 3 * x * 2
+        assert expr.coefficient(x) == 6.0
+
+    def test_subtraction_and_constants(self):
+        x, y, _ = make_vars()
+        expr = 2 * x - y + 5 - 3
+        assert expr.coefficient(x) == 2.0
+        assert expr.coefficient(y) == -1.0
+        assert expr.constant == 2.0
+
+    def test_rsub(self):
+        x, *_ = make_vars()
+        expr = 10 - x
+        assert expr.constant == 10.0
+        assert expr.coefficient(x) == -1.0
+
+    def test_division(self):
+        x, *_ = make_vars()
+        expr = (4 * x) / 2
+        assert expr.coefficient(x) == 2.0
+
+    def test_division_by_zero_rejected(self):
+        x, *_ = make_vars()
+        with pytest.raises(ModelError):
+            (x + 1) / 0
+
+    def test_division_by_expression_rejected(self):
+        x, y, _ = make_vars()
+        with pytest.raises(ModelError):
+            (x + 1) / LinExpr.from_term(y)
+
+    def test_product_of_variables_rejected(self):
+        x, y, _ = make_vars()
+        with pytest.raises(ModelError):
+            LinExpr.from_term(x) * LinExpr.from_term(y)
+
+    def test_product_with_constant_expr_ok(self):
+        x, *_ = make_vars()
+        expr = LinExpr.from_term(x) * LinExpr.constant_expr(4.0)
+        assert expr.coefficient(x) == 4.0
+
+    def test_sum_helper_matches_manual(self):
+        x, y, z = make_vars()
+        via_helper = linear_sum([x, 2 * y, z, 7])
+        manual = x + 2 * y + z + 7
+        assert via_helper.terms == manual.terms
+        assert via_helper.constant == manual.constant
+
+    def test_sum_rejects_strings(self):
+        with pytest.raises(ModelError):
+            linear_sum(["oops"])
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        x, y, _ = make_vars()
+        expr = 2 * x - 3 * y + 1
+        assert expr.evaluate({x: 2.0, y: 1.0}) == pytest.approx(2.0)
+
+    def test_evaluate_missing_variable(self):
+        x, y, _ = make_vars()
+        with pytest.raises(ModelError):
+            (x + y).evaluate({x: 1.0})
+
+    def test_is_constant(self):
+        x, *_ = make_vars()
+        assert LinExpr.constant_expr(5).is_constant()
+        assert not (x + 1).is_constant()
+
+    def test_copy_is_independent(self):
+        x, *_ = make_vars()
+        expr = x + 1
+        clone = expr.copy()
+        clone.terms[x] = 99.0
+        assert expr.coefficient(x) == 1.0
+
+
+coeffs = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+
+
+class TestAlgebraicProperties:
+    @given(a=coeffs, b=coeffs, x_val=coeffs, y_val=coeffs)
+    def test_linearity_of_evaluation(self, a, b, x_val, y_val):
+        """eval(a*X + b*Y) == a*eval(X) + b*eval(Y)."""
+        x, y = Variable("x"), Variable("y")
+        expr = a * x + b * y
+        assignment = {x: x_val, y: y_val}
+        assert expr.evaluate(assignment) == pytest.approx(
+            a * x_val + b * y_val, abs=1e-6, rel=1e-9
+        )
+
+    @given(values=st.lists(coeffs, min_size=0, max_size=20))
+    def test_sum_equals_fold(self, values):
+        """linear_sum of scaled copies of one var == sum of coefficients."""
+        x = Variable("x")
+        expr = linear_sum(c * x for c in values)
+        assert expr.coefficient(x) == pytest.approx(sum(values), abs=1e-7)
+
+    @given(a=coeffs, b=coeffs)
+    def test_distributivity_of_scaling(self, a, b):
+        x, y = Variable("x"), Variable("y")
+        left = 2.0 * (a * x + b * y)
+        assert left.coefficient(x) == pytest.approx(2 * a)
+        assert left.coefficient(y) == pytest.approx(2 * b)
+
+    @given(c=coeffs)
+    def test_neg_is_scale_minus_one(self, c):
+        x = Variable("x")
+        expr = -(c * x + 1)
+        assert expr.coefficient(x) == pytest.approx(-c)
+        assert expr.constant == pytest.approx(-1.0)
+
+
+class TestComparisonBuilders:
+    def test_le_builds_constraint(self):
+        from repro.milp import Constraint, Sense
+
+        x, *_ = make_vars()
+        constraint = x + 1 <= 3
+        assert isinstance(constraint, Constraint)
+        assert constraint.sense is Sense.LE
+        assert constraint.rhs == pytest.approx(2.0)
+
+    def test_ge_and_eq(self):
+        from repro.milp import Sense
+
+        x, *_ = make_vars()
+        assert (x >= 1).sense is Sense.GE
+        assert (LinExpr.from_term(x) == 1).sense is Sense.EQ
+
+    def test_repr_mentions_terms(self):
+        x = Variable("alpha")
+        assert "alpha" in repr(x + 1)
+        assert not math.isnan((x + 1).constant)

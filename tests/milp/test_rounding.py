@@ -1,0 +1,145 @@
+"""Tests for the LP-relaxation rounding strategies (paper Step 1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ModelError
+from repro.milp import (
+    Model,
+    ScipyBackend,
+    Solution,
+    SolveStatus,
+    extract_assignment,
+    linear_sum,
+    randomized_round,
+    threshold_fix,
+)
+
+
+def one_hot_model(num_groups=3, group_size=4):
+    model = Model("onehot")
+    groups = []
+    for g in range(num_groups):
+        group = [model.add_binary(f"x{g}_{k}") for k in range(group_size)]
+        model.add_constraint(linear_sum(group) == 1)
+        groups.append(group)
+    return model, groups
+
+
+def fake_lp_solution(groups, masses):
+    values = {}
+    for group, group_masses in zip(groups, masses):
+        for var, mass in zip(group, group_masses):
+            values[var] = mass
+    return Solution(status=SolveStatus.OPTIMAL, objective=0.0, values=values)
+
+
+class TestThresholdFix:
+    def test_fixes_above_threshold(self):
+        model, groups = one_hot_model(2)
+        lp = fake_lp_solution(
+            groups, [[0.97, 0.01, 0.01, 0.01], [0.5, 0.5, 0.0, 0.0]]
+        )
+        report = threshold_fix(model, groups, lp)
+        assert report.groups_fixed == 1
+        assert report.variables_fixed_one == 1
+        assert report.variables_fixed_zero == 3
+        assert groups[0][0].lb == 1.0
+        assert groups[0][1].ub == 0.0
+        # Undecided group untouched.
+        assert groups[1][0].ub == 1.0
+
+    def test_paper_default_is_095(self):
+        from repro.milp import DEFAULT_FIX_THRESHOLD
+
+        assert DEFAULT_FIX_THRESHOLD == pytest.approx(0.95)
+
+    def test_threshold_validation(self):
+        model, groups = one_hot_model(1)
+        lp = fake_lp_solution(groups, [[1, 0, 0, 0]])
+        with pytest.raises(ModelError):
+            threshold_fix(model, groups, lp, threshold=0.4)
+
+    def test_fraction_fixed(self):
+        model, groups = one_hot_model(4)
+        masses = [[1, 0, 0, 0]] * 2 + [[0.5, 0.5, 0, 0]] * 2
+        report = threshold_fix(model, groups, fake_lp_solution(groups, masses))
+        assert report.fraction_fixed == pytest.approx(0.5)
+
+
+class TestRandomizedRound:
+    def test_samples_proportionally(self):
+        model, groups = one_hot_model(1)
+        lp = fake_lp_solution(groups, [[0.7, 0.3, 0.0, 0.0]])
+        report = randomized_round(model, groups, lp, random.Random(1))
+        assert report.groups_fixed == 1
+        winners = [var for var in groups[0] if var.lb == 1.0]
+        assert len(winners) == 1
+        assert winners[0] in groups[0][:2]
+
+    def test_skips_flat_groups(self):
+        model, groups = one_hot_model(1)
+        lp = fake_lp_solution(groups, [[0.25, 0.25, 0.25, 0.25]])
+        report = randomized_round(model, groups, lp, random.Random(1))
+        assert report.groups_fixed == 0
+
+    def test_deterministic_under_seed(self):
+        results = []
+        for _ in range(2):
+            model, groups = one_hot_model(3)
+            lp = fake_lp_solution(
+                groups,
+                [[0.6, 0.4, 0, 0], [0.9, 0.1, 0, 0], [0.55, 0.45, 0, 0]],
+            )
+            randomized_round(model, groups, lp, random.Random(42))
+            results.append(
+                tuple(var.lb for group in groups for var in group)
+            )
+        assert results[0] == results[1]
+
+
+class TestExtractAssignment:
+    def test_decodes_one_hot(self):
+        model, groups = one_hot_model(2)
+        model_groups = {
+            f"op{i}": [(var, f"pe{k}") for k, var in enumerate(group)]
+            for i, group in enumerate(groups)
+        }
+        solution = fake_lp_solution(groups, [[0, 1, 0, 0], [0, 0, 0, 1]])
+        decoded = extract_assignment(model_groups, solution)
+        assert decoded == {"op0": "pe1", "op1": "pe3"}
+
+    def test_non_integral_rejected(self):
+        model, groups = one_hot_model(1)
+        model_groups = {
+            "op0": [(var, k) for k, var in enumerate(groups[0])]
+        }
+        solution = fake_lp_solution(groups, [[0.5, 0.5, 0, 0]])
+        with pytest.raises(ModelError):
+            extract_assignment(model_groups, solution)
+
+
+class TestEndToEndTwoStep:
+    def test_lp_then_fix_then_ilp(self):
+        """The paper's pipeline on a small assignment problem."""
+        model, groups = one_hot_model(3, 3)
+        # Stress-style budget: at most one winner per 'pe' column.
+        for k in range(3):
+            model.add_constraint(
+                linear_sum(group[k] for group in groups) <= 1
+            )
+        relaxed = model.relaxed()
+        lp = relaxed.solve(ScipyBackend())
+        relaxed.restore_types()
+        assert lp.status.has_solution
+        threshold_fix(model, groups, lp)
+        final = model.solve(ScipyBackend())
+        assert final.status.has_solution
+        decoded = extract_assignment(
+            {i: [(v, k) for k, v in enumerate(g)] for i, g in enumerate(groups)},
+            final,
+        )
+        assert sorted(decoded.values()) == [0, 1, 2]

@@ -1,0 +1,75 @@
+"""Simulated-annealing refinement tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import Fabric
+from repro.place import AnnealingConfig, anneal_placement, greedy_place
+from repro.place.cost import wirelength
+
+
+def total_wirelength(design, floorplan):
+    fabric = floorplan.fabric
+    edges = []
+    for src, dst in design.compute_edges:
+        edges.append((floorplan.position_of(src), floorplan.position_of(dst)))
+    for ordinal, dst in design.input_edges:
+        pad = fabric.input_pad(ordinal)
+        edges.append((pad.position, floorplan.position_of(dst)))
+    for src, ordinal in design.output_edges:
+        pad = fabric.output_pad(ordinal)
+        edges.append((floorplan.position_of(src), pad.position))
+    return wirelength(edges)
+
+
+class TestAnnealing:
+    def test_preserves_legality_and_schedule(self, synth_design, fabric4):
+        floorplan = greedy_place(synth_design, fabric4)
+        before = dict(floorplan.context_of)
+        anneal_placement(synth_design, floorplan, AnnealingConfig(moves_per_op=20))
+        floorplan.validate()
+        assert floorplan.context_of == before
+
+    def test_does_not_worsen_wirelength_much(self, synth_design, fabric4):
+        base = greedy_place(synth_design, fabric4)
+        wl_before = total_wirelength(synth_design, base)
+        annealed = greedy_place(synth_design, fabric4)
+        anneal_placement(synth_design, annealed, AnnealingConfig(moves_per_op=60))
+        wl_after = total_wirelength(synth_design, annealed)
+        # SA ends cold: the result should be no worse than ~10% over the
+        # constructive baseline and usually better.
+        assert wl_after <= wl_before * 1.10
+
+    def test_deterministic_under_seed(self, synth_design, fabric4):
+        results = []
+        for _ in range(2):
+            floorplan = greedy_place(synth_design, fabric4)
+            anneal_placement(
+                synth_design, floorplan, AnnealingConfig(moves_per_op=25, seed=11)
+            )
+            results.append(dict(floorplan.pe_of))
+        assert results[0] == results[1]
+
+    def test_seed_changes_result(self, synth_design, fabric4):
+        outcomes = []
+        for seed in (1, 2):
+            floorplan = greedy_place(synth_design, fabric4)
+            anneal_placement(
+                synth_design, floorplan, AnnealingConfig(moves_per_op=40, seed=seed)
+            )
+            outcomes.append(tuple(sorted(floorplan.pe_of.items())))
+        # Different seeds explore different move sequences; identical
+        # outputs would suggest the RNG is not actually used.
+        assert outcomes[0] != outcomes[1]
+
+    def test_single_op_context_untouched(self, fabric4):
+        from repro.arch import OpKind, UnitKind
+        from repro.hls import MappedDesign, OpInfo
+
+        design = MappedDesign(name="single", num_contexts=1)
+        design.ops[0] = OpInfo(0, OpKind.ADD, 32, 0, UnitKind.ALU, 0.87, 0.87)
+        floorplan = greedy_place(design, fabric4)
+        pe_before = floorplan.pe_of[0]
+        anneal_placement(design, floorplan)
+        assert floorplan.pe_of[0] == pe_before

@@ -1,0 +1,35 @@
+"""Baseline (Musketeer-substitute) placer facade tests."""
+
+from __future__ import annotations
+
+from repro.place import BaselinePlacer, BaselinePlacerConfig, place_baseline
+from repro.place.annealing import AnnealingConfig
+
+
+class TestBaselinePlacer:
+    def test_produces_valid_floorplan(self, synth_design, fabric4):
+        floorplan = place_baseline(synth_design, fabric4)
+        floorplan.validate()
+        assert floorplan.num_ops == synth_design.num_ops
+
+    def test_anneal_disabled_matches_greedy(self, synth_design, fabric4):
+        from repro.place import greedy_place
+
+        config = BaselinePlacerConfig(anneal=False)
+        facade = BaselinePlacer(config).place(synth_design, fabric4)
+        direct = greedy_place(synth_design, fabric4, config.corner_bias)
+        assert facade == direct
+
+    def test_config_threading(self, synth_design, fabric4):
+        config = BaselinePlacerConfig(
+            corner_bias=0.9,
+            anneal=True,
+            annealing=AnnealingConfig(moves_per_op=5, seed=3),
+        )
+        floorplan = BaselinePlacer(config).place(synth_design, fabric4)
+        floorplan.validate()
+
+    def test_reproducible(self, synth_design, fabric4):
+        a = place_baseline(synth_design, fabric4)
+        b = place_baseline(synth_design, fabric4)
+        assert a == b

@@ -1,0 +1,78 @@
+"""Placement cost-function tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch import Fabric
+from repro.place import (
+    PlacementCost,
+    bounding_box,
+    bounding_box_area,
+    edge_positions,
+    wirelength,
+)
+
+
+class TestBoundingBox:
+    def test_empty(self):
+        assert bounding_box([]) == (0.0, 0.0, 0.0, 0.0)
+        assert bounding_box_area([]) == 0.0
+
+    def test_single_point_area_one(self):
+        assert bounding_box_area([(2, 3)]) == 1.0
+
+    def test_rectangle(self):
+        area = bounding_box_area([(0, 0), (2, 3)])
+        assert area == 12.0  # 3 rows x 4 cols
+
+    def test_bounds(self):
+        assert bounding_box([(1, 5), (3, 2)]) == (1, 2, 3, 5)
+
+
+class TestWirelength:
+    def test_zero_for_coincident(self):
+        assert wirelength([((1, 1), (1, 1))]) == 0.0
+
+    def test_manhattan_sum(self):
+        edges = [((0, 0), (1, 2)), ((2, 2), (0, 0))]
+        assert wirelength(edges) == 3 + 4
+
+    def test_edge_positions_skips_unplaced(self):
+        positions = {0: (0.0, 0.0), 1: (1.0, 1.0)}
+        resolved = edge_positions([(0, 1), (0, 9)], positions)
+        assert len(resolved) == 1
+
+
+class TestPlacementCost:
+    def test_weighted_combination(self):
+        fabric = Fabric(4, 4)
+        cost = PlacementCost(wl_weight=1.0, bbox_weight=2.0)
+        positions = {0: (0.0, 0.0), 1: (0.0, 1.0)}
+        edges = [((0.0, 0.0), (0.0, 1.0))]
+        # wl = 1, bbox = 1x2 = 2 -> 1 + 4
+        assert cost.evaluate(fabric, positions, edges) == pytest.approx(5.0)
+
+    def test_empty_design_costs_nothing(self):
+        fabric = Fabric(2, 2)
+        assert PlacementCost().evaluate(fabric, {}, []) == 0.0
+
+
+points = st.tuples(
+    st.floats(0, 15, allow_nan=False), st.floats(0, 15, allow_nan=False)
+)
+
+
+class TestProperties:
+    @given(pts=st.lists(points, min_size=1, max_size=30))
+    def test_area_at_least_one_cell(self, pts):
+        assert bounding_box_area(pts) >= 1.0
+
+    @given(pts=st.lists(points, min_size=2, max_size=30))
+    def test_area_monotone_under_insertion(self, pts):
+        assert bounding_box_area(pts) >= bounding_box_area(pts[:-1])
+
+    @given(a=points, b=points)
+    def test_wirelength_symmetry(self, a, b):
+        assert wirelength([(a, b)]) == wirelength([(b, a)])

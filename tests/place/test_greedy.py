@@ -1,0 +1,80 @@
+"""Constructive placer tests, including the stress-concentration pathology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import Fabric
+from repro.benchgen import SyntheticSpec, generate_design
+from repro.errors import MappingError
+from repro.place import greedy_place
+
+
+class TestLegality:
+    def test_valid_floorplan(self, synth_design, fabric4):
+        floorplan = greedy_place(synth_design, fabric4)
+        floorplan.validate()
+        assert floorplan.num_ops == synth_design.num_ops
+
+    def test_all_ops_in_declared_contexts(self, synth_design, fabric4):
+        floorplan = greedy_place(synth_design, fabric4)
+        for op, info in synth_design.ops.items():
+            assert floorplan.context_of[op] == info.context
+
+    def test_capacity_overflow_rejected(self, synth_design):
+        with pytest.raises(MappingError):
+            greedy_place(synth_design, Fabric(2, 2))
+
+    def test_deterministic(self, synth_design, fabric4):
+        a = greedy_place(synth_design, fabric4)
+        b = greedy_place(synth_design, fabric4)
+        assert a == b
+
+
+class TestAgingUnawareBehaviour:
+    def test_corner_packing_concentrates_usage(self):
+        """Each context packs the same corner -> usage far from level.
+
+        This is the pathology the paper's Fig. 2(a) illustrates and the
+        re-mapper corrects: max usage should be near the context count,
+        not near the levelled optimum.
+        """
+        spec = SyntheticSpec(
+            name="packed", num_contexts=8, fabric_dim=4, total_ops=40, seed=3
+        )
+        design = generate_design(spec)
+        fabric = Fabric(4, 4)
+        floorplan = greedy_place(design, fabric)
+        counts = floorplan.usage_counts()
+        levelled_max = -(-design.num_ops // fabric.num_pes)  # ceil
+        assert max(counts) >= levelled_max + 2
+        # The hotspot sits against the west edge (input pads + corner
+        # bias pull the packing there), far from the east columns.
+        busiest = max(range(fabric.num_pes), key=lambda k: counts[k])
+        assert fabric.pe(busiest).col <= 1
+        assert sum(counts[k] for k in range(fabric.num_pes)
+                   if fabric.pe(k).col >= 3) <= design.num_ops // 4
+
+    def test_higher_bias_packs_tighter(self):
+        spec = SyntheticSpec(
+            name="bias", num_contexts=4, fabric_dim=4, total_ops=20, seed=1
+        )
+        design = generate_design(spec)
+        fabric = Fabric(4, 4)
+        loose = greedy_place(design, fabric, corner_bias=0.01)
+        tight = greedy_place(design, fabric, corner_bias=2.0)
+        def spread(fp):
+            used = [k for k, c in enumerate(fp.usage_counts()) if c]
+            rows = [fabric.pe(k).row for k in used]
+            cols = [fabric.pe(k).col for k in used]
+            return max(rows) + max(cols)
+        assert spread(tight) <= spread(loose)
+
+    def test_full_context_fills_fabric(self):
+        spec = SyntheticSpec(
+            name="full", num_contexts=2, fabric_dim=3, total_ops=18, seed=5
+        )
+        design = generate_design(spec)
+        floorplan = greedy_place(design, Fabric(3, 3))
+        assert floorplan.used_pes(0) == set(range(9))
+        assert floorplan.used_pes(1) == set(range(9))

@@ -1,0 +1,68 @@
+"""Experiment-driver tests (configuration logic only — the heavy runs
+live in benchmarks/ and the CLI)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.report.experiments import (
+    ExperimentConfig,
+    QUICK_MAX_FABRIC,
+    flow_config,
+)
+
+
+class TestExperimentConfig:
+    def test_quick_suite_caps_fabrics(self):
+        config = ExperimentConfig(scale="quick")
+        suite = config.suite()
+        assert len(suite) == 27
+        assert all(e.fabric_dim <= QUICK_MAX_FABRIC for e in suite)
+
+    def test_paper_suite_is_verbatim(self):
+        config = ExperimentConfig(scale="paper")
+        suite = config.suite()
+        assert {e.fabric_dim for e in suite} == {4, 8, 16}
+        assert suite[-1].pe_count == 3089
+
+    def test_only_filter(self):
+        config = ExperimentConfig(scale="paper", only=["B5", "B9"])
+        assert [e.name for e in config.suite()] == ["B5", "B9"]
+
+    def test_only_filter_applies_before_scaling(self):
+        config = ExperimentConfig(scale="quick", only=["B27"])
+        (entry,) = config.suite()
+        assert entry.name == "B27s"
+        assert entry.fabric_dim == QUICK_MAX_FABRIC
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(scale="galactic").suite()
+
+
+class TestFlowConfig:
+    def test_mode_threading(self):
+        config = flow_config("freeze", 42.0)
+        assert config.algorithm1.mode == "freeze"
+        assert config.algorithm1.remap.time_limit_s == 42.0
+
+    def test_default_mode_rotate(self):
+        assert flow_config("rotate", 10.0).algorithm1.mode == "rotate"
+
+
+class TestCliParsing:
+    def test_main_rejects_unknown_experiment(self, capsys):
+        from repro.report.experiments import main
+
+        with pytest.raises(SystemExit):
+            main(["tableX"])
+
+    def test_main_fig2a_runs(self, capsys):
+        """fig2a is the cheapest experiment; run it through the CLI."""
+        pytest.importorskip("scipy")
+        from repro.report.experiments import main
+
+        assert main(["fig2a"]) == 0
+        out = capsys.readouterr().out
+        assert "Original accumulated stress" in out
+        assert "Re-mapped accumulated stress" in out

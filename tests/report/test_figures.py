@@ -1,0 +1,81 @@
+"""ASCII figure renderer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aging.mttf import VthCurve
+from repro.arch import Fabric
+from repro.report import ascii_curve, bar_chart, series_csv, stress_grid
+
+
+def curve(label, slope, mttf=1e8, points=16):
+    times = np.linspace(0, 1.5e8, points)
+    return VthCurve(
+        label=label,
+        times_s=times,
+        shifts_v=slope * times**0.25,
+        mttf_s=mttf,
+        failure_shift_v=0.04,
+    )
+
+
+class TestBarChart:
+    def test_bars_scale_with_value(self):
+        text = bar_chart(
+            ["C4F4"], {"low": [2.0], "high": [1.0]}, width=20
+        )
+        low_line = next(l for l in text.splitlines() if "low" in l)
+        high_line = next(l for l in text.splitlines() if "high" in l)
+        assert low_line.count("#") == 20
+        assert high_line.count("#") == 10
+
+    def test_missing_values_marked(self):
+        text = bar_chart(["G"], {"low": [None]})
+        assert "(n/a)" in text
+
+    def test_values_annotated(self):
+        text = bar_chart(["G"], {"low": [2.52]})
+        assert "2.52x" in text
+
+    def test_group_labels_once(self):
+        text = bar_chart(["G1", "G2"], {"a": [1, 1], "b": [1, 1]})
+        assert text.count("G1") == 1
+
+
+class TestAsciiCurve:
+    def test_contains_markers_and_threshold(self):
+        text = ascii_curve([curve("orig", 2e-4), curve("new", 1e-4)])
+        assert "o" in text and "x" in text
+        assert "=" in text
+        assert "orig" in text and "new" in text
+
+    def test_empty(self):
+        assert ascii_curve([]) == "(no curves)"
+
+    def test_mttf_in_legend(self):
+        text = ascii_curve([curve("orig", 2e-4, mttf=365.25 * 24 * 3600 * 2)])
+        assert "2.0y" in text
+
+
+class TestSeriesCsv:
+    def test_columns(self):
+        text = series_csv([curve("orig", 2e-4, points=4), curve("new", 1e-4, points=4)])
+        lines = text.splitlines()
+        assert lines[0] == "time_years,orig,new"
+        assert len(lines) == 5
+        assert all(len(line.split(",")) == 3 for line in lines[1:])
+
+
+class TestStressGrid:
+    def test_layout(self):
+        fabric = Fabric(2, 3)
+        grid = stress_grid(fabric, np.arange(6.0))
+        lines = grid.splitlines()
+        assert len(lines) == 2
+        assert "5.0" in lines[1]
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            stress_grid(Fabric(2, 2), np.arange(6.0))

@@ -1,0 +1,83 @@
+"""Paper-comparison helper tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen import TABLE1, entry
+from repro.report import (
+    BenchmarkMeasurement,
+    class_averages,
+    paper_class_averages,
+    paper_reference_rows,
+    shape_checks,
+)
+
+
+def measurements_matching_paper():
+    """Fake measurements equal to the published values."""
+    return [
+        BenchmarkMeasurement(e, e.freeze_ref, e.rotate_ref) for e in TABLE1
+    ]
+
+
+class TestClassAverages:
+    def test_reproduces_paper_avg_row(self):
+        averages = class_averages(measurements_matching_paper())
+        published = paper_class_averages()
+        for usage, (freeze, rotate) in averages.items():
+            assert freeze == pytest.approx(published[usage][0], abs=0.01)
+            assert rotate == pytest.approx(published[usage][1], abs=0.01)
+
+    def test_partial_measurements(self):
+        subset = measurements_matching_paper()[:9]  # low only
+        averages = class_averages(subset)
+        assert set(averages) == {"low"}
+
+
+class TestShapeChecks:
+    def test_paper_values_pass_all_checks(self):
+        checks = shape_checks(measurements_matching_paper())
+        assert checks
+        failing = [c.name for c in checks if not c.holds]
+        assert failing == []
+
+    def test_rotate_below_freeze_flagged(self):
+        bad = measurements_matching_paper()
+        bad[0] = BenchmarkMeasurement(bad[0].entry, 3.0, 1.0)
+        checks = shape_checks(bad)
+        check = next(c for c in checks if c.name == "rotate >= freeze")
+        assert not check.holds
+        assert "B1" in check.detail
+
+    def test_inverted_utilization_trend_flagged(self):
+        """Swap low and high gains: the class-ordering check must fail."""
+        swapped = []
+        for e in TABLE1:
+            gain = {"low": 1.2, "medium": 2.0, "high": 3.0}[e.usage_class]
+            swapped.append(BenchmarkMeasurement(e, gain, gain))
+        checks = shape_checks(swapped)
+        check = next(
+            c for c in checks if c.name == "low > medium > high (rotate avg)"
+        )
+        assert not check.holds
+
+    def test_empty_measurements(self):
+        assert shape_checks([]) == [] or all(
+            isinstance(c.holds, bool) for c in shape_checks([])
+        )
+
+
+class TestReferenceRows:
+    def test_rows_match_entries(self):
+        rows = paper_reference_rows()
+        assert len(rows) == 27
+        b13 = next(r for r in rows if r[0] == "B13")
+        assert b13[5] == entry("B13").freeze_ref
+
+    def test_measurement_row_interleaves_paper_values(self):
+        m = BenchmarkMeasurement(entry("B5"), 2.5, 2.7)
+        row = m.row()
+        assert row[0] == "B5"
+        assert row[5] == 2.5 and row[6] == entry("B5").freeze_ref
+        assert row[7] == 2.7 and row[8] == entry("B5").rotate_ref

@@ -1,0 +1,49 @@
+"""Table/CSV renderer tests."""
+
+from __future__ import annotations
+
+from repro.report import format_csv, format_mapping, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1.234], ["b", 22.5]]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "alpha" in lines[2]
+        assert "1.23" in lines[2]
+
+    def test_column_width_grows_with_content(self):
+        text = format_table(["x"], [["very-long-cell-content"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("very-long-cell-content")
+
+    def test_bool_rendering(self):
+        text = format_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_precision(self):
+        text = format_table(["v"], [[3.14159]], precision=4)
+        assert "3.1416" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestFormatCsv:
+    def test_round_trip_values(self):
+        text = format_csv(["a", "b"], [[1, 2], [3, 4]])
+        assert text.splitlines() == ["a,b", "1,2", "3,4"]
+
+
+class TestFormatMapping:
+    def test_keys_aligned(self):
+        text = format_mapping("Summary", {"short": 1, "longer_key": 2.5})
+        lines = text.splitlines()
+        assert lines[0] == "Summary"
+        assert lines[1] == "-------"
+        assert "2.500" in text

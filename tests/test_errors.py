@@ -1,0 +1,77 @@
+"""Exception-hierarchy tests: catchability contracts at API boundaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        leaf_types = [
+            errors.ModelError,
+            errors.SolverError,
+            errors.InfeasibleError,
+            errors.BudgetInfeasibleError,
+            errors.ArchitectureError,
+            errors.MappingError,
+            errors.HLSError,
+            errors.LexerError,
+            errors.ParseError,
+            errors.TypeCheckError,
+            errors.SchedulingError,
+            errors.TimingError,
+            errors.ThermalError,
+            errors.AgingError,
+            errors.FlowError,
+            errors.BenchmarkError,
+        ]
+        for leaf in leaf_types:
+            assert issubclass(leaf, errors.ReproError)
+
+    def test_budget_infeasible_is_model_error(self):
+        """Algorithm 1 catches BudgetInfeasibleError specifically; generic
+        ModelError handlers must also see it."""
+        assert issubclass(errors.BudgetInfeasibleError, errors.ModelError)
+
+    def test_mapping_is_architecture_error(self):
+        assert issubclass(errors.MappingError, errors.ArchitectureError)
+
+    def test_frontend_errors_are_hls_errors(self):
+        for leaf in (errors.LexerError, errors.ParseError,
+                     errors.TypeCheckError, errors.SchedulingError):
+            assert issubclass(leaf, errors.HLSError)
+
+    def test_serialization_error_importable(self):
+        from repro.io import SerializationError
+
+        assert issubclass(SerializationError, errors.ReproError)
+
+
+class TestPositionalErrors:
+    def test_lexer_error_carries_position(self):
+        error = errors.LexerError("bad char", 3, 7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3" in str(error)
+
+    def test_parse_error_position_optional(self):
+        plain = errors.ParseError("something broke")
+        assert "line" not in str(plain)
+        located = errors.ParseError("something broke", 2, 5)
+        assert "line 2" in str(located)
+
+
+class TestBoundaryCatchability:
+    def test_one_handler_catches_frontend_failures(self):
+        from repro.hls import compile_source
+
+        broken_sources = [
+            "int $x = 1;",              # lexer
+            "int x = ;",                # parser
+            "out int y = missing;",     # typecheck
+            "in int n; int i; int s=0; for (i=0;i<n;i++) s+=1; out int y=s;",
+        ]
+        for source in broken_sources:
+            with pytest.raises(errors.ReproError):
+                compile_source(source, "broken")

@@ -1,0 +1,47 @@
+"""Physical-constant and unit-helper tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+
+
+class TestPaperConstants:
+    def test_characterised_delays(self):
+        """Section III: ALU 0.87 ns, DMU 3.14 ns, 200 MHz clock."""
+        assert units.ALU_DELAY_NS == 0.87
+        assert units.DMU_DELAY_NS == 3.14
+        assert units.TARGET_CLOCK_HZ == 200e6
+        assert units.CLOCK_PERIOD_NS == pytest.approx(5.0)
+
+    def test_stress_rates_follow_from_delays(self):
+        assert units.ALU_DELAY_NS / units.CLOCK_PERIOD_NS == pytest.approx(0.174)
+        assert units.DMU_DELAY_NS / units.CLOCK_PERIOD_NS == pytest.approx(0.628)
+
+    def test_nbti_constants_physical(self):
+        assert 0 < units.NBTI_TIME_EXPONENT < 1
+        assert 0.3 < units.NBTI_ACTIVATION_ENERGY_EV < 1.0
+        assert units.VTH_FAILURE_FRACTION == pytest.approx(0.10)  # paper [3]
+        assert units.BOLTZMANN_EV_PER_K == pytest.approx(8.617e-5, rel=1e-3)
+
+    def test_wire_delay_subordinate_to_pe_delay(self):
+        """One grid step of wire must cost less than an ALU op, keeping
+        wire delay a first-order but not dominant term (Fig. 4's ratios)."""
+        assert 0 < units.UNIT_WIRE_DELAY_NS < units.ALU_DELAY_NS
+
+
+class TestConversions:
+    def test_celsius_round_trip(self):
+        assert units.celsius_to_kelvin(25.0) == pytest.approx(298.15)
+        assert units.kelvin_to_celsius(units.celsius_to_kelvin(85.0)) == (
+            pytest.approx(85.0)
+        )
+
+    def test_years_round_trip(self):
+        assert units.seconds_to_years(units.years_to_seconds(3.5)) == (
+            pytest.approx(3.5)
+        )
+
+    def test_year_definition(self):
+        assert units.years_to_seconds(1.0) == pytest.approx(31557600.0)

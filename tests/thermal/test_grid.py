@@ -1,0 +1,124 @@
+"""Thermal grid solver tests: physical sanity properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import Fabric
+from repro.errors import ThermalError
+from repro.thermal import ThermalGrid, ThermalGridConfig
+
+
+@pytest.fixture
+def grid():
+    return ThermalGrid(Fabric(4, 4))
+
+
+class TestSteadyState:
+    def test_zero_power_is_ambient(self, grid):
+        temps = grid.solve(np.zeros(16))
+        np.testing.assert_allclose(temps, grid.config.ambient_k, rtol=1e-10)
+
+    def test_uniform_power_uniform_rise(self, grid):
+        power = np.full(16, 0.05)
+        temps = grid.solve(power)
+        expected = grid.config.ambient_k + 0.05 / grid.config.g_vertical_w_per_k
+        np.testing.assert_allclose(temps, expected, rtol=1e-9)
+
+    def test_hotspot_peaks_at_source(self, grid):
+        power = np.zeros(16)
+        power[5] = 0.1
+        temps = grid.solve(power)
+        assert np.argmax(temps) == 5
+        assert temps[5] > grid.config.ambient_k
+
+    def test_energy_conservation(self, grid):
+        """Total heat into ambient equals total power injected."""
+        rng = np.random.default_rng(1)
+        power = rng.uniform(0, 0.1, 16)
+        temps = grid.solve(power)
+        heat_out = grid.config.g_vertical_w_per_k * (
+            temps - grid.config.ambient_k
+        )
+        assert heat_out.sum() == pytest.approx(power.sum(), rel=1e-9)
+
+    def test_spreading_reduces_peak(self, grid):
+        concentrated = np.zeros(16)
+        concentrated[0] = 0.2
+        spread = np.full(16, 0.2 / 16)
+        assert grid.solve(concentrated).max() > grid.solve(spread).max()
+
+    def test_lateral_conduction_couples_neighbors(self):
+        fabric = Fabric(4, 4)
+        isolated = ThermalGrid(
+            fabric, ThermalGridConfig(g_lateral_w_per_k=0.0)
+        )
+        coupled = ThermalGrid(
+            fabric, ThermalGridConfig(g_lateral_w_per_k=0.05)
+        )
+        power = np.zeros(16)
+        power[0] = 0.1
+        t_isolated = isolated.solve(power)
+        t_coupled = coupled.solve(power)
+        assert t_coupled[1] > t_isolated[1]  # neighbour warms up
+        assert t_coupled[0] < t_isolated[0]  # source cools down
+
+
+class TestValidation:
+    def test_wrong_shape_rejected(self, grid):
+        with pytest.raises(ThermalError):
+            grid.solve(np.zeros(9))
+
+    def test_negative_power_rejected(self, grid):
+        power = np.zeros(16)
+        power[3] = -0.1
+        with pytest.raises(ThermalError):
+            grid.solve(power)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ThermalError):
+            ThermalGrid(Fabric(2, 2), ThermalGridConfig(g_vertical_w_per_k=0.0))
+        with pytest.raises(ThermalError):
+            ThermalGrid(Fabric(2, 2), ThermalGridConfig(ambient_k=-3))
+
+    def test_as_grid_reshape(self, grid):
+        vector = np.arange(16.0)
+        reshaped = grid.as_grid(vector)
+        assert reshaped.shape == (4, 4)
+        assert reshaped[1, 2] == 6.0
+
+
+power_vectors = st.lists(
+    st.floats(0, 0.2, allow_nan=False), min_size=16, max_size=16
+)
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(power=power_vectors)
+    def test_above_ambient_everywhere(self, power):
+        grid = ThermalGrid(Fabric(4, 4))
+        temps = grid.solve(np.array(power))
+        assert np.all(temps >= grid.config.ambient_k - 1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(power=power_vectors, extra=st.integers(0, 15))
+    def test_monotone_in_power(self, power, extra):
+        """Adding power anywhere cannot cool any PE."""
+        grid = ThermalGrid(Fabric(4, 4))
+        base = np.array(power)
+        bumped = base.copy()
+        bumped[extra] += 0.05
+        assert np.all(grid.solve(bumped) >= grid.solve(base) - 1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(power=power_vectors)
+    def test_linearity(self, power):
+        """Temperature rise is linear in power (the model is linear)."""
+        grid = ThermalGrid(Fabric(4, 4))
+        base = np.array(power)
+        rise1 = grid.solve(base) - grid.config.ambient_k
+        rise2 = grid.solve(2 * base) - grid.config.ambient_k
+        np.testing.assert_allclose(rise2, 2 * rise1, atol=1e-8)

@@ -1,0 +1,67 @@
+"""Thermal-simulator facade tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aging import compute_stress_map
+from repro.arch import Fabric
+from repro.errors import ThermalError
+from repro.thermal import ThermalSimulator
+
+
+@pytest.fixture
+def simulator():
+    return ThermalSimulator(Fabric(4, 4))
+
+
+class TestSimulate:
+    def test_report_shapes(self, simulator):
+        duty = np.zeros((3, 16))
+        duty[0, 0] = 0.5
+        report = simulator.simulate(duty)
+        assert report.per_context_k.shape == (3, 16)
+        assert report.accumulated_k.shape == (16,)
+
+    def test_accumulated_is_context_mean(self, simulator):
+        duty = np.zeros((2, 16))
+        duty[0, 0] = 0.6
+        report = simulator.simulate(duty)
+        np.testing.assert_allclose(
+            report.accumulated_k, report.per_context_k.mean(axis=0)
+        )
+
+    def test_hottest_pe_tracks_duty(self, simulator):
+        duty = np.zeros((2, 16))
+        duty[0, 9] = 0.9
+        duty[1, 9] = 0.9
+        report = simulator.simulate(duty)
+        assert report.hottest_pe == 9
+        assert report.peak_k == report.temperature_of(9)
+
+    def test_shape_validation(self, simulator):
+        with pytest.raises(ThermalError):
+            simulator.simulate(np.zeros((2, 9)))
+        with pytest.raises(ThermalError):
+            simulator.simulate(np.zeros(16))
+
+    def test_simulate_average_single_map(self, simulator):
+        temps = simulator.simulate_average(np.full(16, 0.3))
+        assert temps.shape == (16,)
+        assert np.all(temps > 0)
+
+
+class TestIntegrationWithStress:
+    def test_from_stress_map(self, synth_design, synth_floorplan):
+        stress = compute_stress_map(synth_design, synth_floorplan)
+        simulator = ThermalSimulator(synth_floorplan.fabric)
+        report = simulator.simulate(stress.duty_per_context())
+        assert report.per_context_k.shape == (
+            synth_design.num_contexts,
+            synth_floorplan.fabric.num_pes,
+        )
+        # The busiest corner of the aging-unaware floorplan is the hotspot.
+        counts = synth_floorplan.usage_counts()
+        busy = int(np.argmax(stress.accumulated_ns))
+        assert report.accumulated_k[busy] >= np.median(report.accumulated_k)

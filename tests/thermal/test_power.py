@@ -1,0 +1,52 @@
+"""Power-model tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import Fabric
+from repro.errors import ThermalError
+from repro.thermal import PowerModel
+
+
+@pytest.fixture
+def model():
+    return PowerModel(active_w=0.1, leakage_w=0.01)
+
+
+class TestPePower:
+    def test_idle_is_leakage(self, model):
+        assert model.pe_power(0.0) == pytest.approx(0.01)
+
+    def test_full_duty(self, model):
+        assert model.pe_power(1.0) == pytest.approx(0.11)
+
+    def test_linear_in_duty(self, model):
+        assert model.pe_power(0.5) == pytest.approx(0.06)
+
+    def test_out_of_range_rejected(self, model):
+        with pytest.raises(ThermalError):
+            model.pe_power(1.5)
+        with pytest.raises(ThermalError):
+            model.pe_power(-0.2)
+
+
+class TestPowerMap:
+    def test_vectorised(self, model):
+        fabric = Fabric(2, 2)
+        duties = np.array([0.0, 0.5, 1.0, 0.25])
+        power = model.power_map(fabric, duties)
+        np.testing.assert_allclose(power, [0.01, 0.06, 0.11, 0.035])
+
+    def test_shape_mismatch_rejected(self, model):
+        with pytest.raises(ThermalError):
+            model.power_map(Fabric(2, 2), np.zeros(5))
+
+    def test_out_of_range_rejected(self, model):
+        with pytest.raises(ThermalError):
+            model.power_map(Fabric(2, 2), np.array([0, 0, 0, 1.2]))
+
+    def test_defaults_are_calibrated(self):
+        default = PowerModel()
+        assert 0 < default.leakage_w < default.active_w

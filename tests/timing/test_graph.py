@@ -1,0 +1,79 @@
+"""Per-context timing graph construction tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import OpKind, UnitKind
+from repro.errors import TimingError
+from repro.hls import MappedDesign, OpInfo
+from repro.timing import Endpoint, EndpointKind, build_timing_graphs
+
+
+def two_context_design():
+    """ctx0: op0 -> op1 (chain); ctx1: op2 reads op1's register."""
+    design = MappedDesign(name="t", num_contexts=2)
+    for op_id, context in ((0, 0), (1, 0), (2, 1)):
+        design.ops[op_id] = OpInfo(
+            op_id, OpKind.ADD, 32, context, UnitKind.ALU, 0.87, 0.87
+        )
+    design.compute_edges = [(0, 1), (1, 2)]
+    design.input_edges = [(0, 0)]
+    design.output_edges = [(2, 0)]
+    return design
+
+
+class TestConstruction:
+    def test_intra_vs_cross_context_edges(self):
+        graphs = build_timing_graphs(two_context_design())
+        assert graphs[0].intra_edges == [(0, 1)]
+        assert graphs[1].intra_edges == []
+        # Cross-context edge becomes a register entry at the consumer.
+        assert graphs[1].entries[2] == [Endpoint.op(1)]
+
+    def test_pad_edges(self):
+        graphs = build_timing_graphs(two_context_design())
+        assert graphs[0].entries[0] == [Endpoint.in_pad(0)]
+        assert graphs[1].exits[2] == [Endpoint.out_pad(0)]
+
+    def test_delays_recorded(self):
+        graphs = build_timing_graphs(two_context_design())
+        assert graphs[0].delay_of[0] == pytest.approx(0.87)
+
+    def test_topological_order(self):
+        graphs = build_timing_graphs(two_context_design())
+        assert graphs[0].topological_ops() == [0, 1]
+
+    def test_preds_succs(self):
+        graphs = build_timing_graphs(two_context_design())
+        assert graphs[0].intra_preds()[1] == [0]
+        assert graphs[0].intra_succs()[0] == [1]
+
+
+class TestEndpoint:
+    def test_constructors(self):
+        assert Endpoint.op(3).kind is EndpointKind.OP
+        assert Endpoint.in_pad(1).kind is EndpointKind.IN_PAD
+        assert Endpoint.out_pad(2).kind is EndpointKind.OUT_PAD
+
+    def test_positions(self, fabric4):
+        from repro.arch import Floorplan
+
+        fp = Floorplan(fabric4, 1)
+        fp.bind(5, 0, 6)  # PE 6 = (1, 2)
+        assert Endpoint.op(5).position(fp) == (1.0, 2.0)
+        assert Endpoint.in_pad(0).position(fp) == (0.0, -1.0)
+        assert Endpoint.out_pad(1).position(fp) == (1.0, 4.0)
+
+    def test_hashable_identity(self):
+        assert Endpoint.op(3) == Endpoint.op(3)
+        assert Endpoint.op(3) != Endpoint.in_pad(3)
+        assert len({Endpoint.op(3), Endpoint.op(3)}) == 1
+
+
+class TestCycleDetection:
+    def test_cyclic_context_rejected(self):
+        graphs = build_timing_graphs(two_context_design())
+        graphs[0].intra_edges.append((1, 0))
+        with pytest.raises(TimingError):
+            graphs[0].topological_ops()

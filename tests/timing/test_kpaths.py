@@ -1,0 +1,150 @@
+"""Path-filter tests: enumeration completeness vs brute force."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.arch import Fabric, Floorplan, OpKind, UnitKind
+from repro.hls import MappedDesign, OpInfo
+from repro.timing import analyze, build_timing_graphs, filter_paths
+from repro.timing.kpaths import enumerate_context_paths
+
+
+def make_design(num_ops, edges, delay=1.0):
+    design = MappedDesign(name="t", num_contexts=1)
+    for op in range(num_ops):
+        design.ops[op] = OpInfo(op, OpKind.ADD, 32, 0, UnitKind.ALU, delay, delay)
+    design.compute_edges = list(edges)
+    return design
+
+
+def brute_force_paths(design, floorplan):
+    """Every chain in the (single-context) DAG, with its delay."""
+    succs = {}
+    for src, dst in design.compute_edges:
+        succs.setdefault(src, []).append(dst)
+
+    def path_delay(chain):
+        total = sum(design.ops[o].delay_ns for o in chain)
+        for a, b in zip(chain, chain[1:]):
+            pa = floorplan.position_of(a)
+            pb = floorplan.position_of(b)
+            dist = abs(pa[0] - pb[0]) + abs(pa[1] - pb[1])
+            total += floorplan.fabric.wire_delay(dist)
+        return total
+
+    paths = []
+    def extend(chain):
+        paths.append((tuple(chain), path_delay(chain)))
+        for nxt in succs.get(chain[-1], []):
+            extend(chain + [nxt])
+    for op in design.ops:
+        extend([op])
+    return paths
+
+
+@pytest.fixture
+def diamond():
+    design = make_design(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    fabric = Fabric(4, 4, unit_wire_delay_ns=1.0)
+    fp = Floorplan(fabric, 1)
+    for op, pe in ((0, 0), (1, 1), (2, 4), (3, 5)):
+        fp.bind(op, 0, pe)
+    return design, fp
+
+
+class TestEnumeration:
+    def test_matches_brute_force(self, diamond):
+        design, fp = diamond
+        report = analyze(design, fp)
+        graphs = build_timing_graphs(design)
+        threshold = 0.5 * report.cpd_ns
+        found, truncated = enumerate_context_paths(
+            graphs[0], fp, threshold, report.per_context[0].cpd_ns, 10_000
+        )
+        assert not truncated
+        expected = {
+            chain for chain, delay in brute_force_paths(design, fp)
+            if delay >= threshold - 1e-9
+        }
+        assert {mp.path.chain for mp in found} == expected
+
+    def test_delays_match_brute_force(self, diamond):
+        design, fp = diamond
+        report = analyze(design, fp)
+        graphs = build_timing_graphs(design)
+        found, _ = enumerate_context_paths(
+            graphs[0], fp, 0.0, report.per_context[0].cpd_ns, 10_000
+        )
+        brute = dict(brute_force_paths(design, fp))
+        for mp in found:
+            assert mp.delay_ns == pytest.approx(brute[mp.path.chain])
+
+    def test_critical_flag(self, diamond):
+        design, fp = diamond
+        result = filter_paths(design, fp, retention=1.0, max_paths=1000)
+        critical = {mp.path.chain for mp in result.critical}
+        report = analyze(design, fp)
+        brute_critical = {
+            chain for chain, delay in brute_force_paths(design, fp)
+            if delay >= report.cpd_ns - 1e-9
+        }
+        assert critical == brute_critical
+
+
+class TestFilter:
+    def test_default_threshold_is_80_percent(self, diamond):
+        design, fp = diamond
+        result = filter_paths(design, fp)
+        report = analyze(design, fp)
+        assert result.threshold_ns == pytest.approx(0.8 * report.cpd_ns)
+
+    def test_max_paths_cap_keeps_longest(self, diamond):
+        design, fp = diamond
+        full = filter_paths(design, fp, retention=1.0, max_paths=10_000)
+        capped = filter_paths(design, fp, retention=1.0, max_paths=2)
+        assert capped.truncated
+        assert len(capped.paths) == 2
+        longest = sorted(full.paths, key=lambda m: -m.delay_ns)[:2]
+        assert {m.delay_ns for m in capped.paths} == {
+            m.delay_ns for m in longest
+        }
+
+    def test_paths_sorted_descending(self, diamond):
+        design, fp = diamond
+        result = filter_paths(design, fp, retention=1.0)
+        delays = [mp.delay_ns for mp in result.paths]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_non_critical_partition(self, diamond):
+        design, fp = diamond
+        result = filter_paths(design, fp, retention=1.0)
+        assert len(result.critical) + len(result.non_critical) == len(result.paths)
+
+    def test_wide_fan_structure(self):
+        """Many parallel 2-chains: filter retains exactly the long ones."""
+        edges = [(i, i + 8) for i in range(8)]
+        design = make_design(16, edges)
+        fabric = Fabric(4, 4, unit_wire_delay_ns=1.0)
+        fp = Floorplan(fabric, 1)
+        for op in range(8):
+            fp.bind(op, 0, op)
+        # Half the consumers adjacent (short), half far (long).
+        for i in range(4):
+            fp.bind(8 + i, 0, 8 + i)
+        for i in range(4, 8):
+            fp.bind(8 + i, 0, 12 + (i - 4))
+        result = filter_paths(design, fp, retention=0.2)
+        # Only chains ending at the far consumers are within 20% of CPD.
+        assert all(len(mp.path.chain) == 2 for mp in result.paths)
+
+    def test_empty_context_tolerated(self):
+        design = make_design(1, [])
+        design.num_contexts = 2
+        fabric = Fabric(2, 2)
+        fp = Floorplan(fabric, 2)
+        fp.bind(0, 0, 0)
+        result = filter_paths(design, fp)
+        assert len(result.paths) == 1

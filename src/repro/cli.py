@@ -10,16 +10,29 @@ inspected and re-analysed from the shell::
     python -m repro.cli analyze  design.json floorplan.json
     python -m repro.cli flow     kernel.c --fabric 4x4 [-o result.json]
     python -m repro.cli bench    B13 [--scaled 8] [--mode rotate]
+    python -m repro.cli trace    summarize trace.jsonl
 
 ``compile`` accepts a mini-C file or a named library kernel (fir8,
 matvec4, checksum, sobel3).  ``analyze`` prints CPD, stress and MTTF for
 any (design, floorplan) pair — so saved artefacts from different runs can
 be compared without re-solving anything.
+
+Observability (``flow``, ``remap`` and ``bench``; docs/observability.md):
+
+``--trace FILE.jsonl``
+    Record the run's span tree, events and final metrics as JSONL;
+    inspect offline with ``repro trace summarize FILE.jsonl``.
+``--metrics``
+    Print the metrics-registry snapshot (counters/gauges/histograms)
+    after the command finishes.
+``--log-level LEVEL``
+    Level of the ``repro.*`` stderr logger (default ``warning``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 
@@ -42,8 +55,17 @@ from repro.io.serialize import (
     save_floorplan,
     save_json,
 )
+from repro.obs import (
+    JsonlSink,
+    add_sink,
+    configure_logging,
+    registry,
+    remove_sink,
+    span,
+    summarize_trace,
+)
 from repro.place.baseline import place_baseline
-from repro.report.tables import format_mapping
+from repro.report.tables import format_mapping, format_table
 
 
 def _parse_fabric(text: str) -> Fabric:
@@ -64,6 +86,22 @@ def _load_kernel(argument: str) -> tuple[str, str]:
         f"{argument!r} is neither a file nor a library kernel "
         f"({sorted(KERNELS)})"
     )
+
+
+def _metrics_rows() -> list[list[object]]:
+    """Registry snapshot as (metric, kind, value) table rows."""
+    rows: list[list[object]] = []
+    for name, data in registry().snapshot().items():
+        kind = data["kind"]
+        if kind == "histogram":
+            value = (
+                f"count={data['count']} mean={data['mean']:.4f} "
+                f"min={data['min']:.4f} max={data['max']:.4f}"
+            )
+        else:
+            value = data["value"]
+        rows.append([name, kind, value])
+    return rows
 
 
 def _flow_config(args) -> FlowConfig:
@@ -150,8 +188,9 @@ def cmd_analyze(args) -> int:
 def cmd_flow(args) -> int:
     name, source = _load_kernel(args.source)
     fabric = _parse_fabric(args.fabric)
-    dfg = compile_source(source, name)
-    design = tech_map(schedule_dfg(dfg, capacity=fabric.num_pes))
+    with span("hls_compile", kernel=name):
+        dfg = compile_source(source, name)
+        design = tech_map(schedule_dfg(dfg, capacity=fabric.num_pes))
     result = AgingAwareFlow(_flow_config(args)).run(design, fabric)
     print(format_mapping(f"flow: {name}", {
         "MTTF increase": f"{result.mttf_increase:.2f}x",
@@ -181,11 +220,60 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_trace_summarize(args) -> int:
+    summary = summarize_trace(args.file)
+    print(format_table(
+        ["stage", "count", "wall_s", "share_%"], summary.stage_table()
+    ))
+    print(
+        f"\ntotal wall time {summary.total_s:.3f}s "
+        f"({summary.records} records, {len(summary.events)} events)"
+    )
+    if summary.events:
+        print("\nevents")
+        print("------")
+        for record in summary.events:
+            attrs = record.get("attrs") or {}
+            rendered = " ".join(f"{k}={v}" for k, v in attrs.items())
+            print(f"{record['name']}  parent={record['parent']}  {rendered}")
+    if summary.metrics:
+        rows = []
+        for name, data in summary.metrics.items():
+            kind = data.get("kind", "?")
+            if kind == "histogram":
+                value = (
+                    f"count={data.get('count')} mean={data.get('mean', 0.0):.4f} "
+                    f"max={data.get('max', 0.0):.4f}"
+                )
+            else:
+                value = data.get("value")
+            rows.append([name, kind, value])
+        print()
+        print(format_table(["metric", "kind", "value"], rows))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Aging-aware CGRRA floorplanning flow."
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    # Observability flags shared by the solver-running subcommands.
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--trace", metavar="FILE.jsonl", default=None,
+        help="record spans/events/metrics as JSONL to this file",
+    )
+    obs_flags.add_argument(
+        "--metrics", action="store_true",
+        help="print the metrics registry snapshot after the run",
+    )
+    obs_flags.add_argument(
+        "--log-level", default="warning",
+        choices=["debug", "info", "warning", "error", "critical"],
+        help="repro.* stderr logger level (default: warning)",
+    )
 
     p = sub.add_parser("compile", help="mini-C -> mapped design JSON")
     p.add_argument("source")
@@ -199,7 +287,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default="floorplan.json")
     p.set_defaults(func=cmd_place)
 
-    p = sub.add_parser("remap", help="aging-aware re-mapping (Algorithm 1)")
+    p = sub.add_parser(
+        "remap", help="aging-aware re-mapping (Algorithm 1)",
+        parents=[obs_flags],
+    )
     p.add_argument("design")
     p.add_argument("floorplan")
     p.add_argument("-o", "--output", default="remapped.json")
@@ -212,7 +303,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("floorplan")
     p.set_defaults(func=cmd_analyze)
 
-    p = sub.add_parser("flow", help="full Phase 1 + Phase 2 on a kernel")
+    p = sub.add_parser(
+        "flow", help="full Phase 1 + Phase 2 on a kernel", parents=[obs_flags]
+    )
     p.add_argument("source")
     p.add_argument("--fabric", default="4x4")
     p.add_argument("--mode", choices=["freeze", "rotate"], default="rotate")
@@ -220,22 +313,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default=None)
     p.set_defaults(func=cmd_flow)
 
-    p = sub.add_parser("bench", help="run one Table I benchmark")
+    p = sub.add_parser(
+        "bench", help="run one Table I benchmark", parents=[obs_flags]
+    )
     p.add_argument("name")
     p.add_argument("--scaled", type=int, default=None)
     p.add_argument("--mode", choices=["freeze", "rotate"], default="rotate")
     p.add_argument("--time-limit", type=float, default=30.0)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("trace", help="inspect JSONL observability traces")
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    ts = tsub.add_parser(
+        "summarize", help="aggregate a trace into a per-stage table"
+    )
+    ts.add_argument("file")
+    ts.set_defaults(func=cmd_trace_summarize)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(getattr(args, "log_level", "warning"))
+    sink = None
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        try:
+            sink = JsonlSink(trace_path)
+        except OSError as exc:
+            print(f"error: cannot open trace file: {exc}", file=sys.stderr)
+            return 1
+        add_sink(sink)
     try:
-        return args.func(args)
+        code = args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        code = 1
+    except BrokenPipeError:
+        # Downstream pager/head closed stdout; exit quietly like cat does.
+        # Point stdout at devnull so the interpreter's final flush is silent.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 141
+    finally:
+        if sink is not None:
+            remove_sink(sink)
+            sink.write_metrics(registry().snapshot())
+            sink.close()
+            print(f"trace -> {trace_path}", file=sys.stderr)
+    if getattr(args, "metrics", False):
+        print()
+        print(format_table(["metric", "kind", "value"], _metrics_rows()))
+    return code
 
 
 if __name__ == "__main__":

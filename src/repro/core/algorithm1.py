@@ -22,7 +22,6 @@ paper's guarantee of *no delay degradation* is therefore unconditional.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 
 from repro.aging.stress import StressMap, compute_stress_map
@@ -47,6 +46,7 @@ from repro.core.targets import (
 from repro.errors import BudgetInfeasibleError, FlowError
 from repro.hls.allocate import MappedDesign
 from repro.milp.scipy_backend import ScipyBackend
+from repro.obs import counter, event, get_logger, span
 from repro.timing.graph import build_timing_graphs
 from repro.timing.kpaths import (
     DEFAULT_MAX_PATHS,
@@ -57,6 +57,8 @@ from repro.timing.sta import all_critical_paths, analyze
 
 #: CPD comparisons use this guard band (ns) against float noise.
 CPD_EPS = 1e-6
+
+_log = get_logger("core.algorithm1")
 
 
 @dataclass
@@ -112,42 +114,73 @@ def run_algorithm1(
     if config.mode not in ("rotate", "freeze"):
         raise FlowError(f"unknown mode {config.mode!r}")
     backend = backend or config.remap.make_backend()
-    started = time.perf_counter()
+    with span("algorithm1", mode=config.mode) as alg_span:
+        result = _run_algorithm1(
+            design, fabric, original, config, original_stress, backend
+        )
+        result.elapsed_s = alg_span.duration_s
+        alg_span.set(
+            iterations=result.iterations,
+            fell_back=result.fell_back,
+            st_target_ns=result.st_target_ns,
+        )
+    _log.info(
+        "%s: %d iteration(s), ST_target=%.3f ns, fell_back=%s (%.2fs)",
+        design.name,
+        result.iterations,
+        result.st_target_ns,
+        result.fell_back,
+        result.elapsed_s,
+    )
+    return result
+
+
+def _run_algorithm1(
+    design: MappedDesign,
+    fabric: Fabric,
+    original: Floorplan,
+    config: Algorithm1Config,
+    original_stress: StressMap | None,
+    backend: ScipyBackend,
+) -> RemapResult:
     rng = random.Random(config.seed)
 
-    graphs = build_timing_graphs(design)
-    report = analyze(design, original, graphs)
+    with span("sta"):
+        graphs = build_timing_graphs(design)
+        report = analyze(design, original, graphs)
     cpd_orig = report.cpd_ns
 
     # -- Step 2.1: critical-path constraint generation -----------------------
-    critical = all_critical_paths(design, original, graphs, report)
-    critical_by_context: dict[int, list[int]] = {}
-    for path in critical:
-        bucket = critical_by_context.setdefault(path.context, [])
-        for op in path.chain:
-            if op not in bucket:
-                bucket.append(op)
-    if config.mode == "freeze" or not fabric.is_square():
-        frozen = freeze_plan(original, critical_by_context)
-    else:
-        stress_of = {op: info.stress_ns for op, info in design.ops.items()}
-        frozen = rotate_plan(
-            original,
-            critical_by_context,
-            stress_of,
-            rng,
-            samples=config.rotation_samples,
-        )
+    with span("critical_paths"):
+        critical = all_critical_paths(design, original, graphs, report)
+        critical_by_context: dict[int, list[int]] = {}
+        for path in critical:
+            bucket = critical_by_context.setdefault(path.context, [])
+            for op in path.chain:
+                if op not in bucket:
+                    bucket.append(op)
+        if config.mode == "freeze" or not fabric.is_square():
+            frozen = freeze_plan(original, critical_by_context)
+        else:
+            stress_of = {op: info.stress_ns for op, info in design.ops.items()}
+            frozen = rotate_plan(
+                original,
+                critical_by_context,
+                stress_of,
+                rng,
+                samples=config.rotation_samples,
+            )
 
     # -- Step 2.2: path-delay constraint generation ---------------------------
-    filtered = filter_paths(
-        design,
-        original,
-        retention=config.retention,
-        max_paths=config.max_paths,
-        graphs=graphs,
-        report=report,
-    )
+    with span("path_filter"):
+        filtered = filter_paths(
+            design,
+            original,
+            retention=config.retention,
+            max_paths=config.max_paths,
+            graphs=graphs,
+            report=report,
+        )
     monitored = filtered.non_critical
 
     # -- Step 1: ST_target lower bound -----------------------------------------
@@ -173,6 +206,7 @@ def run_algorithm1(
     )
 
     # -- Step 2.3: solve / relax loop -----------------------------------------
+    relaxations = counter("algorithm1.st_target_relaxations")
     st_target = step1.st_target_ns
     iterations = 0
     iteration_log: list[dict] = []
@@ -180,66 +214,31 @@ def run_algorithm1(
     final_cpd = cpd_orig
     while iterations < config.max_iterations and st_target <= st_ceiling:
         iterations += 1
-        if config.remap.strategy == "sequential":
-            outcome = solve_remap_sequential(
-                design, fabric, frozen, candidates, monitored,
-                cpd_orig, st_target, config.remap, backend,
+        counter("algorithm1.iterations").inc()
+        with span(
+            "iteration", index=iterations, st_target_ns=st_target
+        ) as iter_span:
+            entry = _run_iteration(
+                design, fabric, original, config, backend, frozen,
+                candidates, monitored, cpd_orig, st_target, iterations, graphs,
             )
-            build_stats: dict = {}
-        else:
-            try:
-                model, variables, build_stats = build_remap_model(
-                    design, fabric, frozen, candidates, monitored,
-                    cpd_orig, st_target, name=f"remap_iter{iterations}",
-                    objective=config.remap.objective,
-                )
-            except BudgetInfeasibleError:
-                iteration_log.append(
-                    {
-                        "iteration": iterations,
-                        "st_target_ns": st_target,
-                        "result": "frozen_budget_infeasible",
-                    }
-                )
-                st_target += delta
-                continue
-            greedy_ctx = GreedyContext(
-                design=design,
-                fabric=fabric,
-                frozen_positions=frozen.positions,
-                st_target_ns=st_target,
-                frozen_stress_ns=frozen_stress_by_pe(design, frozen),
-            )
-            outcome = solve_remap(
-                model, variables, config.remap, backend, greedy_ctx
-            )
-        entry = {
-            "iteration": iterations,
-            "st_target_ns": st_target,
-            **build_stats,
-            **outcome.stats,
-        }
-        if not outcome.feasible:
-            entry["result"] = "infeasible"
             iteration_log.append(entry)
-            st_target += delta
-            continue
-        candidate_fp = outcome.floorplan(original, frozen)
-        check_frozen_ops(original, candidate_fp, frozen.positions)
-        new_report = analyze(design, candidate_fp, graphs)
-        entry["new_cpd_ns"] = new_report.cpd_ns
-        if new_report.cpd_ns <= cpd_orig + CPD_EPS:
-            entry["result"] = "accepted"
-            iteration_log.append(entry)
-            best = candidate_fp
-            final_cpd = new_report.cpd_ns
+            iter_span.set(result=entry["result"])
+        _log.debug(
+            "%s: iteration %d at ST_target=%.3f ns -> %s",
+            design.name, iterations, st_target, entry["result"],
+        )
+        if entry["result"] == "accepted":
+            best = entry.pop("floorplan")
+            final_cpd = entry["new_cpd_ns"]
             break
-        entry["result"] = "cpd_violation"
-        iteration_log.append(entry)
+        relaxations.inc()
         st_target += delta
 
     fell_back = best is None
     if fell_back:
+        counter("algorithm1.fallbacks").inc()
+        event("algorithm1.fallback", benchmark=design.name, iterations=iterations)
         best = original
         final_cpd = cpd_orig
         st_target = original_stress.max_accumulated_ns
@@ -255,5 +254,75 @@ def run_algorithm1(
         monitored_count=len(monitored),
         critical_op_count=len(frozen.positions),
         stats={"iterations": iteration_log, "path_filter_truncated": filtered.truncated},
-        elapsed_s=time.perf_counter() - started,
     )
+
+
+def _run_iteration(
+    design: MappedDesign,
+    fabric: Fabric,
+    original: Floorplan,
+    config: Algorithm1Config,
+    backend: ScipyBackend,
+    frozen: FrozenPlan,
+    candidates: dict[int, list[int]],
+    monitored,
+    cpd_orig: float,
+    st_target: float,
+    iteration: int,
+    graphs,
+) -> dict:
+    """One solve attempt of the relax loop.
+
+    Returns the iteration-log entry; ``result`` is one of ``accepted``,
+    ``infeasible``, ``cpd_violation`` or ``frozen_budget_infeasible``, and
+    an accepted entry additionally carries the candidate ``floorplan``.
+    """
+    if config.remap.strategy == "sequential":
+        outcome = solve_remap_sequential(
+            design, fabric, frozen, candidates, monitored,
+            cpd_orig, st_target, config.remap, backend,
+        )
+        build_stats: dict = {}
+    else:
+        try:
+            model, variables, build_stats = build_remap_model(
+                design, fabric, frozen, candidates, monitored,
+                cpd_orig, st_target, name=f"remap_iter{iteration}",
+                objective=config.remap.objective,
+            )
+        except BudgetInfeasibleError:
+            return {
+                "iteration": iteration,
+                "st_target_ns": st_target,
+                "result": "frozen_budget_infeasible",
+            }
+        greedy_ctx = GreedyContext(
+            design=design,
+            fabric=fabric,
+            frozen_positions=frozen.positions,
+            st_target_ns=st_target,
+            frozen_stress_ns=frozen_stress_by_pe(design, frozen),
+        )
+        outcome = solve_remap(
+            model, variables, config.remap, backend, greedy_ctx
+        )
+    entry = {
+        "iteration": iteration,
+        "st_target_ns": st_target,
+        **build_stats,
+        **outcome.stats,
+    }
+    if not outcome.feasible:
+        entry["result"] = "infeasible"
+        return entry
+    candidate_fp = outcome.floorplan(original, frozen)
+    check_frozen_ops(original, candidate_fp, frozen.positions)
+    with span("sta_verify"):
+        new_report = analyze(design, candidate_fp, graphs)
+    entry["new_cpd_ns"] = new_report.cpd_ns
+    if new_report.cpd_ns <= cpd_orig + CPD_EPS:
+        entry["result"] = "accepted"
+        entry["floorplan"] = candidate_fp
+        return entry
+    entry["result"] = "cpd_violation"
+    return entry

@@ -14,8 +14,7 @@ larger than the original CPD, and the reported metric is
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.aging.mttf import MttfReport, compute_mttf, mttf_increase
 from repro.aging.nbti import NbtiModel
@@ -24,10 +23,13 @@ from repro.arch.context import Floorplan
 from repro.arch.fabric import Fabric
 from repro.core.algorithm1 import Algorithm1Config, RemapResult, run_algorithm1
 from repro.hls.allocate import MappedDesign
+from repro.obs import counter, event, get_logger, span
 from repro.place.baseline import BaselinePlacerConfig, place_baseline
 from repro.thermal.grid import ThermalGridConfig
 from repro.thermal.hotspot import ThermalReport, ThermalSimulator
 from repro.thermal.power import PowerModel
+
+_log = get_logger("core.flow")
 
 
 @dataclass
@@ -99,22 +101,28 @@ class AgingAwareFlow:
         self, design: MappedDesign, fabric: Fabric, floorplan: Floorplan
     ) -> FloorplanEvaluation:
         """Stress map -> thermal maps -> MTTF for any floorplan."""
-        stress = compute_stress_map(design, floorplan)
-        simulator = ThermalSimulator(
-            fabric,
-            grid_config=self.config.thermal_grid,
-            power_model=self.config.power,
-        )
-        thermal = simulator.simulate(stress.duty_per_context())
-        mttf = compute_mttf(stress, thermal.accumulated_k, self.config.nbti)
+        with span("evaluate"):
+            with span("stress"):
+                stress = compute_stress_map(design, floorplan)
+            simulator = ThermalSimulator(
+                fabric,
+                grid_config=self.config.thermal_grid,
+                power_model=self.config.power,
+            )
+            thermal = simulator.simulate(stress.duty_per_context())
+            with span("mttf"):
+                mttf = compute_mttf(
+                    stress, thermal.accumulated_k, self.config.nbti
+                )
         return FloorplanEvaluation(
             floorplan=floorplan, stress=stress, thermal=thermal, mttf=mttf
         )
 
     def phase1(self, design: MappedDesign, fabric: Fabric) -> FloorplanEvaluation:
         """Aging-unaware placement and baseline lifetime evaluation."""
-        floorplan = place_baseline(design, fabric, self.config.placer)
-        return self.evaluate(design, fabric, floorplan)
+        with span("phase1"):
+            floorplan = place_baseline(design, fabric, self.config.placer)
+            return self.evaluate(design, fabric, floorplan)
 
     def phase2(
         self,
@@ -123,14 +131,15 @@ class AgingAwareFlow:
         original: FloorplanEvaluation,
     ) -> tuple[FloorplanEvaluation, RemapResult]:
         """Aging-aware re-mapping and re-evaluation."""
-        remap = run_algorithm1(
-            design,
-            fabric,
-            original.floorplan,
-            config=self.config.algorithm1,
-            original_stress=original.stress,
-        )
-        return self.evaluate(design, fabric, remap.floorplan), remap
+        with span("phase2"):
+            remap = run_algorithm1(
+                design,
+                fabric,
+                original.floorplan,
+                config=self.config.algorithm1,
+                original_stress=original.stress,
+            )
+            return self.evaluate(design, fabric, remap.floorplan), remap
 
     # -- the whole flow -------------------------------------------------------
     def run(self, design: MappedDesign, fabric: Fabric) -> FlowResult:
@@ -142,25 +151,54 @@ class AgingAwareFlow:
         re-mapped MTTF can fall below the baseline; the flow then keeps
         the original floorplan and reports an increase of exactly 1.0.
         """
-        started = time.perf_counter()
-        original = self.phase1(design, fabric)
-        remapped, remap = self.phase2(design, fabric, original)
-        increase = mttf_increase(original.mttf, remapped.mttf)
-        if increase < 1.0:
-            remapped = original
-            remap.floorplan = original.floorplan
-            remap.fell_back = True
-            remap.final_cpd_ns = remap.original_cpd_ns
-            increase = 1.0
-        return FlowResult(
-            design=design,
-            fabric=fabric,
-            original=original,
-            remapped=remapped,
-            remap=remap,
-            mttf_increase=increase,
-            elapsed_s=time.perf_counter() - started,
+        with span("flow", benchmark=design.name) as flow_span:
+            counter("flow.runs").inc()
+            original = self.phase1(design, fabric)
+            remapped, remap = self.phase2(design, fabric, original)
+            increase = mttf_increase(original.mttf, remapped.mttf)
+            if increase < 1.0:
+                # The re-map lost lifetime (e.g. an unlucky rotation): keep
+                # the original floorplan.  The returned RemapResult is a
+                # copy — Algorithm 1's own result object stays untouched so
+                # callers holding it (experiments, benches) see what the
+                # solver actually produced.
+                counter("flow.fallbacks").inc()
+                event(
+                    "flow.fallback",
+                    benchmark=design.name,
+                    mttf_increase=increase,
+                )
+                _log.warning(
+                    "%s: re-mapped MTTF fell to %.3fx of baseline; "
+                    "keeping the original floorplan",
+                    design.name,
+                    increase,
+                )
+                remap = replace(
+                    remap,
+                    floorplan=original.floorplan,
+                    fell_back=True,
+                    final_cpd_ns=remap.original_cpd_ns,
+                )
+                remapped = original
+                increase = 1.0
+            result = FlowResult(
+                design=design,
+                fabric=fabric,
+                original=original,
+                remapped=remapped,
+                remap=remap,
+                mttf_increase=increase,
+                elapsed_s=flow_span.duration_s,
+            )
+        _log.info(
+            "%s: MTTF increase %.2fx in %.2fs (fell_back=%s)",
+            design.name,
+            result.mttf_increase,
+            result.elapsed_s,
+            result.remap.fell_back,
         )
+        return result
 
 
 def run_flow(

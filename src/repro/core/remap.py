@@ -26,7 +26,6 @@ up to 64 PEs) gives every op every PE, exactly as in Eq. (3).
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -53,10 +52,13 @@ from repro.milp.rounding import (
 )
 from repro.milp.scipy_backend import ScipyBackend
 from repro.milp.status import SolveStatus
+from repro.obs import counter, gauge, get_logger, span
 from repro.timing.kpaths import MonitoredPath
 
 #: Fabric size (PEs) up to which every op gets every PE as a candidate.
 FULL_CANDIDATE_LIMIT = 64
+
+_log = get_logger("core.remap")
 
 
 @dataclass
@@ -182,35 +184,40 @@ def build_remap_model(
     objective_known_only: bool = False,
 ) -> tuple[Model, RemapVariables, dict]:
     """Assemble Eq. (3) for one ``ST_target``; returns model + variables + stats."""
-    model = Model(name)
-    variables = add_assignment_variables(model, candidates, design)
-    add_exclusivity_constraints(variables, design, fabric.num_pes)
-    add_stress_constraints(
-        variables,
-        design,
-        fabric.num_pes,
-        st_target_ns,
-        frozen_stress_by_pe(design, frozen),
-    )
-    endpoints = collect_endpoints(monitored_paths)
-    build_coordinates(variables, design, fabric, frozen.positions, endpoints)
-    added, frozen_violations = add_path_constraints(
-        variables, design, fabric, monitored_paths, cpd_ns
-    )
-    if objective == "wirelength":
-        add_wirelength_objective(
-            variables, design, fabric, frozen.positions,
-            known_only=objective_known_only,
+    with span("milp_build", model=name) as build_span:
+        model = Model(name)
+        variables = add_assignment_variables(model, candidates, design)
+        add_exclusivity_constraints(variables, design, fabric.num_pes)
+        add_stress_constraints(
+            variables,
+            design,
+            fabric.num_pes,
+            st_target_ns,
+            frozen_stress_by_pe(design, frozen),
         )
-    elif objective != "null":
-        raise ModelError(f"unknown objective {objective!r}")
-    stats = {
-        "variables": model.num_variables,
-        "binaries": model.num_binary,
-        "constraints": model.num_constraints,
-        "path_constraints": added,
-        "frozen_path_violations": frozen_violations,
-    }
+        endpoints = collect_endpoints(monitored_paths)
+        build_coordinates(variables, design, fabric, frozen.positions, endpoints)
+        added, frozen_violations = add_path_constraints(
+            variables, design, fabric, monitored_paths, cpd_ns
+        )
+        if objective == "wirelength":
+            add_wirelength_objective(
+                variables, design, fabric, frozen.positions,
+                known_only=objective_known_only,
+            )
+        elif objective != "null":
+            raise ModelError(f"unknown objective {objective!r}")
+        stats = {
+            "variables": model.num_variables,
+            "binaries": model.num_binary,
+            "constraints": model.num_constraints,
+            "path_constraints": added,
+            "frozen_path_violations": frozen_violations,
+        }
+        build_span.set(**stats)
+    counter("milp.models_built").inc()
+    gauge("milp.model.binaries").set(model.num_binary)
+    gauge("milp.model.constraints").set(model.num_constraints)
     return model, variables, stats
 
 
@@ -379,9 +386,10 @@ def _extract(variables: RemapVariables, solution) -> dict[int, int]:
 def _solve_monolithic(
     model: Model, variables: RemapVariables, backend: ScipyBackend
 ) -> RemapOutcome:
-    started = time.perf_counter()
-    solution = model.solve(backend)
-    elapsed = time.perf_counter() - started
+    with span("milp_solve", strategy="monolithic") as solve_span:
+        solution = model.solve(backend)
+        elapsed = solve_span.duration_s
+        solve_span.set(status=solution.status.value)
     if not solution.status.has_solution:
         return RemapOutcome(
             feasible=False,
@@ -415,50 +423,65 @@ def _solve_two_step(
     """
     stats: dict = {"strategy": "two-step", "rounding": config.rounding}
 
-    relaxed = model.relaxed()
-    lp_solution = relaxed.solve(backend)
-    relaxed.restore_types()
-    stats["lp_s"] = lp_solution.solve_seconds
-    stats["lp_status"] = lp_solution.status.value
-    if not lp_solution.status.has_solution:
-        stats["status"] = "lp_" + lp_solution.status.value
-        return RemapOutcome(feasible=False, stats=stats)
+    with span("milp_solve", strategy="two-step") as solve_span:
+        with span("lp_relax"):
+            relaxed = model.relaxed()
+            lp_solution = relaxed.solve(backend)
+            relaxed.restore_types()
+        stats["lp_s"] = lp_solution.solve_seconds
+        stats["lp_status"] = lp_solution.status.value
+        if not lp_solution.status.has_solution:
+            stats["status"] = "lp_" + lp_solution.status.value
+            solve_span.set(status=stats["status"])
+            return RemapOutcome(feasible=False, stats=stats)
 
-    use_greedy = greedy_context is not None and (
-        config.completion == "greedy"
-        or (
-            config.completion == "auto"
-            and model.num_binary > config.greedy_threshold
+        use_greedy = greedy_context is not None and (
+            config.completion == "greedy"
+            or (
+                config.completion == "auto"
+                and model.num_binary > config.greedy_threshold
+            )
         )
-    )
-    if use_greedy:
-        assignment = _greedy_complete(variables, lp_solution, greedy_context)
-        stats["completion"] = "greedy"
-        if assignment is not None:
-            stats["status"] = "ok"
-            return RemapOutcome(feasible=True, assignment=assignment, stats=stats)
-        stats["greedy_failed"] = True  # fall through to the ILP
+        if use_greedy:
+            with span("greedy_complete"):
+                assignment = _greedy_complete(
+                    variables, lp_solution, greedy_context
+                )
+            stats["completion"] = "greedy"
+            if assignment is not None:
+                stats["status"] = "ok"
+                solve_span.set(status="ok", completion="greedy")
+                return RemapOutcome(
+                    feasible=True, assignment=assignment, stats=stats
+                )
+            counter("milp.greedy_completion_failures").inc()
+            stats["greedy_failed"] = True  # fall through to the ILP
 
-    groups = variables.groups()
-    if config.rounding == "threshold":
-        report = threshold_fix(model, groups, lp_solution, config.fix_threshold)
-    elif config.rounding == "randomized":
-        report = randomized_round(
-            model, groups, lp_solution, random.Random(config.seed)
-        )
-    else:
-        raise ModelError(f"unknown rounding strategy {config.rounding!r}")
-    stats["groups_fixed"] = report.groups_fixed
-    stats["groups_total"] = report.groups_total
-    stats["fixed_fraction"] = report.fraction_fixed
+        groups = variables.groups()
+        if config.rounding == "threshold":
+            report = threshold_fix(
+                model, groups, lp_solution, config.fix_threshold
+            )
+        elif config.rounding == "randomized":
+            report = randomized_round(
+                model, groups, lp_solution, random.Random(config.seed)
+            )
+        else:
+            raise ModelError(f"unknown rounding strategy {config.rounding!r}")
+        stats["groups_fixed"] = report.groups_fixed
+        stats["groups_total"] = report.groups_total
+        stats["fixed_fraction"] = report.fraction_fixed
 
-    ilp_solution = model.solve(backend)
-    stats["ilp_s"] = ilp_solution.solve_seconds
-    stats["ilp_status"] = ilp_solution.status.value
-    if not ilp_solution.status.has_solution:
-        stats["status"] = "ilp_" + ilp_solution.status.value
-        return RemapOutcome(feasible=False, stats=stats)
-    stats["status"] = "ok"
+        with span("ilp_fix", groups_fixed=report.groups_fixed):
+            ilp_solution = model.solve(backend)
+        stats["ilp_s"] = ilp_solution.solve_seconds
+        stats["ilp_status"] = ilp_solution.status.value
+        if not ilp_solution.status.has_solution:
+            stats["status"] = "ilp_" + ilp_solution.status.value
+            solve_span.set(status=stats["status"])
+            return RemapOutcome(feasible=False, stats=stats)
+        stats["status"] = "ok"
+        solve_span.set(status="ok", completion="ilp")
     return RemapOutcome(
         feasible=True,
         assignment=_extract(variables, ilp_solution),
@@ -526,12 +549,16 @@ def solve_remap_sequential(
             st_target_ns=st_target_ns,
             frozen_stress_ns=frozen_stress_by_pe(design, committed),
         )
-        outcome = _solve_two_step(model, variables, config, backend, greedy_ctx)
+        with span("milp_context", context=context):
+            outcome = _solve_two_step(
+                model, variables, config, backend, greedy_ctx
+            )
         stats["contexts"].append(
             {"context": context, **build_stats, **outcome.stats}
         )
         if not outcome.feasible:
             stats["status"] = f"infeasible_at_context_{context}"
+            _log.debug("sequential remap infeasible at context %d", context)
             return RemapOutcome(feasible=False, stats=stats)
         assignment.update(outcome.assignment)
         for op_id, pe_index in outcome.assignment.items():

@@ -36,6 +36,9 @@ from repro.core.rotation import FrozenPlan
 from repro.errors import ModelError
 from repro.hls.allocate import MappedDesign
 from repro.milp.scipy_backend import ScipyBackend
+from repro.obs import counter, get_logger, span
+
+_log = get_logger("core.targets")
 
 
 @dataclass
@@ -65,6 +68,37 @@ def stress_target_lower_bound(
     backend: ScipyBackend | None = None,
 ) -> StressTargetResult:
     """Binary-search the delay-unaware ST_target lower bound (Algorithm 1, line 2)."""
+    with span("binary_search") as search_span:
+        result = _stress_target_lower_bound(
+            design, fabric, original, original_stress, config,
+            delta_ns, tolerance_ns, backend,
+        )
+        search_span.set(
+            bisection_steps=result.bisection_steps,
+            ilp_bumps=result.ilp_bumps,
+            st_target_ns=result.st_target_ns,
+        )
+    counter("algorithm1.bisection_steps").inc(result.bisection_steps)
+    counter("algorithm1.st_target_ilp_bumps").inc(result.ilp_bumps)
+    _log.debug(
+        "ST_target lower bound %.3f ns in [%.3f, %.3f] "
+        "(%d bisection steps, %d ILP bumps)",
+        result.st_target_ns, result.st_low_ns, result.st_up_ns,
+        result.bisection_steps, result.ilp_bumps,
+    )
+    return result
+
+
+def _stress_target_lower_bound(
+    design: MappedDesign,
+    fabric: Fabric,
+    original: Floorplan,
+    original_stress: StressMap,
+    config: RemapConfig | None = None,
+    delta_ns: float | None = None,
+    tolerance_ns: float | None = None,
+    backend: ScipyBackend | None = None,
+) -> StressTargetResult:
     config = config or RemapConfig()
     backend = backend or config.make_backend()
     st_low = original_stress.mean_accumulated_ns
@@ -82,20 +116,22 @@ def stress_target_lower_bound(
     )
 
     def lp_feasible(target: float) -> bool:
-        model, _, _ = build_remap_model(
-            design,
-            fabric,
-            frozen,
-            candidates,
-            monitored_paths=(),  # delay-unaware: no path constraints
-            cpd_ns=float("inf"),
-            st_target_ns=target,
-            name="step1_lp",
-            objective="null",
-        )
-        relaxation = model.relaxed()
-        solution = relaxation.solve(backend)
-        relaxation.restore_types()
+        with span("lp_probe", st_target_ns=target) as probe_span:
+            model, _, _ = build_remap_model(
+                design,
+                fabric,
+                frozen,
+                candidates,
+                monitored_paths=(),  # delay-unaware: no path constraints
+                cpd_ns=float("inf"),
+                st_target_ns=target,
+                name="step1_lp",
+                objective="null",
+            )
+            relaxation = model.relaxed()
+            solution = relaxation.solve(backend)
+            relaxation.restore_types()
+            probe_span.set(feasible=solution.status.has_solution)
         return solution.status.has_solution
 
     low, high = st_low, st_up

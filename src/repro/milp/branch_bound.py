@@ -23,7 +23,6 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,8 +32,11 @@ from repro.errors import SolverError
 from repro.milp.constraint import Sense
 from repro.milp.model import MatrixForm, Model
 from repro.milp.status import Solution, SolveStatus
+from repro.obs import counter, get_logger, span
 
 _INTEGRALITY_TOL = 1e-6
+
+_log = get_logger("milp.branch_bound")
 
 
 @dataclass(order=True)
@@ -110,9 +112,25 @@ class BranchBoundBackend:
     # -- main loop --------------------------------------------------------------
     def solve(self, model: Model, **options) -> Solution:
         """Solve ``model`` to proven optimality (subject to node/time limits)."""
+        with span(
+            "solver", backend="branch_bound", kind="milp", model=model.name
+        ) as solver_span:
+            solution = self._solve(model, solver_span, **options)
+            solver_span.set(
+                nodes=self.last_node_count, status=solution.status.value
+            )
+        counter("milp.bb.solves").inc()
+        counter("milp.bb.nodes_explored").inc(self.last_node_count)
+        _log.debug(
+            "branch-and-bound %s: %d nodes, status %s in %.3fs",
+            model.name, self.last_node_count, solution.status.value,
+            solution.solve_seconds,
+        )
+        return solution
+
+    def _solve(self, model: Model, solver_span, **options) -> Solution:
         form = model.to_matrix_form()
         n = len(form.variables)
-        started = time.perf_counter()
         time_limit = options.get("time_limit", self.time_limit)
         max_nodes = options.get("max_nodes", self.max_nodes)
         self.last_node_count = 0
@@ -127,7 +145,7 @@ class BranchBoundBackend:
         if root is None:
             return Solution(
                 status=SolveStatus.INFEASIBLE,
-                solve_seconds=time.perf_counter() - started,
+                solve_seconds=solver_span.duration_s,
             )
         root_bound, _ = root
 
@@ -141,7 +159,7 @@ class BranchBoundBackend:
         while heap:
             if self.last_node_count >= max_nodes or (
                 time_limit is not None
-                and time.perf_counter() - started > time_limit
+                and solver_span.duration_s > time_limit
             ):
                 proven = False
                 break
@@ -178,7 +196,7 @@ class BranchBoundBackend:
                 if lo[j] <= hi[j]:
                     heapq.heappush(heap, _Node(bound, next(counter), lo, hi))
 
-        elapsed = time.perf_counter() - started
+        elapsed = solver_span.duration_s
         if best_x is None:
             status = SolveStatus.INFEASIBLE if proven else SolveStatus.ERROR
             message = "" if proven else "node/time limit reached without incumbent"

@@ -24,9 +24,12 @@ from repro.errors import ModelError
 from repro.milp.expr import Variable
 from repro.milp.model import Model
 from repro.milp.status import Solution
+from repro.obs import counter, get_logger, span
 
 #: The paper's pre-mapping threshold.
 DEFAULT_FIX_THRESHOLD = 0.95
+
+_log = get_logger("milp.rounding")
 
 
 @dataclass
@@ -63,15 +66,20 @@ def threshold_fix(
     if not 0.5 < threshold <= 1.0:
         raise ModelError(f"threshold must lie in (0.5, 1.0], got {threshold}")
     report = RoundingReport(groups_total=len(groups), strategy="threshold")
-    for group in groups:
-        winner = None
-        for var in group:
-            if lp_solution.value(var, 0.0) > threshold:
-                winner = var
-                break
-        if winner is None:
-            continue
-        _fix_group(model, group, winner, report)
+    with span("rounding", strategy="threshold") as round_span:
+        for group in groups:
+            winner = None
+            for var in group:
+                if lp_solution.value(var, 0.0) > threshold:
+                    winner = var
+                    break
+            if winner is None:
+                continue
+            _fix_group(model, group, winner, report)
+        round_span.set(
+            groups_fixed=report.groups_fixed, groups_total=report.groups_total
+        )
+    _record_rounding(report)
     return report
 
 
@@ -90,21 +98,40 @@ def randomized_round(
     comparison the authors describe).
     """
     report = RoundingReport(groups_total=len(groups), strategy="randomized")
-    for group in groups:
-        masses = [max(0.0, lp_solution.value(var, 0.0)) for var in group]
-        total = sum(masses)
-        if total <= 0.0 or max(masses) < min_mass:
-            continue
-        pick = rng.random() * total
-        cumulative = 0.0
-        winner = group[-1]
-        for var, mass in zip(group, masses):
-            cumulative += mass
-            if pick <= cumulative:
-                winner = var
-                break
-        _fix_group(model, group, winner, report)
+    with span("rounding", strategy="randomized") as round_span:
+        for group in groups:
+            masses = [max(0.0, lp_solution.value(var, 0.0)) for var in group]
+            total = sum(masses)
+            if total <= 0.0 or max(masses) < min_mass:
+                continue
+            pick = rng.random() * total
+            cumulative = 0.0
+            winner = group[-1]
+            for var, mass in zip(group, masses):
+                cumulative += mass
+                if pick <= cumulative:
+                    winner = var
+                    break
+            _fix_group(model, group, winner, report)
+        round_span.set(
+            groups_fixed=report.groups_fixed, groups_total=report.groups_total
+        )
+    _record_rounding(report)
     return report
+
+
+def _record_rounding(report: RoundingReport) -> None:
+    """Registry + logging bookkeeping shared by the strategies."""
+    counter("rounding.passes").inc()
+    counter("rounding.groups_fixed").inc(report.groups_fixed)
+    counter("rounding.vars_fixed").inc(
+        report.variables_fixed_one + report.variables_fixed_zero
+    )
+    _log.debug(
+        "%s rounding fixed %d/%d groups (%.0f%%)",
+        report.strategy, report.groups_fixed, report.groups_total,
+        100.0 * report.fraction_fixed,
+    )
 
 
 def _fix_group(

@@ -7,8 +7,6 @@ paper's two-step method) it reduces to the HiGHS dual simplex.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
@@ -16,6 +14,9 @@ from repro.errors import SolverError
 from repro.milp.constraint import Sense
 from repro.milp.model import Model
 from repro.milp.status import Solution, SolveStatus
+from repro.obs import counter, get_logger, histogram, span
+
+_log = get_logger("milp.scipy_backend")
 
 #: Map HiGHS/scipy status codes to our :class:`SolveStatus`.
 _STATUS_MAP = {
@@ -77,18 +78,28 @@ class ScipyBackend:
             # branch-and-cut entry point on these transportation-like LPs.
             return self._solve_lp(form, lower, upper, time_limit)
 
-        started = time.perf_counter()
-        try:
-            result = milp(
-                c=form.objective,
-                constraints=constraints,
-                integrality=form.integrality,
-                bounds=Bounds(form.lower, form.upper),
-                options=milp_options,
-            )
-        except Exception as exc:  # scipy raises ValueError on malformed input
-            raise SolverError(f"HiGHS backend failure: {exc}") from exc
-        elapsed = time.perf_counter() - started
+        with span(
+            "solver", backend="highs", kind="milp", model=model.name,
+            variables=n,
+        ) as solver_span:
+            try:
+                result = milp(
+                    c=form.objective,
+                    constraints=constraints,
+                    integrality=form.integrality,
+                    bounds=Bounds(form.lower, form.upper),
+                    options=milp_options,
+                )
+            except Exception as exc:  # scipy raises ValueError on malformed input
+                raise SolverError(f"HiGHS backend failure: {exc}") from exc
+            elapsed = solver_span.duration_s
+            solver_span.set(status=int(result.status))
+        counter("milp.highs.milp_solves").inc()
+        histogram("milp.highs.solve_seconds").observe(elapsed)
+        _log.debug(
+            "HiGHS MILP %s: %d vars, status %s in %.3fs",
+            model.name, n, result.status, elapsed,
+        )
 
         status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
         if status is SolveStatus.FEASIBLE and result.x is None:
@@ -142,25 +153,31 @@ class ScipyBackend:
         options: dict = {}
         if time_limit is not None:
             options["time_limit"] = float(time_limit)
-        started = time.perf_counter()
-        result = linprog(
-            form.objective,
-            bounds=np.column_stack([form.lower, form.upper]),
-            method="highs-ipm",
-            options=options,
-            **kwargs,
-        )
-        if result.status == 1 or result.x is None and result.status == 0:
-            # Iteration/time limit: retry once with dual simplex, which can
-            # return a feasible basis where IPM stalls.
+        with span(
+            "solver", backend="highs", kind="lp", variables=len(form.variables)
+        ) as solver_span:
             result = linprog(
                 form.objective,
                 bounds=np.column_stack([form.lower, form.upper]),
-                method="highs",
+                method="highs-ipm",
                 options=options,
                 **kwargs,
             )
-        elapsed = time.perf_counter() - started
+            if result.status == 1 or result.x is None and result.status == 0:
+                # Iteration/time limit: retry once with dual simplex, which
+                # can return a feasible basis where IPM stalls.
+                counter("milp.highs.lp_simplex_retries").inc()
+                result = linprog(
+                    form.objective,
+                    bounds=np.column_stack([form.lower, form.upper]),
+                    method="highs",
+                    options=options,
+                    **kwargs,
+                )
+            elapsed = solver_span.duration_s
+            solver_span.set(status=int(result.status))
+        counter("milp.highs.lp_solves").inc()
+        histogram("milp.highs.solve_seconds").observe(elapsed)
         status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
         if not status.has_solution or result.x is None:
             if status is SolveStatus.FEASIBLE:

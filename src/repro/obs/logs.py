@@ -1,0 +1,84 @@
+"""Stdlib-``logging`` wiring for the ``repro.*`` namespace.
+
+Library modules obtain loggers via :func:`get_logger` and never attach
+handlers or call ``print`` — output policy belongs to the application.
+The CLI (and tests, when useful) call :func:`configure_logging` once to
+attach a stderr handler to the ``repro`` root logger, so ``--log-level
+debug`` surfaces solver iteration detail without touching stdout, which
+stays reserved for command output.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: Root of the library's logger namespace.
+ROOT = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    ``get_logger("core.flow")`` -> ``repro.core.flow``; names already
+    starting with ``repro`` are used verbatim.
+    """
+    if not name:
+        return logging.getLogger(ROOT)
+    if name == ROOT or name.startswith(ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT}.{name}")
+
+
+def parse_level(level: str | int) -> int:
+    """``"debug"``/``"INFO"``/numeric -> stdlib level number."""
+    if isinstance(level, int):
+        return level
+    try:
+        return _LEVELS[level.strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {sorted(_LEVELS)}"
+        ) from None
+
+
+def configure_logging(
+    level: str | int = "warning", stream=None
+) -> logging.Logger:
+    """Attach (once) a stderr handler to the ``repro`` root logger.
+
+    Re-invocation updates the level and stream of the existing handler
+    instead of stacking duplicates, so tests and long-lived sessions can
+    reconfigure freely.
+    """
+    root = logging.getLogger(ROOT)
+    root.setLevel(parse_level(level))
+    stream = stream if stream is not None else sys.stderr
+    for handler in root.handlers:
+        if getattr(handler, "_repro_obs", False):
+            try:
+                handler.setStream(stream)  # type: ignore[attr-defined]
+            except ValueError:
+                # setStream flushes the outgoing stream first; if that
+                # stream is already closed (pytest capture buffers,
+                # redirected files) just swap without flushing.
+                handler.stream = stream  # type: ignore[attr-defined]
+            return root
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+    )
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    # Command output stays on stdout; diagnostics must not also bubble to
+    # the stdlib root logger's lastResort handler.
+    root.propagate = False
+    return root

@@ -1,0 +1,168 @@
+"""Process-local metrics: counters, gauges and histograms.
+
+The registry is the always-on half of the observability layer: instruments
+are plain attribute updates (no locks on the hot path, no I/O), so solver
+internals can count nodes, relaxations and accepted moves unconditionally.
+Sinks read a :meth:`MetricsRegistry.snapshot` at the end of a run.
+
+Naming convention (see ``docs/observability.md``): dotted lowercase paths,
+``<subsystem>.<thing>[.<aspect>]`` — e.g. ``milp.bb.nodes_explored``,
+``algorithm1.st_target_relaxations``, ``rounding.vars_fixed``,
+``anneal.moves_accepted``, ``thermal.grid_solves``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterator
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"kind": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that can move both ways (last-write-wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict:
+        return {"kind": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming summary of observations (count/sum/min/max/mean).
+
+    Full quantile sketches are overkill for solver telemetry; the mean and
+    extremes are what the bench tables consume.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: float = math.inf
+        self.max: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments.
+
+    Creation is lock-protected (cheap, happens once per name); updates go
+    straight to the instrument.  A name is permanently bound to its first
+    kind — asking for ``counter("x")`` after ``gauge("x")`` is an error.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, cls):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.setdefault(name, cls(name))
+        if not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        return iter(list(self._instruments.values()))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> dict[str, dict]:
+        """``{name: {kind, value | count/sum/...}}`` sorted by name."""
+        return {
+            name: inst.snapshot()
+            for name, inst in sorted(self._instruments.items())
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and long-lived processes)."""
+        with self._lock:
+            self._instruments.clear()
+
+
+#: The process-default registry the module-level helpers write to.
+_default = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-default :class:`MetricsRegistry`."""
+    return _default
+
+
+def counter(name: str) -> Counter:
+    """Default-registry counter, e.g. ``counter("milp.bb.nodes_explored")``."""
+    return _default.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """Default-registry gauge."""
+    return _default.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    """Default-registry histogram."""
+    return _default.histogram(name)

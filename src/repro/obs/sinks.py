@@ -1,0 +1,130 @@
+"""Span sinks: JSONL trace files and human-readable timing trees.
+
+Every JSONL line is a self-contained JSON object carrying at least
+``type``, ``name``, ``duration_s`` and ``parent`` — the invariant offline
+tooling (and the test suite) relies on.  Three record types exist:
+
+``span``
+    A finished stage: ``path`` is the full ``" > "``-joined location,
+    ``parent`` the enclosing path (``null`` at the root), ``t_s`` the
+    monotonic start timestamp, ``attrs`` free-form stage attributes.
+``event``
+    A point in time (``duration_s`` is ``0.0``), e.g. a flow fallback.
+``metric``
+    One registry instrument, written by :meth:`JsonlSink.write_metrics`
+    when a run finishes; ``parent`` is ``null`` and ``duration_s`` ``0.0``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+from typing import Mapping
+
+from repro.obs.spans import PATH_SEP, Span
+
+
+class JsonlSink:
+    """Append spans/events to a file, one JSON object per line.
+
+    Accepts a path (opened lazily, closed by :meth:`close`) or any
+    writable text file object (left open for the caller to manage).
+    """
+
+    def __init__(self, target: str | pathlib.Path | io.TextIOBase) -> None:
+        if isinstance(target, (str, pathlib.Path)):
+            self._file: io.TextIOBase = open(target, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+        self.lines_written = 0
+
+    def _write(self, record: Mapping) -> None:
+        self._file.write(json.dumps(record, default=str) + "\n")
+        self.lines_written += 1
+
+    def on_span(self, span: Span) -> None:
+        self._write(span.to_record())
+
+    def on_event(self, record: dict) -> None:
+        self._write(record)
+
+    def write_metrics(self, snapshot: Mapping[str, Mapping]) -> None:
+        """Append one ``metric`` line per registry instrument."""
+        for name, data in snapshot.items():
+            self._write({
+                "type": "metric",
+                "name": name,
+                "parent": None,
+                "duration_s": 0.0,
+                **data,
+            })
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TreeSink:
+    """Collect spans in memory and render an aggregated timing tree.
+
+    Spans sharing a path are merged into one node (count + total time), so
+    the 25 ``iteration`` spans of an Algorithm 1 run render as one line.
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[dict] = []
+        self.events: list[dict] = []
+
+    def on_span(self, span: Span) -> None:
+        self.spans.append(span.to_record())
+
+    def on_event(self, record: dict) -> None:
+        self.events.append(record)
+
+    def render(self) -> str:
+        """Indented tree: one line per distinct path, ordered by first visit."""
+        return render_tree(self.spans)
+
+
+def render_tree(spans: list[Mapping]) -> str:
+    """Aggregate span records by path and render an indented tree."""
+    order: list[str] = []
+    totals: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for record in spans:
+        path = record["path"]
+        if path not in totals:
+            order.append(path)
+            totals[path] = 0.0
+            counts[path] = 0
+        totals[path] += record["duration_s"]
+        counts[path] += 1
+    if not order:
+        return "(no spans recorded)"
+    # Children finish before their parents, so a stable sort by path depth
+    # is not needed; re-order parents before children lexically by path.
+    order.sort(key=lambda p: p.split(PATH_SEP))
+    width = max(
+        len("  " * p.count(PATH_SEP) + p.split(PATH_SEP)[-1]) for p in order
+    )
+    lines = []
+    for path in order:
+        depth = path.count(PATH_SEP)
+        label = "  " * depth + path.split(PATH_SEP)[-1]
+        lines.append(
+            f"{label.ljust(width)}  {counts[path]:>5}x  {totals[path]:>10.3f}s"
+        )
+    return "\n".join(lines)

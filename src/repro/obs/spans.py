@@ -1,0 +1,195 @@
+"""Hierarchical timing spans for the CAD flow.
+
+A :class:`Span` is a context manager that measures one stage of the flow
+(``flow > phase2 > algorithm1 > binary_search > milp_solve > lp_relax``).
+Nesting is tracked through a :mod:`contextvars` variable, so deeply nested
+library code can open spans without a tracer object being threaded through
+every signature — and the instrumentation composes correctly across
+threads and async contexts.
+
+Spans always measure time (``perf_counter`` pairs are cheap enough for the
+paths we instrument — stages, solves, iterations; never per-node inner
+loops).  They are *emitted* only when sinks are attached via
+:func:`add_sink` / :func:`attached`; with no sinks the overhead is two
+clock reads and a contextvar set/reset per span.
+
+Point-in-time :func:`event` records (e.g. a flow falling back to the
+original floorplan) share the sink pipeline and carry the current span
+path as their parent.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+from typing import Any, Iterator, Protocol
+
+#: Separator between span names in a path.
+PATH_SEP = " > "
+
+_current: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+#: Process-local list of attached sinks (empty = tracing disabled).
+_sinks: list["SpanSink"] = []
+
+
+class SpanSink(Protocol):
+    """Anything that can receive finished spans and point events."""
+
+    def on_span(self, span: "Span") -> None:  # pragma: no cover - protocol
+        ...
+
+    def on_event(self, record: dict) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class Span:
+    """One timed stage of the flow; use as a context manager.
+
+    Attributes
+    ----------
+    name:
+        Local stage name (``"lp_relax"``).
+    path:
+        Full ``PATH_SEP``-joined path from the root span.
+    parent_path:
+        Path of the enclosing span, or ``None`` for a root span.
+    attrs:
+        Free-form attributes; set at construction or via :meth:`set`.
+    """
+
+    __slots__ = (
+        "name", "path", "parent_path", "attrs",
+        "_start", "_end", "_token",
+    )
+
+    def __init__(self, name: str, **attrs: Any) -> None:
+        self.name = name
+        self.attrs: dict[str, Any] = attrs
+        self.path = name
+        self.parent_path: str | None = None
+        self._start: float | None = None
+        self._end: float | None = None
+        self._token: contextvars.Token | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def __enter__(self) -> "Span":
+        parent = _current.get()
+        if parent is not None:
+            self.parent_path = parent.path
+            self.path = parent.path + PATH_SEP + self.name
+        self._token = _current.set(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._end = time.perf_counter()
+        if self._token is not None:
+            _current.reset(self._token)
+            self._token = None
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        if _sinks:
+            for sink in list(_sinks):
+                sink.on_span(self)
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def start_s(self) -> float:
+        """``perf_counter`` timestamp at entry (monotonic process clock)."""
+        return self._start if self._start is not None else 0.0
+
+    @property
+    def duration_s(self) -> float:
+        """Seconds elapsed; live while the span is open, final after exit."""
+        if self._start is None:
+            return 0.0
+        end = self._end if self._end is not None else time.perf_counter()
+        return end - self._start
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_record(self) -> dict:
+        """Flat dict form used by the JSONL sink and the tests."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "path": self.path,
+            "parent": self.parent_path,
+            "t_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.path!r}, duration_s={self.duration_s:.6f})"
+
+
+def span(name: str, **attrs: Any) -> Span:
+    """Open a new span: ``with span("milp_solve", strategy="two-step"):``."""
+    return Span(name, **attrs)
+
+
+def current_span() -> Span | None:
+    """The innermost open span of this context, if any."""
+    return _current.get()
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Emit a point-in-time event parented to the current span.
+
+    Events are dropped when no sink is attached (they exist for offline
+    analysis, not control flow); counters are the always-on alternative.
+    """
+    if not _sinks:
+        return
+    parent = _current.get()
+    record = {
+        "type": "event",
+        "name": name,
+        "path": (parent.path + PATH_SEP + name) if parent else name,
+        "parent": parent.path if parent else None,
+        "t_s": time.perf_counter(),
+        "duration_s": 0.0,
+        "attrs": dict(attrs),
+    }
+    for sink in list(_sinks):
+        sink.on_event(record)
+
+
+# -- sink management -----------------------------------------------------------
+
+
+def add_sink(sink: SpanSink) -> None:
+    """Attach ``sink``; it receives every finished span and event."""
+    if sink not in _sinks:
+        _sinks.append(sink)
+
+
+def remove_sink(sink: SpanSink) -> None:
+    """Detach ``sink`` (no-op when not attached)."""
+    with contextlib.suppress(ValueError):
+        _sinks.remove(sink)
+
+
+def active_sinks() -> tuple[SpanSink, ...]:
+    """Snapshot of the attached sinks (mostly for tests)."""
+    return tuple(_sinks)
+
+
+@contextlib.contextmanager
+def attached(*sinks: SpanSink) -> Iterator[None]:
+    """Scope-attach sinks: ``with attached(tree_sink): run_flow(...)``."""
+    for sink in sinks:
+        add_sink(sink)
+    try:
+        yield
+    finally:
+        for sink in sinks:
+            remove_sink(sink)

@@ -1,0 +1,126 @@
+"""Offline analysis of JSONL traces (``repro trace summarize``).
+
+A trace is re-read as a list of dict records (one per line); the summary
+aggregates span records per path into wall-time/count rows, reports the
+total wall time (sum of root spans — spans with ``parent == null``), and
+carries any ``metric`` lines through for display.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import ReproError
+from repro.obs.spans import PATH_SEP
+
+
+class TraceError(ReproError):
+    """A trace file line is not a valid observability record."""
+
+
+#: Keys every trace record must carry (the JSONL contract).
+REQUIRED_KEYS = ("type", "name", "duration_s", "parent")
+
+
+@dataclass
+class StageRow:
+    """Aggregated statistics of one span path."""
+
+    path: str
+    count: int = 0
+    total_s: float = 0.0
+
+    @property
+    def depth(self) -> int:
+        return self.path.count(PATH_SEP)
+
+    @property
+    def name(self) -> str:
+        return self.path.split(PATH_SEP)[-1]
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``summarize_trace`` extracted from one file."""
+
+    stages: list[StageRow] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+    metrics: dict[str, dict] = field(default_factory=dict)
+    #: Sum of root-span durations = the trace's total wall time.
+    total_s: float = 0.0
+    records: int = 0
+
+    def stage_table(self) -> list[list[object]]:
+        """Rows for :func:`repro.report.tables.format_table`."""
+        rows: list[list[object]] = []
+        for stage in self.stages:
+            label = "  " * stage.depth + stage.name
+            share = 100.0 * stage.total_s / self.total_s if self.total_s else 0.0
+            rows.append([label, stage.count, round(stage.total_s, 3), round(share, 1)])
+        return rows
+
+
+def parse_trace_line(line: str, lineno: int = 0) -> dict:
+    """Parse and validate one JSONL record."""
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"line {lineno}: not valid JSON: {exc}") from exc
+    if not isinstance(record, dict):
+        raise TraceError(f"line {lineno}: expected a JSON object")
+    missing = [key for key in REQUIRED_KEYS if key not in record]
+    if missing:
+        raise TraceError(f"line {lineno}: record missing keys {missing}")
+    return record
+
+
+def read_trace(path: str | pathlib.Path) -> list[dict]:
+    """All records of a trace file, validated."""
+    records = []
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        raise TraceError(f"cannot read trace {path}: {exc}") from exc
+    with handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if line:
+                records.append(parse_trace_line(line, lineno))
+    return records
+
+
+def summarize_records(records: Iterable[Mapping]) -> TraceSummary:
+    """Aggregate records into per-stage rows + total wall time."""
+    summary = TraceSummary()
+    order: list[str] = []
+    by_path: dict[str, StageRow] = {}
+    for record in records:
+        summary.records += 1
+        kind = record.get("type")
+        if kind == "span":
+            path = record.get("path", record["name"])
+            row = by_path.get(path)
+            if row is None:
+                row = by_path[path] = StageRow(path=path)
+                order.append(path)
+            row.count += 1
+            row.total_s += float(record["duration_s"])
+            if record["parent"] is None:
+                summary.total_s += float(record["duration_s"])
+        elif kind == "event":
+            summary.events.append(dict(record))
+        elif kind == "metric":
+            summary.metrics[record["name"]] = {
+                k: v for k, v in record.items() if k not in ("type", "name")
+            }
+    order.sort(key=lambda p: p.split(PATH_SEP))
+    summary.stages = [by_path[path] for path in order]
+    return summary
+
+
+def summarize_trace(path: str | pathlib.Path) -> TraceSummary:
+    """Read + aggregate one JSONL trace file."""
+    return summarize_records(read_trace(path))

@@ -18,7 +18,10 @@ from dataclasses import dataclass
 from repro.arch.context import Floorplan
 from repro.arch.fabric import Fabric
 from repro.hls.allocate import MappedDesign
+from repro.obs import counter, get_logger, span
 from repro.place.cost import bounding_box_area
+
+_log = get_logger("place.annealing")
 
 
 @dataclass
@@ -103,16 +106,22 @@ class ContextAnnealer:
         positions = [self._pos_of(op) for op in self.ops]
         return bounding_box_area(positions) if positions else 0.0
 
-    def run(self) -> None:
-        """Anneal this context in place."""
+    def run(self) -> tuple[int, int]:
+        """Anneal this context in place; returns (proposed, accepted).
+
+        Move counts are tallied locally and flushed to the metrics
+        registry once at the end, so the proposal loop itself carries no
+        instrumentation overhead.
+        """
         if len(self.ops) < 2:
-            return
+            return (0, 0)
         config = self.config
         occupied = {self.floorplan.pe_of[op] for op in self.ops}
         free = [k for k in range(self.fabric.num_pes) if k not in occupied]
         temperature = config.initial_temperature
         total_moves = config.moves_per_op * len(self.ops)
         steps_done = 0
+        accepted_moves = 0
         bbox_cached = self._bbox()
         while steps_done < total_moves:
             for _ in range(config.steps_per_temperature):
@@ -124,8 +133,13 @@ class ContextAnnealer:
                 else:
                     accepted = self._try_swap(temperature)
                 if accepted:
+                    accepted_moves += 1
                     bbox_cached = self._bbox()
             temperature = max(temperature * config.cooling, 1e-3)
+        proposed = min(steps_done, total_moves)
+        counter("anneal.moves_proposed").inc(proposed)
+        counter("anneal.moves_accepted").inc(accepted_moves)
+        return (proposed, accepted_moves)
 
     def _metropolis(self, delta: float, temperature: float) -> bool:
         if delta <= 0:
@@ -174,7 +188,17 @@ def anneal_placement(
     """Refine ``floorplan`` in place with per-context SA; returns it."""
     config = config or AnnealingConfig()
     rng = random.Random(config.seed)
-    for context in range(floorplan.num_contexts):
-        ContextAnnealer(design, floorplan, context, config, rng).run()
-    floorplan.validate()
+    with span("anneal", contexts=floorplan.num_contexts) as anneal_span:
+        proposed = accepted = 0
+        for context in range(floorplan.num_contexts):
+            annealer = ContextAnnealer(design, floorplan, context, config, rng)
+            ctx_proposed, ctx_accepted = annealer.run()
+            proposed += ctx_proposed
+            accepted += ctx_accepted
+        floorplan.validate()
+        anneal_span.set(moves_proposed=proposed, moves_accepted=accepted)
+    _log.debug(
+        "annealed %d context(s): %d/%d moves accepted",
+        floorplan.num_contexts, accepted, proposed,
+    )
     return floorplan

@@ -13,8 +13,11 @@ from dataclasses import dataclass, field
 from repro.arch.context import Floorplan
 from repro.arch.fabric import Fabric
 from repro.hls.allocate import MappedDesign
+from repro.obs import get_logger, span
 from repro.place.annealing import AnnealingConfig, anneal_placement
 from repro.place.greedy import greedy_place
+
+_log = get_logger("place.baseline")
 
 
 @dataclass
@@ -36,9 +39,19 @@ class BaselinePlacer:
 
     def place(self, design: MappedDesign, fabric: Fabric) -> Floorplan:
         """Place ``design`` on ``fabric`` and return the floorplan."""
-        floorplan = greedy_place(design, fabric, corner_bias=self.config.corner_bias)
-        if self.config.anneal:
-            anneal_placement(design, floorplan, self.config.annealing)
+        with span("place_baseline", anneal=self.config.anneal) as place_span:
+            with span("greedy_place"):
+                floorplan = greedy_place(
+                    design, fabric, corner_bias=self.config.corner_bias
+                )
+            if self.config.anneal:
+                anneal_placement(design, floorplan, self.config.annealing)
+            place_span.set(utilization=floorplan.utilization())
+        _log.debug(
+            "placed %s on %dx%d (utilization %.0f%%)",
+            design.name, fabric.rows, fabric.cols,
+            100.0 * floorplan.utilization(),
+        )
         return floorplan
 
 

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from dataclasses import dataclass, field
 
 from repro.benchgen.suite import TABLE1, Table1Entry
@@ -27,6 +26,7 @@ from repro.benchgen.synth import build_benchmark
 from repro.core.algorithm1 import Algorithm1Config
 from repro.core.flow import AgingAwareFlow, FlowConfig
 from repro.core.remap import RemapConfig
+from repro.obs import configure_logging, get_logger, span
 from repro.report.figures import ascii_curve, bar_chart, series_csv, stress_grid
 from repro.report.paper import (
     BenchmarkMeasurement,
@@ -39,6 +39,19 @@ from repro.report.tables import format_table
 
 #: Fabric cap of the quick profile.
 QUICK_MAX_FABRIC = 8
+
+_log = get_logger("report.experiments")
+
+
+def _log_line(message: str = "") -> None:
+    """Library default output channel: the ``repro.*`` logger.
+
+    The drivers accept any ``log`` callable; when none is given, lines go
+    through ``repro.report.experiments`` at INFO instead of ``print`` so
+    importing callers control the output policy.  The CLI entry point
+    passes ``print`` explicitly — terminal output stays on stdout.
+    """
+    _log.info("%s", message)
 
 
 @dataclass
@@ -104,18 +117,18 @@ def measure_benchmark(
     )
 
 
-def run_table1(config: ExperimentConfig, log=print) -> list[BenchmarkMeasurement]:
+def run_table1(config: ExperimentConfig, log=_log_line) -> list[BenchmarkMeasurement]:
     """Regenerate Table I (measured vs published)."""
     measurements: list[BenchmarkMeasurement] = []
     for entry in config.suite():
-        started = time.perf_counter()
-        measurement = measure_benchmark(entry, config)
+        with span("table1_entry", benchmark=entry.name) as entry_span:
+            measurement = measure_benchmark(entry, config)
         measurements.append(measurement)
         log(
             f"{entry.name}: freeze {measurement.freeze_increase:.2f}x "
             f"(paper {entry.freeze_ref:.2f}) rotate "
             f"{measurement.rotate_increase:.2f}x (paper {entry.rotate_ref:.2f}) "
-            f"[{time.perf_counter() - started:.1f}s]"
+            f"[{entry_span.duration_s:.1f}s]"
         )
     log("")
     log(format_table(TABLE_HEADERS, [m.row() for m in measurements]))
@@ -136,7 +149,7 @@ def run_table1(config: ExperimentConfig, log=print) -> list[BenchmarkMeasurement
     return measurements
 
 
-def run_fig5(config: ExperimentConfig, log=print) -> None:
+def run_fig5(config: ExperimentConfig, log=_log_line) -> None:
     """Regenerate Fig. 5: grouped bars by C/F group and usage class."""
     measurements = run_table1(config, log=lambda *_: None)
     groups: list[str] = []
@@ -157,7 +170,7 @@ def run_fig5(config: ExperimentConfig, log=print) -> None:
     log(bar_chart(groups, series))
 
 
-def run_fig2a(log=print) -> None:
+def run_fig2a(log=_log_line) -> None:
     """Regenerate Fig. 2(a): accumulated stress grids before/after."""
     from repro.benchgen.suite import entry as suite_entry
 
@@ -173,7 +186,7 @@ def run_fig2a(log=print) -> None:
     log(f"max = {result.remapped.stress.max_accumulated_ns:.2f} ns")
 
 
-def run_fig2b(bench: str = "B13", log=print, csv: bool = False) -> None:
+def run_fig2b(bench: str = "B13", log=_log_line, csv: bool = False) -> None:
     """Regenerate Fig. 2(b): Vth shift vs time, original vs re-mapped."""
     from repro.aging.mttf import vth_curve
     from repro.benchgen.suite import entry as suite_entry
@@ -205,6 +218,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--bench", default="B13")
     parser.add_argument("--csv", action="store_true")
     parser.add_argument("--time-limit", type=float, default=180.0)
+    parser.add_argument(
+        "--log-level", default="warning",
+        choices=["debug", "info", "warning", "error", "critical"],
+    )
     args = parser.parse_args(argv)
 
     config = ExperimentConfig(
@@ -213,14 +230,17 @@ def main(argv: list[str] | None = None) -> int:
         only=list(args.only),
         time_limit_s=args.time_limit,
     )
+    configure_logging(args.log_level)
+    # CLI invocation: experiment output belongs on stdout, so the drivers
+    # get ``print`` explicitly; library callers default to the repro logger.
     if args.experiment == "table1":
-        run_table1(config)
+        run_table1(config, log=print)
     elif args.experiment == "fig5":
-        run_fig5(config)
+        run_fig5(config, log=print)
     elif args.experiment == "fig2a":
-        run_fig2a()
+        run_fig2a(log=print)
     else:
-        run_fig2b(bench=args.bench, csv=args.csv)
+        run_fig2b(bench=args.bench, log=print, csv=args.csv)
     return 0
 
 

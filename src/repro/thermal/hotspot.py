@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.arch.fabric import Fabric
 from repro.errors import ThermalError
+from repro.obs import counter, span
 from repro.thermal.grid import ThermalGrid, ThermalGridConfig
 from repro.thermal.power import PowerModel
 
@@ -75,12 +76,14 @@ class ThermalSimulator:
                 f"duty array shape {duty_per_context.shape} incompatible with "
                 f"fabric of {self.fabric.num_pes} PEs"
             )
-        maps = np.empty_like(duty_per_context)
-        for context in range(duty_per_context.shape[0]):
-            power = self.power_model.power_map(
-                self.fabric, duty_per_context[context]
-            )
-            maps[context] = self._grid.solve(power)
+        with span("thermal", contexts=duty_per_context.shape[0]):
+            maps = np.empty_like(duty_per_context)
+            for context in range(duty_per_context.shape[0]):
+                power = self.power_model.power_map(
+                    self.fabric, duty_per_context[context]
+                )
+                maps[context] = self._grid.solve(power)
+            counter("thermal.grid_solves").inc(duty_per_context.shape[0])
         return ThermalReport(
             per_context_k=maps,
             accumulated_k=maps.mean(axis=0),
@@ -88,5 +91,7 @@ class ThermalSimulator:
 
     def simulate_average(self, average_duty: np.ndarray) -> np.ndarray:
         """Single steady-state map from schedule-average duty cycles."""
-        power = self.power_model.power_map(self.fabric, average_duty)
-        return self._grid.solve(power)
+        with span("thermal", contexts=1):
+            power = self.power_model.power_map(self.fabric, average_duty)
+            counter("thermal.grid_solves").inc()
+            return self._grid.solve(power)

@@ -1,0 +1,102 @@
+"""Integration: a real flow run emits a complete, consistent trace."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import AgingAwareFlow, Algorithm1Config, FlowConfig, RemapConfig
+from repro.obs import JsonlSink, attached, registry, summarize_trace
+
+
+@pytest.fixture(scope="module")
+def traced(tmp_path_factory, synth_design, fabric4):
+    """One traced flow run shared by every assertion in this module."""
+    path = tmp_path_factory.mktemp("obs") / "flow.jsonl"
+    flow = AgingAwareFlow(
+        FlowConfig(
+            algorithm1=Algorithm1Config(remap=RemapConfig(time_limit_s=30))
+        )
+    )
+    with JsonlSink(path) as sink:
+        with attached(sink):
+            result = flow.run(synth_design, fabric4)
+        sink.write_metrics(registry().snapshot())
+    return path, result
+
+
+def _spans(path):
+    return [
+        record
+        for record in map(json.loads, path.read_text().splitlines())
+        if record["type"] == "span"
+    ]
+
+
+class TestTraceContents:
+    def test_every_line_has_contract_keys(self, traced):
+        path, _ = traced
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            for key in ("name", "duration_s", "parent"):
+                assert key in record
+
+    def test_trace_covers_flow_stages(self, traced):
+        path, _ = traced
+        names = {record["name"] for record in _spans(path)}
+        for stage in (
+            "flow", "phase1", "phase2", "place_baseline", "algorithm1",
+            "binary_search", "iteration", "milp_solve", "lp_relax", "thermal",
+        ):
+            assert stage in names, f"stage {stage!r} missing from trace"
+
+    def test_stage_hierarchy(self, traced):
+        path, _ = traced
+        parents = {
+            record["path"]: record["parent"] for record in _spans(path)
+        }
+        assert parents["flow"] is None
+        assert parents["flow > phase1"] == "flow"
+        assert parents["flow > phase2 > algorithm1"] == "flow > phase2"
+        milp_solves = [
+            p for p in parents if p.endswith("milp_solve")
+        ]
+        assert milp_solves, "no MILP solve span recorded"
+
+    def test_elapsed_matches_flow_span(self, traced):
+        path, result = traced
+        (flow_record,) = [
+            r for r in _spans(path) if r["name"] == "flow"
+        ]
+        assert flow_record["duration_s"] == pytest.approx(
+            result.elapsed_s, rel=0.05
+        )
+
+    def test_remap_elapsed_from_span(self, traced):
+        _, result = traced
+        assert result.remap.elapsed_s > 0.0
+        assert result.remap.elapsed_s <= result.elapsed_s
+
+    def test_summary_total_within_ten_percent_of_elapsed(self, traced):
+        path, result = traced
+        summary = summarize_trace(path)
+        assert summary.total_s == pytest.approx(result.elapsed_s, rel=0.10)
+
+    def test_metrics_recorded(self, traced):
+        path, _ = traced
+        summary = summarize_trace(path)
+        assert summary.metrics.get("thermal.grid_solves", {}).get("value", 0) > 0
+        assert "algorithm1.iterations" in summary.metrics
+
+
+class TestUntracedRuns:
+    def test_flow_works_without_sinks(self, synth_design, fabric4):
+        flow = AgingAwareFlow(
+            FlowConfig(
+                algorithm1=Algorithm1Config(remap=RemapConfig(time_limit_s=30))
+            )
+        )
+        result = flow.run(synth_design, fabric4)
+        assert result.elapsed_s > 0.0
+        assert result.mttf_increase >= 1.0

@@ -1,0 +1,88 @@
+"""Metric accumulation and registry behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import registry as default_registry
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_accumulates(self, reg):
+        c = reg.counter("milp.bb.nodes_explored")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_same_name_same_instrument(self, reg):
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_cannot_decrease(self, reg):
+        with pytest.raises(ValueError):
+            reg.counter("a").inc(-1)
+
+    def test_snapshot(self, reg):
+        reg.counter("a").inc(3)
+        assert reg.snapshot()["a"] == {"kind": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_last_write_wins(self, reg):
+        g = reg.gauge("milp.model.binaries")
+        g.set(100)
+        g.set(60)
+        assert g.value == 60.0
+
+
+class TestHistogram:
+    def test_summary_statistics(self, reg):
+        h = reg.histogram("milp.highs.solve_seconds")
+        for v in (0.5, 1.5, 1.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(3.0)
+        assert snap["min"] == 0.5
+        assert snap["max"] == 1.5
+        assert snap["mean"] == pytest.approx(1.0)
+
+    def test_empty_histogram_snapshot_is_finite(self, reg):
+        snap = reg.histogram("empty").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] == 0.0
+        assert snap["max"] == 0.0
+        assert snap["mean"] == 0.0
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self, reg):
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_sorted_by_name(self, reg):
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        assert list(reg.snapshot()) == ["a", "b"]
+
+    def test_reset(self, reg):
+        reg.counter("a").inc()
+        reg.reset()
+        assert len(reg) == 0
+
+    def test_default_registry_helpers(self):
+        from repro.obs import counter
+
+        name = "test.obs.default_registry_probe"
+        counter(name).inc(5)
+        try:
+            assert default_registry().snapshot()[name]["value"] == 5
+        finally:
+            # Leave no probe metric behind for other tests' snapshots.
+            default_registry()._instruments.pop(name, None)

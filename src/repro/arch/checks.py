@@ -7,8 +7,62 @@ illegal configuration.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.arch.context import Floorplan
 from repro.errors import MappingError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.arch.fabric import Fabric
+    from repro.hls.allocate import MappedDesign
+
+
+def check_design_fits(design: "MappedDesign", fabric: "Fabric") -> None:
+    """Verify a mapped design is placeable on ``fabric`` at all.
+
+    Run at the :meth:`repro.core.flow.AgingAwareFlow.run` boundary so that
+    an inconsistent design/fabric pair raises a typed
+    :class:`~repro.errors.MappingError` naming the offending operation or
+    context *before* any expensive phase starts, instead of surfacing as an
+    assertion (or a silently wrong floorplan) deep inside placement.
+    """
+    if design.num_contexts < 1:
+        raise MappingError(
+            f"design {design.name!r} declares {design.num_contexts} contexts"
+        )
+    known_ops = set(design.ops)
+    per_context: dict[int, int] = {}
+    for op_id, info in design.ops.items():
+        if not 0 <= info.context < design.num_contexts:
+            raise MappingError(
+                f"op {op_id} of design {design.name!r} is scheduled in "
+                f"context {info.context}, outside 0..{design.num_contexts - 1}"
+            )
+        per_context[info.context] = per_context.get(info.context, 0) + 1
+    for context, used in sorted(per_context.items()):
+        if used > fabric.num_pes:
+            raise MappingError(
+                f"design {design.name!r} context {context} needs {used} PEs "
+                f"but fabric {fabric.rows}x{fabric.cols} has only "
+                f"{fabric.num_pes}"
+            )
+    for src, dst in design.compute_edges:
+        for end in (src, dst):
+            if end not in known_ops:
+                raise MappingError(
+                    f"design {design.name!r} edge ({src}, {dst}) references "
+                    f"unknown op {end}"
+                )
+    for _, dst in design.input_edges:
+        if dst not in known_ops:
+            raise MappingError(
+                f"design {design.name!r} input edge targets unknown op {dst}"
+            )
+    for src, _ in design.output_edges:
+        if src not in known_ops:
+            raise MappingError(
+                f"design {design.name!r} output edge reads unknown op {src}"
+            )
 
 
 def check_same_schedule(original: Floorplan, remapped: Floorplan) -> None:

@@ -66,6 +66,12 @@ from repro.obs import (
 )
 from repro.place.baseline import place_baseline
 from repro.report.tables import format_mapping, format_table
+from repro.resilience.deadline import Deadline
+
+
+def _deadline_of(args) -> Deadline | None:
+    seconds = getattr(args, "deadline", None)
+    return Deadline.after(seconds) if seconds is not None else None
 
 
 def _parse_fabric(text: str) -> Fabric:
@@ -147,10 +153,13 @@ def cmd_remap(args) -> int:
     config = Algorithm1Config(
         mode=args.mode, remap=RemapConfig(time_limit_s=args.time_limit)
     )
-    result = run_algorithm1(design, original.fabric, original, config)
+    result = run_algorithm1(
+        design, original.fabric, original, config, deadline=_deadline_of(args)
+    )
     save_floorplan(result.floorplan, args.output)
     print(format_mapping("Re-mapping", {
         "fell back": result.fell_back,
+        "degradation": result.degradation,
         "iterations": result.iterations,
         "original CPD (ns)": result.original_cpd_ns,
         "final CPD (ns)": result.final_cpd_ns,
@@ -191,10 +200,13 @@ def cmd_flow(args) -> int:
     with span("hls_compile", kernel=name):
         dfg = compile_source(source, name)
         design = tech_map(schedule_dfg(dfg, capacity=fabric.num_pes))
-    result = AgingAwareFlow(_flow_config(args)).run(design, fabric)
+    result = AgingAwareFlow(_flow_config(args)).run(
+        design, fabric, deadline=_deadline_of(args)
+    )
     print(format_mapping(f"flow: {name}", {
         "MTTF increase": f"{result.mttf_increase:.2f}x",
         "CPD preserved": result.cpd_preserved,
+        "degradation": result.remap.degradation,
         "contexts": design.num_contexts,
         "utilization": f"{result.original.floorplan.utilization():.0%}",
     }))
@@ -209,13 +221,16 @@ def cmd_bench(args) -> int:
     if args.scaled:
         bench = bench.scaled(args.scaled)
     design, fabric = build_benchmark(bench.spec())
-    result = AgingAwareFlow(_flow_config(args)).run(design, fabric)
+    result = AgingAwareFlow(_flow_config(args)).run(
+        design, fabric, deadline=_deadline_of(args)
+    )
     reference = bench.freeze_ref if args.mode == "freeze" else bench.rotate_ref
     print(format_mapping(f"benchmark {bench.name} ({args.mode})", {
         "MTTF increase": f"{result.mttf_increase:.2f}x",
         "paper reference": f"{reference:.2f}x",
         "CPD preserved": result.cpd_preserved,
         "fell back": result.remap.fell_back,
+        "degradation": result.remap.degradation,
     }))
     return 0
 
@@ -227,8 +242,20 @@ def cmd_trace_summarize(args) -> int:
     ))
     print(
         f"\ntotal wall time {summary.total_s:.3f}s "
-        f"({summary.records} records, {len(summary.events)} events)"
+        f"({summary.records} records, {len(summary.events)} events, "
+        f"{len(summary.degradations)} degradation event(s))"
     )
+    if summary.degradations:
+        rows = []
+        for record in summary.degradations:
+            attrs = record.get("attrs") or {}
+            rows.append([
+                record["name"],
+                " ".join(f"{k}={v}" for k, v in attrs.items()),
+            ])
+        print("\ndegradations")
+        print("------------")
+        print(format_table(["event", "detail"], rows))
     if summary.events:
         print("\nevents")
         print("------")
@@ -273,6 +300,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-level", default="warning",
         choices=["debug", "info", "warning", "error", "critical"],
         help="repro.* stderr logger level (default: warning)",
+    )
+    obs_flags.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the whole command; on expiry the flow "
+        "degrades gracefully instead of running on (default: unlimited)",
     )
 
     p = sub.add_parser("compile", help="mini-C -> mapped design JSON")

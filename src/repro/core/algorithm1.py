@@ -43,10 +43,18 @@ from repro.core.targets import (
     default_delta_ns,
     stress_target_lower_bound,
 )
-from repro.errors import BudgetInfeasibleError, FlowError
+from repro.errors import (
+    BudgetInfeasibleError,
+    DeadlineExceededError,
+    FlowError,
+    SolverError,
+)
 from repro.hls.allocate import MappedDesign
 from repro.milp.scipy_backend import ScipyBackend
+from repro.milp.status import SolveStatus
 from repro.obs import counter, event, get_logger, span
+from repro.resilience.deadline import Deadline, current_deadline, deadline_scope
+from repro.resilience.degrade import greedy_stress_level_remap
 from repro.timing.graph import build_timing_graphs
 from repro.timing.kpaths import (
     DEFAULT_MAX_PATHS,
@@ -99,6 +107,10 @@ class RemapResult:
     critical_op_count: int
     stats: dict = field(default_factory=dict)
     elapsed_s: float = 0.0
+    #: Degradation-ladder level that produced ``floorplan``: one of
+    #: :data:`repro.resilience.DEGRADATION_LEVELS` ("none", "incumbent",
+    #: "greedy", "original").
+    degradation: str = "none"
 
 
 def run_algorithm1(
@@ -108,28 +120,40 @@ def run_algorithm1(
     config: Algorithm1Config | None = None,
     original_stress: StressMap | None = None,
     backend: ScipyBackend | None = None,
+    deadline: Deadline | None = None,
 ) -> RemapResult:
-    """Execute the full aging-aware re-mapping flow on one design."""
+    """Execute the full aging-aware re-mapping flow on one design.
+
+    Solver crashes, timeouts without an incumbent and an expiring
+    ``deadline`` never propagate: the degradation ladder (incumbent →
+    greedy stress-levelling → original floorplan) always returns a valid,
+    CPD-preserving :class:`RemapResult`, with the level recorded on
+    ``degradation``.
+    """
     config = config or Algorithm1Config()
     if config.mode not in ("rotate", "freeze"):
         raise FlowError(f"unknown mode {config.mode!r}")
     backend = backend or config.remap.make_backend()
-    with span("algorithm1", mode=config.mode) as alg_span:
-        result = _run_algorithm1(
-            design, fabric, original, config, original_stress, backend
-        )
-        result.elapsed_s = alg_span.duration_s
-        alg_span.set(
-            iterations=result.iterations,
-            fell_back=result.fell_back,
-            st_target_ns=result.st_target_ns,
-        )
+    with deadline_scope(deadline):
+        with span("algorithm1", mode=config.mode) as alg_span:
+            result = _run_algorithm1(
+                design, fabric, original, config, original_stress, backend
+            )
+            result.elapsed_s = alg_span.duration_s
+            alg_span.set(
+                iterations=result.iterations,
+                fell_back=result.fell_back,
+                st_target_ns=result.st_target_ns,
+                degradation=result.degradation,
+            )
     _log.info(
-        "%s: %d iteration(s), ST_target=%.3f ns, fell_back=%s (%.2fs)",
+        "%s: %d iteration(s), ST_target=%.3f ns, fell_back=%s, "
+        "degradation=%s (%.2fs)",
         design.name,
         result.iterations,
         result.st_target_ns,
         result.fell_back,
+        result.degradation,
         result.elapsed_s,
     )
     return result
@@ -185,15 +209,6 @@ def _run_algorithm1(
 
     # -- Step 1: ST_target lower bound -----------------------------------------
     original_stress = original_stress or compute_stress_map(design, original)
-    step1 = stress_target_lower_bound(
-        design,
-        fabric,
-        original,
-        original_stress,
-        config=config.remap,
-        delta_ns=config.delta_ns,
-        backend=backend,
-    )
     delta = (
         config.delta_ns
         if config.delta_ns is not None
@@ -201,47 +216,122 @@ def _run_algorithm1(
     )
     st_ceiling = original_stress.max_accumulated_ns * config.st_ceiling_factor
 
-    candidates = default_candidates(
-        design, original, frozen, fabric, config.remap.resolved_window(fabric)
-    )
-
-    # -- Step 2.3: solve / relax loop -----------------------------------------
+    # -- Step 2.3: solve / relax loop, wrapped by the degradation ladder ------
+    deadline = current_deadline()
     relaxations = counter("algorithm1.st_target_relaxations")
-    st_target = step1.st_target_ns
+    step1: StressTargetResult | None = None
+    st_target = original_stress.max_accumulated_ns
     iterations = 0
     iteration_log: list[dict] = []
     best: Floorplan | None = None
     final_cpd = cpd_orig
-    while iterations < config.max_iterations and st_target <= st_ceiling:
-        iterations += 1
-        counter("algorithm1.iterations").inc()
-        with span(
-            "iteration", index=iterations, st_target_ns=st_target
-        ) as iter_span:
-            entry = _run_iteration(
-                design, fabric, original, config, backend, frozen,
-                candidates, monitored, cpd_orig, st_target, iterations, graphs,
-            )
-            iteration_log.append(entry)
-            iter_span.set(result=entry["result"])
-        _log.debug(
-            "%s: iteration %d at ST_target=%.3f ns -> %s",
-            design.name, iterations, st_target, entry["result"],
+    degradation = "none"
+    failure: Exception | None = None
+    try:
+        step1 = stress_target_lower_bound(
+            design,
+            fabric,
+            original,
+            original_stress,
+            config=config.remap,
+            delta_ns=config.delta_ns,
+            backend=backend,
         )
-        if entry["result"] == "accepted":
-            best = entry.pop("floorplan")
-            final_cpd = entry["new_cpd_ns"]
-            break
-        relaxations.inc()
-        st_target += delta
+        candidates = default_candidates(
+            design, original, frozen, fabric, config.remap.resolved_window(fabric)
+        )
+        st_target = step1.st_target_ns
+        while iterations < config.max_iterations and st_target <= st_ceiling:
+            deadline.check("algorithm1:iteration")
+            iterations += 1
+            counter("algorithm1.iterations").inc()
+            with span(
+                "iteration", index=iterations, st_target_ns=st_target
+            ) as iter_span:
+                entry = _run_iteration(
+                    design, fabric, original, config, backend, frozen,
+                    candidates, monitored, cpd_orig, st_target, iterations, graphs,
+                )
+                iteration_log.append(entry)
+                iter_span.set(result=entry["result"])
+            _log.debug(
+                "%s: iteration %d at ST_target=%.3f ns -> %s",
+                design.name, iterations, st_target, entry["result"],
+            )
+            if entry["result"] == "accepted":
+                best = entry.pop("floorplan")
+                final_cpd = entry["new_cpd_ns"]
+                if _used_incumbent(entry):
+                    # Accepted, but a solver limit was hit on the way: the
+                    # floorplan came from a best-so-far incumbent, not a
+                    # proven/gap-certified solve.
+                    degradation = "incumbent"
+                break
+            relaxations.inc()
+            st_target += delta
+    except (SolverError, DeadlineExceededError) as exc:
+        failure = exc
+
+    if failure is not None:
+        # Ladder rung 2: solver path is gone (crash, timeout without
+        # incumbent, or the budget expired) — try the solver-free greedy
+        # stress-levelling re-map, gated by the same full-STA CPD check.
+        counter("algorithm1.degradations").inc()
+        _log.warning(
+            "%s: solver path failed (%s: %s); trying greedy "
+            "stress-levelling fallback",
+            design.name, type(failure).__name__, failure,
+        )
+        # The greedy rung pins critical-path ops at their *original* PEs
+        # (freeze semantics) regardless of mode: the descent starts from
+        # the original floorplan, and rotation is meaningful only for the
+        # MILP path that re-solves around the rotated pins.
+        pinned = {op: original.pe_of[op] for op in frozen.positions}
+        candidate = greedy_stress_level_remap(
+            design, fabric, original, pinned, graphs=graphs
+        )
+        if candidate is not None:
+            check_frozen_ops(original, candidate, pinned)
+            with span("sta_verify"):
+                fallback_report = analyze(design, candidate, graphs)
+            if fallback_report.cpd_ns <= cpd_orig + CPD_EPS:
+                best = candidate
+                final_cpd = fallback_report.cpd_ns
+                degradation = "greedy"
+                st_target = compute_stress_map(
+                    design, candidate
+                ).max_accumulated_ns
+        event(
+            "algorithm1.degraded",
+            benchmark=design.name,
+            level=degradation if best is not None else "original",
+            reason=type(failure).__name__,
+            detail=str(failure),
+        )
 
     fell_back = best is None
     if fell_back:
+        # Ladder rung 3 (also the paper's unconditional fallback when the
+        # relax loop exhausts its budget): keep the original floorplan.
         counter("algorithm1.fallbacks").inc()
         event("algorithm1.fallback", benchmark=design.name, iterations=iterations)
         best = original
         final_cpd = cpd_orig
         st_target = original_stress.max_accumulated_ns
+        degradation = "original"
+    if step1 is None:
+        step1 = StressTargetResult(
+            st_target_ns=st_target,
+            st_low_ns=original_stress.mean_accumulated_ns,
+            st_up_ns=original_stress.max_accumulated_ns,
+            stats={"skipped": "degraded before Step 1 completed"},
+        )
+    stats = {
+        "iterations": iteration_log,
+        "path_filter_truncated": filtered.truncated,
+    }
+    if failure is not None:
+        stats["degradation_reason"] = f"{type(failure).__name__}: {failure}"
     return RemapResult(
         floorplan=best,
         st_target_ns=st_target,
@@ -253,7 +343,25 @@ def _run_algorithm1(
         step1=step1,
         monitored_count=len(monitored),
         critical_op_count=len(frozen.positions),
-        stats={"iterations": iteration_log, "path_filter_truncated": filtered.truncated},
+        stats=stats,
+        degradation=degradation,
+    )
+
+
+def _used_incumbent(entry: dict) -> bool:
+    """Whether an accepted iteration leaned on a limit-hit incumbent.
+
+    ``SolveStatus.FEASIBLE`` means "incumbent exists, optimality unproven"
+    (node/time limit) for both backends; an accepted floorplan built from
+    one is sound (the STA gate passed) but flagged as degradation level
+    ``incumbent`` so sweeps show *why* a result may be weaker.
+    """
+    feasible = SolveStatus.FEASIBLE.value
+    if entry.get("status") == feasible or entry.get("ilp_status") == feasible:
+        return True
+    return any(
+        ctx.get("status") == feasible or ctx.get("ilp_status") == feasible
+        for ctx in entry.get("contexts", ())
     )
 
 

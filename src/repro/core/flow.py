@@ -19,12 +19,15 @@ from dataclasses import dataclass, field, replace
 from repro.aging.mttf import MttfReport, compute_mttf, mttf_increase
 from repro.aging.nbti import NbtiModel
 from repro.aging.stress import StressMap, compute_stress_map
+from repro.arch.checks import check_design_fits
 from repro.arch.context import Floorplan
 from repro.arch.fabric import Fabric
 from repro.core.algorithm1 import Algorithm1Config, RemapResult, run_algorithm1
+from repro.errors import DeadlineExceededError, ThermalError
 from repro.hls.allocate import MappedDesign
 from repro.obs import counter, event, get_logger, span
 from repro.place.baseline import BaselinePlacerConfig, place_baseline
+from repro.resilience.deadline import Deadline, deadline_scope, shielded
 from repro.thermal.grid import ThermalGridConfig
 from repro.thermal.hotspot import ThermalReport, ThermalSimulator
 from repro.thermal.power import PowerModel
@@ -41,6 +44,10 @@ class FlowConfig:
     thermal_grid: ThermalGridConfig = field(default_factory=ThermalGridConfig)
     power: PowerModel = field(default_factory=PowerModel)
     nbti: NbtiModel = field(default_factory=NbtiModel)
+    #: Wall-clock budget for one :meth:`AgingAwareFlow.run` call, in
+    #: seconds.  ``None`` = unlimited.  An explicit ``deadline`` argument
+    #: to :meth:`~AgingAwareFlow.run` takes precedence.
+    deadline_s: float | None = None
 
 
 @dataclass
@@ -85,6 +92,7 @@ class FlowResult:
             "original_peak_k": self.original.thermal.peak_k,
             "remapped_peak_k": self.remapped.thermal.peak_k,
             "fell_back": self.remap.fell_back,
+            "degradation": self.remap.degradation,
             "iterations": self.remap.iterations,
             "elapsed_s": self.elapsed_s,
         }
@@ -130,7 +138,15 @@ class AgingAwareFlow:
         fabric: Fabric,
         original: FloorplanEvaluation,
     ) -> tuple[FloorplanEvaluation, RemapResult]:
-        """Aging-aware re-mapping and re-evaluation."""
+        """Aging-aware re-mapping and re-evaluation.
+
+        Resilient by construction: Algorithm 1 never raises on solver
+        failure or deadline expiry (its internal ladder degrades instead),
+        and if the *re-evaluation* of the re-mapped floorplan dies (budget
+        spent, thermal divergence) the original evaluation — already in
+        hand from Phase 1 — is substituted and the result is marked as
+        fully degraded.
+        """
         with span("phase2"):
             remap = run_algorithm1(
                 design,
@@ -139,10 +155,40 @@ class AgingAwareFlow:
                 config=self.config.algorithm1,
                 original_stress=original.stress,
             )
-            return self.evaluate(design, fabric, remap.floorplan), remap
+            if remap.fell_back and remap.floorplan is original.floorplan:
+                # Nothing new to evaluate; also spares the remaining budget.
+                return original, remap
+            try:
+                return self.evaluate(design, fabric, remap.floorplan), remap
+            except (DeadlineExceededError, ThermalError) as exc:
+                counter("flow.phase2_recoveries").inc()
+                event(
+                    "phase2.degraded",
+                    benchmark=design.name,
+                    reason=type(exc).__name__,
+                    detail=str(exc),
+                )
+                _log.warning(
+                    "%s: re-evaluation of the re-mapped floorplan failed "
+                    "(%s: %s); keeping the original floorplan",
+                    design.name, type(exc).__name__, exc,
+                )
+                remap = replace(
+                    remap,
+                    floorplan=original.floorplan,
+                    fell_back=True,
+                    final_cpd_ns=remap.original_cpd_ns,
+                    degradation="original",
+                )
+                return original, remap
 
     # -- the whole flow -------------------------------------------------------
-    def run(self, design: MappedDesign, fabric: Fabric) -> FlowResult:
+    def run(
+        self,
+        design: MappedDesign,
+        fabric: Fabric,
+        deadline: Deadline | None = None,
+    ) -> FlowResult:
         """Phase 1 + Phase 2 + MTTF comparison.
 
         Guarantee: the returned floorplan is never *worse* than the
@@ -150,10 +196,25 @@ class AgingAwareFlow:
         original maximum (e.g. an unlucky rotation pinning hot PEs), the
         re-mapped MTTF can fall below the baseline; the flow then keeps
         the original floorplan and reports an increase of exactly 1.0.
+
+        ``deadline`` (or :attr:`FlowConfig.deadline_s`) bounds the whole
+        call with one wall-clock budget.  Phase 1 is mandatory — without a
+        baseline there is nothing to compare against — so it runs with
+        deadline checks *shielded* (recorded, never raised), while its
+        annealer still stops voluntarily on expiry.  Phase 2 runs
+        unshielded and degrades down the ladder instead of raising, so an
+        expired budget always still yields a valid (possibly degraded)
+        :class:`FlowResult`.
         """
-        with span("flow", benchmark=design.name) as flow_span:
+        check_design_fits(design, fabric)
+        if deadline is None and self.config.deadline_s is not None:
+            deadline = Deadline.after(self.config.deadline_s)
+        with deadline_scope(deadline), span(
+            "flow", benchmark=design.name
+        ) as flow_span:
             counter("flow.runs").inc()
-            original = self.phase1(design, fabric)
+            with shielded():
+                original = self.phase1(design, fabric)
             remapped, remap = self.phase2(design, fabric, original)
             increase = mttf_increase(original.mttf, remapped.mttf)
             if increase < 1.0:
@@ -179,6 +240,7 @@ class AgingAwareFlow:
                     floorplan=original.floorplan,
                     fell_back=True,
                     final_cpd_ns=remap.original_cpd_ns,
+                    degradation="original",
                 )
                 remapped = original
                 increase = 1.0
@@ -202,7 +264,10 @@ class AgingAwareFlow:
 
 
 def run_flow(
-    design: MappedDesign, fabric: Fabric, config: FlowConfig | None = None
+    design: MappedDesign,
+    fabric: Fabric,
+    config: FlowConfig | None = None,
+    deadline: Deadline | None = None,
 ) -> FlowResult:
     """Convenience wrapper: one call from mapped design to MTTF increase."""
-    return AgingAwareFlow(config).run(design, fabric)
+    return AgingAwareFlow(config).run(design, fabric, deadline=deadline)

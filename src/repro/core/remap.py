@@ -375,6 +375,22 @@ def solve_remap(
     raise ModelError(f"unknown remap strategy {config.strategy!r}")
 
 
+def require_not_error(solution) -> None:
+    """Raise :class:`SolverError` on ERROR/UNBOUNDED no-solution outcomes.
+
+    Proven infeasibility is a *model* property and drives Algorithm 1's
+    relax loop; a time limit without incumbent, a solver crash or an
+    unbounded model is a *solver* failure — distinguishing them lets the
+    degradation ladder engage instead of relaxing ``ST_target`` forever
+    against a solver that cannot answer.
+    """
+    if (
+        not solution.status.has_solution
+        and solution.status is not SolveStatus.INFEASIBLE
+    ):
+        solution.require()
+
+
 def _extract(variables: RemapVariables, solution) -> dict[int, int]:
     groups = {
         op_id: [(var, pe) for var, pe in members]
@@ -390,6 +406,7 @@ def _solve_monolithic(
         solution = model.solve(backend)
         elapsed = solve_span.duration_s
         solve_span.set(status=solution.status.value)
+        require_not_error(solution)
     if not solution.status.has_solution:
         return RemapOutcome(
             feasible=False,
@@ -430,6 +447,7 @@ def _solve_two_step(
             relaxed.restore_types()
         stats["lp_s"] = lp_solution.solve_seconds
         stats["lp_status"] = lp_solution.status.value
+        require_not_error(lp_solution)
         if not lp_solution.status.has_solution:
             stats["status"] = "lp_" + lp_solution.status.value
             solve_span.set(status=stats["status"])
@@ -476,6 +494,7 @@ def _solve_two_step(
             ilp_solution = model.solve(backend)
         stats["ilp_s"] = ilp_solution.solve_seconds
         stats["ilp_status"] = ilp_solution.status.value
+        require_not_error(ilp_solution)
         if not ilp_solution.status.has_solution:
             stats["status"] = "ilp_" + ilp_solution.status.value
             solve_span.set(status=stats["status"])

@@ -30,6 +30,7 @@ from repro.core.remap import (
     RemapConfig,
     build_remap_model,
     default_candidates,
+    require_not_error,
     solve_remap,
 )
 from repro.core.rotation import FrozenPlan
@@ -131,6 +132,9 @@ def _stress_target_lower_bound(
             relaxation = model.relaxed()
             solution = relaxation.solve(backend)
             relaxation.restore_types()
+            # ERROR/UNBOUNDED is a solver failure, not infeasibility —
+            # raise so the ladder engages instead of biasing the bisection.
+            require_not_error(solution)
             probe_span.set(feasible=solution.status.has_solution)
         return solution.status.has_solution
 

@@ -88,5 +88,28 @@ class FlowError(ReproError):
     """The end-to-end CAD flow could not produce a valid floorplan."""
 
 
+class DeadlineExceededError(FlowError):
+    """A wall-clock budget (:class:`repro.resilience.Deadline`) expired.
+
+    Raised at iteration boundaries (Algorithm 1 iterations, MILP solves,
+    thermal context solves) when the flow's budget is spent.  Callers with
+    a fallback — e.g. Phase 2's degradation ladder — catch this and degrade
+    instead of aborting.
+    """
+
+    def __init__(self, stage: str, budget_s: float, elapsed_s: float) -> None:
+        super().__init__(
+            f"deadline of {budget_s:.3f}s exceeded at {stage!r} "
+            f"(elapsed {elapsed_s:.3f}s)"
+        )
+        self.stage = stage
+        self.budget_s = budget_s
+        self.elapsed_s = elapsed_s
+
+
+class SweepError(ReproError):
+    """An experiment sweep entry failed permanently (after retries)."""
+
+
 class BenchmarkError(ReproError):
     """A synthetic benchmark request was inconsistent or unsatisfiable."""

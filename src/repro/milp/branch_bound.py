@@ -33,6 +33,8 @@ from repro.milp.constraint import Sense
 from repro.milp.model import MatrixForm, Model
 from repro.milp.status import Solution, SolveStatus
 from repro.obs import counter, get_logger, span
+from repro.resilience.deadline import current_deadline
+from repro.resilience.faults import inject_solver_fault
 
 _INTEGRALITY_TOL = 1e-6
 
@@ -129,9 +131,14 @@ class BranchBoundBackend:
         return solution
 
     def _solve(self, model: Model, solver_span, **options) -> Solution:
+        deadline = current_deadline()
+        deadline.check(f"branch_bound:{model.name}")
+        injected = inject_solver_fault(model.name)
+        if injected is not None:
+            return injected
         form = model.to_matrix_form()
         n = len(form.variables)
-        time_limit = options.get("time_limit", self.time_limit)
+        time_limit = deadline.cap(options.get("time_limit", self.time_limit))
         max_nodes = options.get("max_nodes", self.max_nodes)
         self.last_node_count = 0
 
@@ -139,7 +146,7 @@ class BranchBoundBackend:
             return Solution(status=SolveStatus.OPTIMAL, objective=0.0, values={})
 
         discrete = np.flatnonzero(form.integrality)
-        counter = itertools.count()
+        tiebreak = itertools.count()
 
         root = self._solve_relaxation(form, form.lower, form.upper)
         if root is None:
@@ -150,7 +157,7 @@ class BranchBoundBackend:
         root_bound, _ = root
 
         heap: list[_Node] = [
-            _Node(root_bound, next(counter), form.lower.copy(), form.upper.copy())
+            _Node(root_bound, next(tiebreak), form.lower.copy(), form.upper.copy())
         ]
         best_obj = math.inf
         best_x: np.ndarray | None = None
@@ -160,14 +167,24 @@ class BranchBoundBackend:
             if self.last_node_count >= max_nodes or (
                 time_limit is not None
                 and solver_span.duration_s > time_limit
-            ):
+            ) or deadline.expired:
                 proven = False
                 break
             node = heapq.heappop(heap)
             if node.bound >= best_obj - 1e-9 and best_x is not None:
                 continue  # cannot improve on the incumbent
             self.last_node_count += 1
-            relaxed = self._solve_relaxation(form, node.lower, node.upper)
+            try:
+                relaxed = self._solve_relaxation(form, node.lower, node.upper)
+            except SolverError:
+                # A node LP blew up mid-search.  With an incumbent in hand
+                # the search degrades to "best found so far" (the ladder's
+                # incumbent rung); without one the error propagates.
+                if best_x is None:
+                    raise
+                counter("milp.bb.incumbent_recoveries").inc()
+                proven = False
+                break
             if relaxed is None:
                 continue
             bound, x = relaxed
@@ -194,7 +211,7 @@ class BranchBoundBackend:
             up_lower[j] = floor_val + 1
             for lo, hi in ((down_lower, down_upper), (up_lower, up_upper)):
                 if lo[j] <= hi[j]:
-                    heapq.heappush(heap, _Node(bound, next(counter), lo, hi))
+                    heapq.heappush(heap, _Node(bound, next(tiebreak), lo, hi))
 
         elapsed = solver_span.duration_s
         if best_x is None:

@@ -15,6 +15,8 @@ from repro.milp.constraint import Sense
 from repro.milp.model import Model
 from repro.milp.status import Solution, SolveStatus
 from repro.obs import counter, get_logger, histogram, span
+from repro.resilience.deadline import current_deadline
+from repro.resilience.faults import inject_solver_fault
 
 _log = get_logger("milp.scipy_backend")
 
@@ -44,7 +46,17 @@ class ScipyBackend:
         self.mip_rel_gap = mip_rel_gap
 
     def solve(self, model: Model, **options) -> Solution:
-        """Solve ``model``; per-call ``options`` override constructor values."""
+        """Solve ``model``; per-call ``options`` override constructor values.
+
+        The current :class:`~repro.resilience.Deadline` is honoured: an
+        already-expired budget raises before HiGHS is entered, and the
+        solver time limit is capped to the remaining budget.
+        """
+        deadline = current_deadline()
+        deadline.check(f"milp_solve:{model.name}")
+        injected = inject_solver_fault(model.name)
+        if injected is not None:
+            return injected
         form = model.to_matrix_form()
         n = len(form.variables)
         if n == 0:
@@ -61,7 +73,7 @@ class ScipyBackend:
                 lower[row] = upper[row] = form.rhs[row]
 
         milp_options: dict = {}
-        time_limit = options.get("time_limit", self.time_limit)
+        time_limit = deadline.cap(options.get("time_limit", self.time_limit))
         if time_limit is not None:
             milp_options["time_limit"] = float(time_limit)
         mip_rel_gap = options.get("mip_rel_gap", self.mip_rel_gap)

@@ -6,7 +6,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.errors import ModelError
+from repro.errors import InfeasibleError, ModelError, SolverError
 from repro.milp.expr import Variable
 
 
@@ -74,6 +74,24 @@ class Solution:
         if default is None:
             raise ModelError(f"variable {var.name!r} not in solution")
         return default
+
+    def require(self) -> "Solution":
+        """Return ``self`` if a solution exists; raise a typed error otherwise.
+
+        Proven infeasibility raises :class:`~repro.errors.InfeasibleError`;
+        any other solution-less status (unbounded, backend error, limit
+        without incumbent) raises :class:`~repro.errors.SolverError`.  Use
+        at call sites where a solution is mandatory, so infeasibility is a
+        typed outcome rather than a downstream ``KeyError``.
+        """
+        if self.status.has_solution:
+            return self
+        detail = f": {self.message}" if self.message else ""
+        if self.status is SolveStatus.INFEASIBLE:
+            raise InfeasibleError(f"model proven infeasible{detail}")
+        raise SolverError(
+            f"no solution available (status={self.status.value}){detail}"
+        )
 
     def rounded(self, var: Variable, tol: float = 1e-6) -> int:
         """Integer value of a discrete variable, validating integrality."""

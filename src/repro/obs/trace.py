@@ -24,6 +24,25 @@ class TraceError(ReproError):
 #: Keys every trace record must carry (the JSONL contract).
 REQUIRED_KEYS = ("type", "name", "duration_s", "parent")
 
+#: Event names that signal degraded execution (resilience ladder, budget
+#: expiry, fault injection, sweep retries).  ``trace summarize`` lists
+#: matching events in a dedicated section so a degraded run is visible at
+#: a glance.
+DEGRADATION_EVENTS = frozenset(
+    {
+        "flow.fallback",
+        "phase2.degraded",
+        "algorithm1.fallback",
+        "algorithm1.degraded",
+        "deadline.expired",
+        "fault.injected",
+        "anneal.deadline_stop",
+        "anneal.nan_abort",
+        "sweep.retry",
+        "sweep.entry_failed",
+    }
+)
+
 
 @dataclass
 class StageRow:
@@ -49,6 +68,8 @@ class TraceSummary:
     stages: list[StageRow] = field(default_factory=list)
     events: list[dict] = field(default_factory=list)
     metrics: dict[str, dict] = field(default_factory=dict)
+    #: Events whose name is in :data:`DEGRADATION_EVENTS`, in trace order.
+    degradations: list[dict] = field(default_factory=list)
     #: Sum of root-span durations = the trace's total wall time.
     total_s: float = 0.0
     records: int = 0
@@ -112,6 +133,8 @@ def summarize_records(records: Iterable[Mapping]) -> TraceSummary:
                 summary.total_s += float(record["duration_s"])
         elif kind == "event":
             summary.events.append(dict(record))
+            if record["name"] in DEGRADATION_EVENTS:
+                summary.degradations.append(dict(record))
         elif kind == "metric":
             summary.metrics[record["name"]] = {
                 k: v for k, v in record.items() if k not in ("type", "name")

@@ -18,10 +18,21 @@ from dataclasses import dataclass
 from repro.arch.context import Floorplan
 from repro.arch.fabric import Fabric
 from repro.hls.allocate import MappedDesign
-from repro.obs import counter, get_logger, span
+from repro.obs import counter, event, get_logger, span
 from repro.place.cost import bounding_box_area
+from repro.resilience.deadline import current_deadline
+from repro.resilience.faults import should_inject
 
 _log = get_logger("place.annealing")
+
+
+class _NonFiniteCost(Exception):
+    """Internal signal: a move cost evaluated to NaN/inf.
+
+    Never escapes this module — the annealer aborts the affected context
+    gracefully (the floorplan stays valid because moves apply atomically)
+    and the constructive placement stands.
+    """
 
 
 @dataclass
@@ -116,6 +127,7 @@ class ContextAnnealer:
         if len(self.ops) < 2:
             return (0, 0)
         config = self.config
+        deadline = current_deadline()
         occupied = {self.floorplan.pe_of[op] for op in self.ops}
         free = [k for k in range(self.fabric.num_pes) if k not in occupied]
         temperature = config.initial_temperature
@@ -123,25 +135,44 @@ class ContextAnnealer:
         steps_done = 0
         accepted_moves = 0
         bbox_cached = self._bbox()
-        while steps_done < total_moves:
-            for _ in range(config.steps_per_temperature):
-                steps_done += 1
-                if steps_done > total_moves:
+        try:
+            while steps_done < total_moves:
+                if deadline.expired:
+                    # SA is a refinement: on budget expiry the current
+                    # (valid) floorplan stands; no error, just a record.
+                    counter("anneal.deadline_stops").inc()
+                    event("anneal.deadline_stop", context=self.context)
                     break
-                if free and self.rng.random() < 0.5:
-                    accepted = self._try_relocate(free, temperature, bbox_cached)
-                else:
-                    accepted = self._try_swap(temperature)
-                if accepted:
-                    accepted_moves += 1
-                    bbox_cached = self._bbox()
-            temperature = max(temperature * config.cooling, 1e-3)
+                for _ in range(config.steps_per_temperature):
+                    steps_done += 1
+                    if steps_done > total_moves:
+                        break
+                    if free and self.rng.random() < 0.5:
+                        accepted = self._try_relocate(free, temperature, bbox_cached)
+                    else:
+                        accepted = self._try_swap(temperature)
+                    if accepted:
+                        accepted_moves += 1
+                        bbox_cached = self._bbox()
+                temperature = max(temperature * config.cooling, 1e-3)
+        except _NonFiniteCost as exc:
+            counter("anneal.nan_aborts").inc()
+            event("anneal.nan_abort", context=self.context)
+            _log.warning(
+                "annealing aborted in context %d: non-finite move cost (%s); "
+                "keeping the constructive placement refined so far",
+                self.context, exc,
+            )
         proposed = min(steps_done, total_moves)
         counter("anneal.moves_proposed").inc(proposed)
         counter("anneal.moves_accepted").inc(accepted_moves)
         return (proposed, accepted_moves)
 
     def _metropolis(self, delta: float, temperature: float) -> bool:
+        if should_inject("annealing_nan"):
+            delta = float("nan")
+        if not math.isfinite(delta):
+            raise _NonFiniteCost(f"delta={delta!r}")
         if delta <= 0:
             return True
         return self.rng.random() < math.exp(-delta / temperature)

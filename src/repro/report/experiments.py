@@ -20,13 +20,17 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.benchgen.suite import TABLE1, Table1Entry
 from repro.benchgen.synth import build_benchmark
 from repro.core.algorithm1 import Algorithm1Config
 from repro.core.flow import AgingAwareFlow, FlowConfig
 from repro.core.remap import RemapConfig
-from repro.obs import configure_logging, get_logger, span
+from repro.errors import FlowError, ReproError, SweepError
+from repro.obs import configure_logging, counter, event, get_logger, span
+from repro.resilience.checkpoint import SweepCheckpoint
+from repro.resilience.deadline import Deadline, deadline_scope, shielded
 from repro.report.figures import ascii_curve, bar_chart, series_csv, stress_grid
 from repro.report.paper import (
     BenchmarkMeasurement,
@@ -54,6 +58,12 @@ def _log_line(message: str = "") -> None:
     _log.info("%s", message)
 
 
+#: Seed offset applied on the retry of a transiently-failed sweep entry.
+#: Chosen coprime to the suite seeds so a perturbed run never collides
+#: with another entry's nominal seed.
+RETRY_SEED_STRIDE = 1009
+
+
 @dataclass
 class ExperimentConfig:
     """How to run a suite experiment."""
@@ -62,6 +72,16 @@ class ExperimentConfig:
     seed: int = 0
     only: list[str] = field(default_factory=list)
     time_limit_s: float = 180.0
+    #: Wall-clock budget per benchmark entry (None = unlimited).
+    deadline_s: float | None = None
+    #: Path of the per-entry JSONL checkpoint (None = no checkpointing).
+    checkpoint: str | None = None
+    #: Skip entries already completed in the checkpoint file.
+    resume: bool = False
+    #: Record permanently-failed entries and continue instead of aborting.
+    keep_going: bool = False
+    #: Extra attempts (with a perturbed seed) after a transient failure.
+    retries: int = 1
 
     def suite(self) -> list[Table1Entry]:
         entries = [
@@ -88,28 +108,46 @@ def flow_config(
 
 
 def measure_benchmark(
-    entry: Table1Entry, config: ExperimentConfig
+    entry: Table1Entry, config: ExperimentConfig, seed: int | None = None
 ) -> BenchmarkMeasurement:
     """Run Phase 1 once and Phase 2 in both modes for one benchmark.
 
     Phase 1 (placement + baseline evaluation) is mode-independent, so it
     is shared between the Freeze and Rotate measurements — exactly as in
     the paper, where both columns start from the same Musketeer floorplan.
+
+    ``config.deadline_s`` bounds the whole measurement (Phase 1 shielded,
+    as in :meth:`AgingAwareFlow.run`); ``seed`` overrides ``config.seed``
+    for perturbed-seed retries.
     """
     from repro.aging.mttf import mttf_increase as compute_increase
 
-    design, fabric = build_benchmark(entry.spec(config.seed))
+    design, fabric = build_benchmark(
+        entry.spec(config.seed if seed is None else seed)
+    )
+    deadline = (
+        Deadline.after(config.deadline_s)
+        if config.deadline_s is not None
+        else None
+    )
     increases: dict[str, float] = {}
-    baseline_flow = AgingAwareFlow(flow_config("freeze", config.time_limit_s))
-    original = baseline_flow.phase1(design, fabric)
-    for mode in ("freeze", "rotate"):
-        flow = AgingAwareFlow(flow_config(mode, config.time_limit_s))
-        remapped, remap = flow.phase2(design, fabric, original)
-        if remap.final_cpd_ns > remap.original_cpd_ns + 1e-6:
-            raise AssertionError(
-                f"{entry.name}/{mode}: CPD increased — invariant broken"
-            )
-        increases[mode] = compute_increase(original.mttf, remapped.mttf)
+    with deadline_scope(deadline):
+        baseline_flow = AgingAwareFlow(
+            flow_config("freeze", config.time_limit_s)
+        )
+        with shielded():
+            original = baseline_flow.phase1(design, fabric)
+        for mode in ("freeze", "rotate"):
+            flow = AgingAwareFlow(flow_config(mode, config.time_limit_s))
+            remapped, remap = flow.phase2(design, fabric, original)
+            if remap.final_cpd_ns > remap.original_cpd_ns + 1e-6:
+                raise FlowError(
+                    f"{entry.name}/{mode}: re-mapped CPD "
+                    f"{remap.final_cpd_ns:.6f} ns exceeds original "
+                    f"{remap.original_cpd_ns:.6f} ns — "
+                    "no-delay-degradation invariant broken"
+                )
+            increases[mode] = compute_increase(original.mttf, remapped.mttf)
     return BenchmarkMeasurement(
         entry=entry,
         freeze_increase=increases["freeze"],
@@ -117,12 +155,118 @@ def measure_benchmark(
     )
 
 
+def _measure_with_retry(
+    entry: Table1Entry,
+    config: ExperimentConfig,
+    checkpoint: SweepCheckpoint | None,
+    log=_log_line,
+) -> BenchmarkMeasurement:
+    """Measure one entry; retry transient failures with a perturbed seed.
+
+    On success the measurement is appended to ``checkpoint`` (when given);
+    a permanent failure is recorded there too (``status: "failed"`` — a
+    later ``--resume`` run will retry it) and raised as
+    :class:`~repro.errors.SweepError`.
+    """
+    attempts = max(1, config.retries + 1)
+    last_error: ReproError | None = None
+    for attempt in range(attempts):
+        seed = config.seed + RETRY_SEED_STRIDE * attempt
+        try:
+            measurement = measure_benchmark(entry, config, seed=seed)
+        except ReproError as exc:
+            last_error = exc
+            counter("sweep.entry_errors").inc()
+            if attempt < attempts - 1:
+                counter("sweep.retries").inc()
+                event(
+                    "sweep.retry",
+                    entry=entry.name,
+                    attempt=attempt + 1,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                log(
+                    f"{entry.name}: attempt {attempt + 1} failed "
+                    f"({type(exc).__name__}: {exc}); retrying with "
+                    f"seed {config.seed + RETRY_SEED_STRIDE * (attempt + 1)}"
+                )
+            continue
+        if checkpoint is not None:
+            checkpoint.append(
+                {
+                    "entry": entry.name,
+                    "status": "ok",
+                    "seed": seed,
+                    "freeze_increase": measurement.freeze_increase,
+                    "rotate_increase": measurement.rotate_increase,
+                }
+            )
+        return measurement
+    counter("sweep.entry_failures").inc()
+    event(
+        "sweep.entry_failed",
+        entry=entry.name,
+        error=f"{type(last_error).__name__}: {last_error}",
+    )
+    if checkpoint is not None:
+        checkpoint.append(
+            {
+                "entry": entry.name,
+                "status": "failed",
+                "error": f"{type(last_error).__name__}: {last_error}",
+            }
+        )
+    raise SweepError(
+        f"{entry.name}: failed after {attempts} attempt(s): {last_error}"
+    ) from last_error
+
+
 def run_table1(config: ExperimentConfig, log=_log_line) -> list[BenchmarkMeasurement]:
-    """Regenerate Table I (measured vs published)."""
+    """Regenerate Table I (measured vs published).
+
+    With ``config.checkpoint`` set, every completed entry is appended to a
+    JSONL checkpoint as it finishes (flushed + fsynced, so a kill at any
+    point loses at most the in-flight entry).  ``config.resume`` skips
+    entries the checkpoint already records as ``ok`` and reconstructs
+    their measurements verbatim — the final table is bit-identical to an
+    uninterrupted run.  ``config.keep_going`` records a permanently-failed
+    entry and moves on instead of aborting the sweep.
+    """
+    checkpoint = (
+        SweepCheckpoint(Path(config.checkpoint)) if config.checkpoint else None
+    )
+    done: dict[str, dict] = {}
+    if checkpoint is not None:
+        if config.resume:
+            done = checkpoint.completed()
+        else:
+            checkpoint.reset()
     measurements: list[BenchmarkMeasurement] = []
+    failed: list[str] = []
     for entry in config.suite():
+        record = done.get(entry.name)
+        if record is not None:
+            counter("sweep.entries_resumed").inc()
+            measurements.append(
+                BenchmarkMeasurement(
+                    entry=entry,
+                    freeze_increase=record["freeze_increase"],
+                    rotate_increase=record["rotate_increase"],
+                )
+            )
+            log(f"{entry.name}: restored from checkpoint")
+            continue
         with span("table1_entry", benchmark=entry.name) as entry_span:
-            measurement = measure_benchmark(entry, config)
+            try:
+                measurement = _measure_with_retry(
+                    entry, config, checkpoint, log=log
+                )
+            except SweepError as exc:
+                if not config.keep_going:
+                    raise
+                failed.append(entry.name)
+                log(f"{entry.name}: FAILED ({exc}); continuing (--keep-going)")
+                continue
         measurements.append(measurement)
         log(
             f"{entry.name}: freeze {measurement.freeze_increase:.2f}x "
@@ -130,7 +274,16 @@ def run_table1(config: ExperimentConfig, log=_log_line) -> list[BenchmarkMeasure
             f"{measurement.rotate_increase:.2f}x (paper {entry.rotate_ref:.2f}) "
             f"[{entry_span.duration_s:.1f}s]"
         )
+    if failed:
+        log("")
+        log(
+            f"WARNING: {len(failed)} entr{'y' if len(failed) == 1 else 'ies'} "
+            f"failed permanently: {', '.join(failed)}"
+        )
     log("")
+    if not measurements:
+        log("no entries completed; nothing to tabulate")
+        return measurements
     log(format_table(TABLE_HEADERS, [m.row() for m in measurements]))
     log("")
     measured_avg = class_averages(measurements)
@@ -219,28 +372,67 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--csv", action="store_true")
     parser.add_argument("--time-limit", type=float, default=180.0)
     parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per benchmark entry (default: unlimited)",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="JSONL checkpoint file for table1/fig5 sweeps "
+        "(default: <experiment>-<scale>.checkpoint.jsonl; "
+        "pass 'none' to disable)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip entries already completed in the checkpoint",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="record failed entries and continue instead of aborting",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1,
+        help="perturbed-seed retries per transiently-failed entry",
+    )
+    parser.add_argument(
         "--log-level", default="warning",
         choices=["debug", "info", "warning", "error", "critical"],
     )
     args = parser.parse_args(argv)
 
+    checkpoint = args.checkpoint
+    if args.experiment in ("table1", "fig5"):
+        if checkpoint is None:
+            checkpoint = f"{args.experiment}-{args.scale}.checkpoint.jsonl"
+        elif checkpoint.lower() == "none":
+            checkpoint = None
+    else:
+        checkpoint = None
     config = ExperimentConfig(
         scale=args.scale,
         seed=args.seed,
         only=list(args.only),
         time_limit_s=args.time_limit,
+        deadline_s=args.deadline,
+        checkpoint=checkpoint,
+        resume=args.resume,
+        keep_going=args.keep_going,
+        retries=args.retries,
     )
     configure_logging(args.log_level)
     # CLI invocation: experiment output belongs on stdout, so the drivers
     # get ``print`` explicitly; library callers default to the repro logger.
-    if args.experiment == "table1":
-        run_table1(config, log=print)
-    elif args.experiment == "fig5":
-        run_fig5(config, log=print)
-    elif args.experiment == "fig2a":
-        run_fig2a(log=print)
-    else:
-        run_fig2b(bench=args.bench, log=print, csv=args.csv)
+    try:
+        if args.experiment == "table1":
+            run_table1(config, log=print)
+        elif args.experiment == "fig5":
+            run_fig5(config, log=print)
+        elif args.experiment == "fig2a":
+            run_fig2a(log=print)
+        else:
+            run_fig2b(bench=args.bench, log=print, csv=args.csv)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,0 +1,96 @@
+"""Crash-isolated, resumable experiment sweeps (JSONL checkpoints).
+
+A Table I sweep at paper scale runs for hours; losing the whole run to one
+crashing benchmark (or a ^C at entry 25 of 27) is the single biggest
+robustness hole in the experiment drivers.  :class:`SweepCheckpoint`
+appends one JSON record per finished entry — success or permanent failure
+— to a sidecar file, flushed and fsynced per record so a killed process
+loses at most the entry in flight.
+
+``run_table1``/``run_fig5`` consume it: ``--resume`` skips entries whose
+latest record is a success (failed entries are retried), and because JSON
+floats round-trip exactly, a resumed sweep reproduces byte-identical
+tables.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Iterator
+
+from repro.errors import ReproError
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint file is unreadable or malformed."""
+
+
+class SweepCheckpoint:
+    """Append-only JSONL journal of per-entry sweep outcomes.
+
+    Records are free-form dicts carrying at least ``entry`` (benchmark
+    name) and ``status`` (``"ok"`` or ``"failed"``).  The latest record
+    per entry wins, so a retried entry simply appends a newer record.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = pathlib.Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def reset(self) -> None:
+        """Start a fresh sweep: truncate any previous journal."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("", encoding="utf-8")
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (flush + fsync per line)."""
+        if "entry" not in record or "status" not in record:
+            raise CheckpointError(
+                f"checkpoint record needs 'entry' and 'status': {record!r}"
+            )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def records(self) -> Iterator[dict]:
+        """Yield every record in journal order (missing file = empty)."""
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise CheckpointError(
+                        f"{self.path}:{lineno}: not valid JSON: {exc}"
+                    ) from exc
+                if not isinstance(record, dict) or "entry" not in record:
+                    raise CheckpointError(
+                        f"{self.path}:{lineno}: not a sweep record: {line!r}"
+                    )
+                yield record
+
+    def latest(self) -> dict[str, dict]:
+        """Latest record per entry name (later lines supersede earlier)."""
+        result: dict[str, dict] = {}
+        for record in self.records():
+            result[record["entry"]] = record
+        return result
+
+    def completed(self) -> dict[str, dict]:
+        """Entries whose latest record is a success."""
+        return {
+            name: record
+            for name, record in self.latest().items()
+            if record.get("status") == "ok"
+        }

@@ -1,0 +1,182 @@
+"""Wall-clock budgets for the CAD flow.
+
+A :class:`Deadline` is a single budget that bounds an entire flow run —
+Phase 1 placement/annealing, thermal solves, Algorithm 1's relax loop and
+every MILP solve underneath it.  It is threaded through the flow the same
+way spans are: a :mod:`contextvars` variable set by :func:`deadline_scope`,
+so deeply nested library code (solver backends, the annealer, the thermal
+grid) can consult :func:`current_deadline` without every signature growing
+a parameter.
+
+Semantics
+---------
+* :meth:`Deadline.check` raises :class:`~repro.errors.DeadlineExceededError`
+  once the budget is spent.  It is called at *iteration boundaries* —
+  Algorithm 1 iterations, MILP solve entry, thermal context solves — never
+  inside inner numeric loops.
+* Work that can stop early without failing (the simulated-annealing
+  refinement) polls :attr:`Deadline.expired` and stops instead of raising.
+* Inside a :func:`shielded` scope, expired checks record metrics but do
+  not raise — Phase 1 runs shielded because its stages are mandatory and
+  intrinsically bounded, so overrunning there is logged, not fatal.
+* :meth:`Deadline.cap` shrinks a solver time limit to the remaining
+  budget, so a single long MILP solve cannot blow through the deadline.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import math
+import time
+from typing import Iterator
+
+from repro.errors import DeadlineExceededError
+from repro.obs import counter, event, get_logger
+
+_log = get_logger("resilience.deadline")
+
+_current: contextvars.ContextVar["Deadline | None"] = contextvars.ContextVar(
+    "repro_resilience_deadline", default=None
+)
+_shield: contextvars.ContextVar[bool] = contextvars.ContextVar(
+    "repro_resilience_deadline_shield", default=False
+)
+
+#: Smallest time limit (s) handed to a solver once the budget runs low;
+#: keeps HiGHS from being called with a zero/negative limit.
+MIN_SOLVER_LIMIT_S = 0.05
+
+
+class Deadline:
+    """A wall-clock budget anchored at its creation time.
+
+    Use :meth:`after` for a bounded budget and :meth:`unlimited` for the
+    no-op budget (every check passes, every cap is identity).
+    """
+
+    __slots__ = ("budget_s", "started_s", "_reported")
+
+    def __init__(self, budget_s: float | None) -> None:
+        if budget_s is not None and budget_s < 0:
+            raise ValueError(f"deadline budget must be >= 0, got {budget_s}")
+        self.budget_s = budget_s
+        self.started_s = time.perf_counter()
+        self._reported = False
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A budget of ``seconds`` starting now."""
+        return cls(float(seconds))
+
+    @classmethod
+    def unlimited(cls) -> "Deadline":
+        """A budget that never expires."""
+        return cls(None)
+
+    # -- accessors ------------------------------------------------------------
+    @property
+    def bounded(self) -> bool:
+        return self.budget_s is not None
+
+    def elapsed_s(self) -> float:
+        return time.perf_counter() - self.started_s
+
+    def remaining_s(self) -> float:
+        """Seconds left; ``math.inf`` for unlimited budgets."""
+        if self.budget_s is None:
+            return math.inf
+        return self.budget_s - self.elapsed_s()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining_s() <= 0.0
+
+    # -- enforcement ----------------------------------------------------------
+    def check(self, stage: str) -> None:
+        """Raise :class:`DeadlineExceededError` when the budget is spent.
+
+        Inside a :func:`shielded` scope the overrun is recorded (metrics +
+        one warning) but execution continues.
+        """
+        if not self.expired:
+            return
+        counter("deadline.expired_checks").inc()
+        if not self._reported:
+            self._reported = True
+            event(
+                "deadline.expired",
+                stage=stage,
+                budget_s=self.budget_s,
+                elapsed_s=self.elapsed_s(),
+            )
+            _log.warning(
+                "deadline of %.3fs expired at %s (elapsed %.3fs)",
+                self.budget_s, stage, self.elapsed_s(),
+            )
+        if _shield.get():
+            return
+        counter("deadline.hits").inc()
+        raise DeadlineExceededError(stage, float(self.budget_s), self.elapsed_s())
+
+    def cap(self, limit_s: float | None) -> float | None:
+        """Shrink a solver time limit to the remaining budget.
+
+        Returns ``limit_s`` unchanged for unlimited deadlines; otherwise
+        ``min(limit_s, remaining)``, floored at :data:`MIN_SOLVER_LIMIT_S`
+        so backends always receive a positive limit.
+        """
+        remaining = self.remaining_s()
+        if not math.isfinite(remaining):
+            return limit_s
+        remaining = max(remaining, MIN_SOLVER_LIMIT_S)
+        if limit_s is None:
+            return remaining
+        return min(float(limit_s), remaining)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.budget_s is None:
+            return "Deadline(unlimited)"
+        return f"Deadline({self.budget_s:.3f}s, remaining={self.remaining_s():.3f}s)"
+
+
+#: Shared no-op budget returned when no deadline is in scope.
+_UNLIMITED = Deadline.unlimited()
+
+
+def current_deadline() -> Deadline:
+    """The deadline governing this context (unlimited when none is set)."""
+    return _current.get() or _UNLIMITED
+
+
+@contextlib.contextmanager
+def deadline_scope(deadline: Deadline | None) -> Iterator[Deadline]:
+    """Install ``deadline`` as the current budget for the ``with`` body.
+
+    ``None`` leaves the enclosing scope's deadline in force (so wrappers
+    can pass their optional parameter straight through).
+    """
+    if deadline is None:
+        yield current_deadline()
+        return
+    token = _current.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _current.reset(token)
+
+
+@contextlib.contextmanager
+def shielded() -> Iterator[None]:
+    """Suppress deadline *raises* for the ``with`` body (metrics still fire).
+
+    Used around mandatory, intrinsically bounded work (Phase 1): skipping
+    it cannot produce a result at all, so an overrun is recorded rather
+    than fatal.
+    """
+    token = _shield.set(True)
+    try:
+        yield
+    finally:
+        _shield.reset(token)

@@ -1,0 +1,178 @@
+"""The Phase 2 graceful-degradation ladder.
+
+When the re-mapping MILP cannot deliver — solver crash, timeout without an
+incumbent, or the flow's wall-clock budget expiring mid-loop — Algorithm 1
+does not abort.  It walks a ladder of progressively cheaper floorplans:
+
+``none``
+    The MILP produced a proven (or gap-certified) floorplan — no
+    degradation.
+``incumbent``
+    A solver limit was hit but a feasible incumbent existed (HiGHS' or the
+    branch-and-bound backend's best-so-far); the floorplan still passed
+    the full STA gate, only optimality is unproven.
+``greedy``
+    The solver failed outright; :func:`greedy_stress_level_remap`
+    stress-levels the movable ops with a pure-Python verified swap
+    descent whose every move passed the STA gate.
+``original``
+    Nothing better verified; the original floorplan is kept (the paper's
+    unconditional no-delay-degradation fallback, MTTF increase 1.0x).
+
+Every level is recorded on ``RemapResult.degradation`` and surfaced in
+``FlowResult.summary()`` and traces, so a degraded Table I entry is
+visible as such instead of silently looking like a weak result.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.arch.context import Floorplan
+from repro.arch.fabric import Fabric
+from repro.hls.allocate import MappedDesign
+from repro.obs import counter, get_logger, span
+
+_log = get_logger("resilience.degrade")
+
+#: Ladder levels, best to worst.
+DEGRADATION_LEVELS = ("none", "incumbent", "greedy", "original")
+
+
+def worse_level(a: str, b: str) -> str:
+    """The worse (higher-rung) of two degradation levels."""
+    return max(a, b, key=DEGRADATION_LEVELS.index)
+
+
+#: CPD comparisons in the greedy rung use this guard band (ns).
+_CPD_EPS = 1e-6
+
+#: Per-improvement-move cap on target PEs tried (each trial is one STA).
+_TRIALS_PER_OP = 8
+
+
+def greedy_stress_level_remap(
+    design: MappedDesign,
+    fabric: Fabric,
+    original: Floorplan,
+    frozen_positions: Mapping[int, int],
+    max_moves: int | None = None,
+    graphs=None,
+) -> Floorplan | None:
+    """Solver-free stress levelling: the ladder's ``greedy`` rung.
+
+    Verified steepest-descent: repeatedly take the PE with the highest
+    accumulated stress and try to move (or swap) one of its ops to a
+    cooler PE in the same context.  A move is kept only when a full STA
+    pass confirms the CPD did not grow *and* both touched PEs end up
+    strictly below the hot PE's previous accumulated stress — the sorted
+    stress vector then decreases lexicographically, so the descent cannot
+    cycle and every returned floorplan is CPD-preserving by construction.
+    Frozen (critical-path) ops never move.
+
+    ``max_moves`` caps accepted moves (default ``8 *`` contexts);
+    ``graphs`` forwards prebuilt timing graphs to avoid rebuilding them
+    per STA trial.  Returns ``None`` when no single verified improvement
+    exists — the caller then falls through to the ``original`` rung.
+    """
+    from repro.aging.stress import compute_stress_map
+    from repro.timing.sta import analyze
+
+    with span("greedy_fallback_remap") as fb_span:
+        plan = original.with_bindings({})
+        base = analyze(design, plan, graphs)
+        cpd_limit = base.cpd_ns + _CPD_EPS
+        acc = [float(v) for v in compute_stress_map(design, plan).accumulated_ns]
+        frozen = set(frozen_positions)
+        budget = max_moves if max_moves is not None else 8 * design.num_contexts
+        moves = 0
+        blocked: set[int] = set()
+        while moves < budget:
+            hot = max(
+                (k for k in range(fabric.num_pes) if k not in blocked),
+                key=lambda k: (acc[k], -k),
+                default=None,
+            )
+            if hot is None or acc[hot] <= 0.0:
+                break
+            if _improve_hot_pe(
+                design, plan, fabric, hot, acc, frozen, cpd_limit, graphs
+            ):
+                moves += 1
+                blocked.clear()
+            else:
+                blocked.add(hot)
+        if moves == 0:
+            counter("degrade.greedy_dead_ends").inc()
+            _log.warning(
+                "greedy fallback: no CPD-preserving levelling move exists"
+            )
+            return None
+        fb_span.set(moves=moves)
+        _log.debug("greedy fallback: %d verified levelling move(s)", moves)
+        return plan
+
+
+def _improve_hot_pe(
+    design: MappedDesign,
+    plan: Floorplan,
+    fabric: Fabric,
+    hot: int,
+    acc: list[float],
+    frozen: set[int],
+    cpd_limit: float,
+    graphs,
+) -> bool:
+    """Try one verified relocation/swap off PE ``hot``; True when applied.
+
+    ``plan`` and ``acc`` are updated in place on success and left
+    untouched on failure (every rejected trial is reverted).
+    """
+    from repro.timing.sta import analyze
+
+    hot_ops = sorted(
+        (
+            op_id
+            for context in range(plan.num_contexts)
+            if (op_id := plan.op_on(context, hot)) is not None
+            and op_id not in frozen
+        ),
+        key=lambda op_id: (-design.ops[op_id].stress_ns, op_id),
+    )
+    for op_id in hot_ops:
+        context = design.ops[op_id].context
+        op_stress = design.ops[op_id].stress_ns
+        if op_stress <= 0.0:
+            continue
+        targets = sorted(
+            (k for k in range(fabric.num_pes) if k != hot),
+            key=lambda k: (acc[k], k),
+        )
+        trials = 0
+        for target in targets:
+            if trials >= _TRIALS_PER_OP:
+                break
+            occupant = plan.op_on(context, target)
+            if occupant is not None and occupant in frozen:
+                continue
+            delta = op_stress - (
+                design.ops[occupant].stress_ns if occupant is not None else 0.0
+            )
+            # Both touched PEs must land strictly below the hot PE's
+            # current level, else the move is not levelling progress.
+            if delta <= 0.0 or acc[target] + delta >= acc[hot]:
+                continue
+            trials += 1
+            if occupant is None:
+                plan.rebind(op_id, target)
+            else:
+                plan.swap(op_id, occupant)
+            if analyze(design, plan, graphs).cpd_ns <= cpd_limit:
+                acc[hot] -= delta
+                acc[target] += delta
+                return True
+            if occupant is None:
+                plan.rebind(op_id, hot)
+            else:
+                plan.swap(op_id, occupant)
+    return False

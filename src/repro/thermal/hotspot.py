@@ -16,8 +16,29 @@ import numpy as np
 from repro.arch.fabric import Fabric
 from repro.errors import ThermalError
 from repro.obs import counter, span
+from repro.resilience.deadline import current_deadline
+from repro.resilience.faults import should_inject
 from repro.thermal.grid import ThermalGrid, ThermalGridConfig
 from repro.thermal.power import PowerModel
+
+
+def _require_finite(maps: np.ndarray, what: str) -> np.ndarray:
+    """Fail loudly (typed) when a thermal solve diverged.
+
+    An ill-conditioned grid (or an injected ``thermal_divergence`` fault)
+    yields NaN/inf temperatures; letting those flow onward corrupts the
+    NBTI model silently.  Divergence is a first-class, recoverable outcome:
+    Phase 2 catches :class:`ThermalError` and keeps the original floorplan.
+    """
+    if should_inject("thermal_divergence"):
+        maps = np.full_like(maps, np.nan)
+    bad = int(np.count_nonzero(~np.isfinite(maps)))
+    if bad:
+        counter("thermal.divergences").inc()
+        raise ThermalError(
+            f"thermal solve diverged: {bad} non-finite temperature(s) in {what}"
+        )
+    return maps
 
 
 @dataclass
@@ -76,14 +97,17 @@ class ThermalSimulator:
                 f"duty array shape {duty_per_context.shape} incompatible with "
                 f"fabric of {self.fabric.num_pes} PEs"
             )
+        deadline = current_deadline()
         with span("thermal", contexts=duty_per_context.shape[0]):
             maps = np.empty_like(duty_per_context)
             for context in range(duty_per_context.shape[0]):
+                deadline.check(f"thermal:context{context}")
                 power = self.power_model.power_map(
                     self.fabric, duty_per_context[context]
                 )
                 maps[context] = self._grid.solve(power)
             counter("thermal.grid_solves").inc(duty_per_context.shape[0])
+            maps = _require_finite(maps, "per-context thermal maps")
         return ThermalReport(
             per_context_k=maps,
             accumulated_k=maps.mean(axis=0),
@@ -91,7 +115,8 @@ class ThermalSimulator:
 
     def simulate_average(self, average_duty: np.ndarray) -> np.ndarray:
         """Single steady-state map from schedule-average duty cycles."""
+        current_deadline().check("thermal:average")
         with span("thermal", contexts=1):
             power = self.power_model.power_map(self.fabric, average_duty)
             counter("thermal.grid_solves").inc()
-            return self._grid.solve(power)
+            return _require_finite(self._grid.solve(power), "average thermal map")

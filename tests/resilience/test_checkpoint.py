@@ -1,0 +1,263 @@
+"""Sweep checkpoints: durability, resume, retry, keep-going semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.report.experiments as experiments
+from repro.errors import FlowError, SweepError
+from repro.report.experiments import (
+    ExperimentConfig,
+    RETRY_SEED_STRIDE,
+    run_table1,
+)
+from repro.report.paper import BenchmarkMeasurement
+from repro.resilience import CheckpointError, SweepCheckpoint
+
+
+class TestSweepCheckpoint:
+    def test_missing_file_reads_empty(self, tmp_path):
+        cp = SweepCheckpoint(tmp_path / "missing.jsonl")
+        assert not cp.exists()
+        assert list(cp.records()) == []
+        assert cp.latest() == {}
+        assert cp.completed() == {}
+
+    def test_append_and_read_back(self, tmp_path):
+        cp = SweepCheckpoint(tmp_path / "cp.jsonl")
+        cp.append({"entry": "B1", "status": "ok", "freeze_increase": 1.5})
+        cp.append({"entry": "B2", "status": "failed", "error": "boom"})
+        records = list(cp.records())
+        assert len(records) == 2
+        assert records[0]["freeze_increase"] == 1.5
+        assert cp.completed().keys() == {"B1"}
+
+    def test_latest_record_wins(self, tmp_path):
+        cp = SweepCheckpoint(tmp_path / "cp.jsonl")
+        cp.append({"entry": "B1", "status": "failed", "error": "transient"})
+        cp.append({"entry": "B1", "status": "ok", "freeze_increase": 2.0})
+        assert cp.latest()["B1"]["status"] == "ok"
+        assert cp.completed().keys() == {"B1"}
+
+    def test_failed_entries_are_not_completed(self, tmp_path):
+        cp = SweepCheckpoint(tmp_path / "cp.jsonl")
+        cp.append({"entry": "B1", "status": "ok"})
+        cp.append({"entry": "B1", "status": "failed", "error": "regressed"})
+        assert cp.completed() == {}
+
+    def test_reset_truncates(self, tmp_path):
+        cp = SweepCheckpoint(tmp_path / "cp.jsonl")
+        cp.append({"entry": "B1", "status": "ok"})
+        cp.reset()
+        assert cp.exists()
+        assert list(cp.records()) == []
+
+    def test_record_requires_entry_and_status(self, tmp_path):
+        cp = SweepCheckpoint(tmp_path / "cp.jsonl")
+        with pytest.raises(CheckpointError):
+            cp.append({"entry": "B1"})
+        with pytest.raises(CheckpointError):
+            cp.append({"status": "ok"})
+
+    def test_corrupt_line_raises(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        path.write_text('{"entry": "B1", "status": "ok"}\n{oops\n')
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            list(SweepCheckpoint(path).records())
+
+    def test_non_record_json_raises(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(CheckpointError, match="not a sweep record"):
+            list(SweepCheckpoint(path).records())
+
+    def test_floats_round_trip_exactly(self, tmp_path):
+        cp = SweepCheckpoint(tmp_path / "cp.jsonl")
+        value = 1.2345678901234567
+        cp.append({"entry": "B1", "status": "ok", "freeze_increase": value})
+        assert cp.latest()["B1"]["freeze_increase"] == value
+
+
+def _stub_measurement(entry, seed: int) -> BenchmarkMeasurement:
+    """Deterministic fake measurement: value encodes (entry, seed)."""
+    base = float(sum(ord(c) for c in entry.name))
+    return BenchmarkMeasurement(
+        entry=entry,
+        freeze_increase=base + seed * 1e-6,
+        rotate_increase=base / 2.0 + seed * 1e-6,
+    )
+
+
+def _table(measurements: list[BenchmarkMeasurement]) -> list[tuple]:
+    return [
+        (m.entry.name, m.freeze_increase, m.rotate_increase)
+        for m in measurements
+    ]
+
+
+@pytest.fixture
+def sweep_config(tmp_path):
+    def make(**overrides) -> ExperimentConfig:
+        defaults = dict(
+            scale="quick",
+            only=["B1", "B2", "B4"],
+            checkpoint=str(tmp_path / "sweep.jsonl"),
+        )
+        defaults.update(overrides)
+        return ExperimentConfig(**defaults)
+
+    return make
+
+
+class TestRunTable1Checkpointing:
+    def test_clean_sweep_checkpoints_every_entry(
+        self, sweep_config, monkeypatch
+    ):
+        monkeypatch.setattr(
+            experiments,
+            "measure_benchmark",
+            lambda entry, config, seed=None: _stub_measurement(
+                entry, config.seed if seed is None else seed
+            ),
+        )
+        config = sweep_config()
+        measurements = run_table1(config, log=lambda *_: None)
+        assert [m.entry.name for m in measurements] == ["B1", "B2", "B4"]
+        completed = SweepCheckpoint(config.checkpoint).completed()
+        assert completed.keys() == {"B1", "B2", "B4"}
+        assert all(r["seed"] == 0 for r in completed.values())
+
+    def test_resume_skips_completed_and_reproduces_table(
+        self, sweep_config, monkeypatch
+    ):
+        calls: list[str] = []
+
+        def tracking_stub(entry, config, seed=None):
+            calls.append(entry.name)
+            return _stub_measurement(
+                entry, config.seed if seed is None else seed
+            )
+
+        monkeypatch.setattr(experiments, "measure_benchmark", tracking_stub)
+        full = run_table1(sweep_config(), log=lambda *_: None)
+        assert calls == ["B1", "B2", "B4"]
+
+        # Simulate a crash after B1: keep only its checkpoint record.
+        crashed = sweep_config()
+        cp = SweepCheckpoint(crashed.checkpoint)
+        b1_record = cp.latest()["B1"]
+        cp.reset()
+        cp.append(b1_record)
+
+        calls.clear()
+        resumed = run_table1(
+            sweep_config(resume=True), log=lambda *_: None
+        )
+        assert calls == ["B2", "B4"]  # B1 restored, not re-measured
+        assert _table(resumed) == _table(full)
+
+    def test_resume_without_checkpoint_runs_everything(
+        self, sweep_config, monkeypatch
+    ):
+        calls: list[str] = []
+
+        def tracking_stub(entry, config, seed=None):
+            calls.append(entry.name)
+            return _stub_measurement(entry, seed or 0)
+
+        monkeypatch.setattr(experiments, "measure_benchmark", tracking_stub)
+        run_table1(sweep_config(resume=True), log=lambda *_: None)
+        assert calls == ["B1", "B2", "B4"]
+
+    def test_fresh_run_resets_stale_checkpoint(
+        self, sweep_config, monkeypatch
+    ):
+        config = sweep_config()
+        cp = SweepCheckpoint(config.checkpoint)
+        cp.append({"entry": "B1", "status": "ok", "seed": 99,
+                   "freeze_increase": 0.0, "rotate_increase": 0.0})
+        monkeypatch.setattr(
+            experiments,
+            "measure_benchmark",
+            lambda entry, config, seed=None: _stub_measurement(entry, 0),
+        )
+        run_table1(config, log=lambda *_: None)  # resume=False
+        assert cp.latest()["B1"]["seed"] == 0  # stale record gone
+
+
+class TestRetrySemantics:
+    def test_transient_failure_retries_with_perturbed_seed(
+        self, sweep_config, monkeypatch
+    ):
+        seeds: dict[str, list[int]] = {}
+
+        def flaky_stub(entry, config, seed=None):
+            seed = config.seed if seed is None else seed
+            seeds.setdefault(entry.name, []).append(seed)
+            if entry.name == "B2" and len(seeds["B2"]) == 1:
+                raise FlowError("transient solver hiccup")
+            return _stub_measurement(entry, seed)
+
+        monkeypatch.setattr(experiments, "measure_benchmark", flaky_stub)
+        config = sweep_config(retries=1)
+        measurements = run_table1(config, log=lambda *_: None)
+        assert [m.entry.name for m in measurements] == ["B1", "B2", "B4"]
+        assert seeds["B2"] == [0, RETRY_SEED_STRIDE]
+        record = SweepCheckpoint(config.checkpoint).completed()["B2"]
+        assert record["seed"] == RETRY_SEED_STRIDE
+
+    def test_permanent_failure_aborts_by_default(
+        self, sweep_config, monkeypatch
+    ):
+        def broken_stub(entry, config, seed=None):
+            if entry.name == "B2":
+                raise FlowError("always broken")
+            return _stub_measurement(entry, seed or 0)
+
+        monkeypatch.setattr(experiments, "measure_benchmark", broken_stub)
+        config = sweep_config(retries=1)
+        with pytest.raises(SweepError, match="B2.*2 attempt"):
+            run_table1(config, log=lambda *_: None)
+        latest = SweepCheckpoint(config.checkpoint).latest()
+        assert latest["B1"]["status"] == "ok"  # finished before the abort
+        assert latest["B2"]["status"] == "failed"
+        assert "always broken" in latest["B2"]["error"]
+
+    def test_keep_going_records_failure_and_continues(
+        self, sweep_config, monkeypatch
+    ):
+        def broken_stub(entry, config, seed=None):
+            if entry.name == "B2":
+                raise FlowError("always broken")
+            return _stub_measurement(entry, seed or 0)
+
+        monkeypatch.setattr(experiments, "measure_benchmark", broken_stub)
+        lines: list[str] = []
+        config = sweep_config(retries=0, keep_going=True)
+        measurements = run_table1(config, log=lines.append)
+        assert [m.entry.name for m in measurements] == ["B1", "B4"]
+        assert any("failed permanently: B2" in line for line in lines)
+        # A later --resume run retries the failed entry only.
+        monkeypatch.setattr(
+            experiments,
+            "measure_benchmark",
+            lambda entry, config, seed=None: _stub_measurement(entry, 0),
+        )
+        resumed = run_table1(
+            sweep_config(resume=True, keep_going=True), log=lambda *_: None
+        )
+        assert [m.entry.name for m in resumed] == ["B1", "B2", "B4"]
+
+    def test_all_entries_failing_tabulates_nothing(
+        self, sweep_config, monkeypatch
+    ):
+        def broken_stub(entry, config, seed=None):
+            raise FlowError("cluster outage")
+
+        monkeypatch.setattr(experiments, "measure_benchmark", broken_stub)
+        lines: list[str] = []
+        measurements = run_table1(
+            sweep_config(retries=0, keep_going=True), log=lines.append
+        )
+        assert measurements == []
+        assert any("nothing to tabulate" in line for line in lines)

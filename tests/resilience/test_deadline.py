@@ -1,0 +1,111 @@
+"""Deadline budgets: scoping, checks, shielding, solver-limit capping."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import DeadlineExceededError
+from repro.resilience import (
+    Deadline,
+    current_deadline,
+    deadline_scope,
+    shielded,
+)
+from repro.resilience.deadline import MIN_SOLVER_LIMIT_S
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        deadline = Deadline.unlimited()
+        assert not deadline.bounded
+        assert not deadline.expired
+        assert deadline.remaining_s() == math.inf
+        deadline.check("anywhere")  # must not raise
+
+    def test_bounded_expires(self):
+        deadline = Deadline.after(0.0)
+        assert deadline.bounded
+        assert deadline.expired
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            deadline.check("stage_x")
+        assert excinfo.value.stage == "stage_x"
+        assert excinfo.value.budget_s == 0.0
+        assert excinfo.value.elapsed_s >= 0.0
+
+    def test_generous_budget_passes(self):
+        deadline = Deadline.after(3600.0)
+        assert not deadline.expired
+        deadline.check("ok")
+        assert 0.0 < deadline.remaining_s() <= 3600.0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline.after(-1.0)
+
+    def test_error_message_names_stage_and_budget(self):
+        with pytest.raises(DeadlineExceededError, match="milp") as excinfo:
+            Deadline.after(0.0).check("milp")
+        assert "0.000s" in str(excinfo.value)
+
+
+class TestCap:
+    def test_unlimited_is_identity(self):
+        deadline = Deadline.unlimited()
+        assert deadline.cap(12.5) == 12.5
+        assert deadline.cap(None) is None
+
+    def test_caps_to_remaining(self):
+        deadline = Deadline.after(3600.0)
+        assert deadline.cap(7200.0) < 3600.0 + 1e-6
+        assert deadline.cap(1.0) == 1.0
+
+    def test_none_limit_becomes_remaining(self):
+        capped = Deadline.after(10.0).cap(None)
+        assert capped is not None
+        assert 0.0 < capped <= 10.0
+
+    def test_expired_floors_at_minimum(self):
+        assert Deadline.after(0.0).cap(60.0) == MIN_SOLVER_LIMIT_S
+
+
+class TestScope:
+    def test_default_is_unlimited(self):
+        assert not current_deadline().bounded
+
+    def test_scope_installs_and_restores(self):
+        deadline = Deadline.after(5.0)
+        with deadline_scope(deadline) as scoped:
+            assert scoped is deadline
+            assert current_deadline() is deadline
+        assert not current_deadline().bounded
+
+    def test_none_passes_through_enclosing(self):
+        outer = Deadline.after(5.0)
+        with deadline_scope(outer):
+            with deadline_scope(None) as inner:
+                assert inner is outer
+                assert current_deadline() is outer
+
+    def test_nested_scopes_stack(self):
+        outer, inner = Deadline.after(9.0), Deadline.after(1.0)
+        with deadline_scope(outer):
+            with deadline_scope(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+
+
+class TestShielded:
+    def test_shielded_check_does_not_raise(self):
+        deadline = Deadline.after(0.0)
+        with deadline_scope(deadline):
+            with shielded():
+                current_deadline().check("phase1")  # must not raise
+            with pytest.raises(DeadlineExceededError):
+                current_deadline().check("phase2")
+
+    def test_expired_property_still_true_inside_shield(self):
+        deadline = Deadline.after(0.0)
+        with shielded():
+            assert deadline.expired

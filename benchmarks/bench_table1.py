@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import SMOKE_BENCHMARKS, bench_flow
+from benchmarks.conftest import SMOKE_BENCHMARKS, bench_flow, solver_extra_info
 
 
 @pytest.mark.parametrize("name", SMOKE_BENCHMARKS)
@@ -48,5 +48,6 @@ def test_table1_entry(benchmark, built_benchmarks, name, mode):
             "iterations": result.remap.iterations,
             "original_cpd_ns": round(result.remap.original_cpd_ns, 3),
             "final_cpd_ns": round(result.remap.final_cpd_ns, 3),
+            **solver_extra_info(result),
         }
     )

@@ -24,13 +24,11 @@ from repro.benchgen import Table1Entry, entry
 from repro.benchgen.synth import build_benchmark
 from repro.core import AgingAwareFlow, Algorithm1Config, FlowConfig, RemapConfig
 
+# The smoke suite definition lives with the perf harness (`repro bench
+# run` executes the same subset), re-exported here for the pytest benches.
+from repro.obs.perf import SMOKE_BENCHMARKS, SMOKE_MAX_FABRIC  # noqa: F401
+
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
-
-#: Fabric cap of the smoke profile.
-SMOKE_MAX_FABRIC = 8
-
-#: Representative subset across usage classes / context counts (smoke).
-SMOKE_BENCHMARKS = ("B1", "B4", "B10", "B13", "B19", "B22")
 
 
 def scaled_entry(name: str) -> Table1Entry:
@@ -53,6 +51,23 @@ def bench_flow(mode: str = "rotate", time_limit_s: float = 15.0) -> AgingAwareFl
             )
         )
     )
+
+
+def solver_extra_info(result) -> dict:
+    """Algorithm 1 convergence numbers for ``benchmark.extra_info``.
+
+    ``result`` is a :class:`~repro.core.flow.FlowResult`; the returned
+    keys sit next to the scientific outputs so the pytest-benchmark JSON
+    records solver effort alongside quality.
+    """
+    alg1 = result.remap.alg1
+    return {
+        "solves": alg1.solves,
+        "solver_nodes": alg1.total_nodes,
+        "max_mip_gap": alg1.max_mip_gap,
+        "st_relaxations": alg1.relaxations,
+        "bisection_steps": alg1.bisection_steps,
+    }
 
 
 @pytest.fixture(scope="session")

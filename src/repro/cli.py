@@ -9,7 +9,9 @@ inspected and re-analysed from the shell::
                                  [--mode rotate] [--time-limit 30]
     python -m repro.cli analyze  design.json floorplan.json
     python -m repro.cli flow     kernel.c --fabric 4x4 [-o result.json]
-    python -m repro.cli bench    B13 [--scaled 8] [--mode rotate]
+    python -m repro.cli bench    one B13 [--scaled 8] [--mode rotate]
+    python -m repro.cli bench    run [-o BENCH.json] [--benchmarks B1,B4]
+    python -m repro.cli bench    compare baseline.json candidate.json
     python -m repro.cli trace    summarize trace.jsonl
 
 ``compile`` accepts a mini-C file or a named library kernel (fir8,
@@ -27,6 +29,18 @@ Observability (``flow``, ``remap`` and ``bench``; docs/observability.md):
     after the command finishes.
 ``--log-level LEVEL``
     Level of the ``repro.*`` stderr logger (default ``warning``).
+``--solver-progress``
+    Render a live stderr line (incumbent/bound/gap/nodes) during long
+    MILP solves (HiGHS prints its own branch-and-cut log).
+``--profile FILE.pstats``
+    cProfile the whole command, write pstats to FILE and print the
+    top cumulative-time hotspots.
+
+``bench run`` executes the smoke benchmark suite and writes a
+schema-versioned ``BENCH_<timestamp>.json`` performance record;
+``bench compare`` diffs two records and exits 3 when a configured
+regression threshold is exceeded (``--warn-only`` downgrades to exit 0).
+The bare form ``bench B13`` remains an alias for ``bench one B13``.
 """
 
 from __future__ import annotations
@@ -51,6 +65,7 @@ from repro.io.serialize import (
     flow_summary_to_dict,
     load_design,
     load_floorplan,
+    load_json,
     save_design,
     save_floorplan,
     save_json,
@@ -59,8 +74,10 @@ from repro.obs import (
     JsonlSink,
     add_sink,
     configure_logging,
+    convergence_rows,
     registry,
     remove_sink,
+    set_progress,
     span,
     summarize_trace,
 )
@@ -102,6 +119,7 @@ def _metrics_rows() -> list[list[object]]:
         if kind == "histogram":
             value = (
                 f"count={data['count']} mean={data['mean']:.4f} "
+                f"p50={data['p50']:.4f} p95={data['p95']:.4f} "
                 f"min={data['min']:.4f} max={data['max']:.4f}"
             )
         else:
@@ -235,6 +253,59 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_bench_run(args) -> int:
+    from repro.obs import perf
+
+    names = tuple(args.benchmarks.split(",")) if args.benchmarks else None
+    record = perf.run_suite(
+        names,
+        mode=args.mode,
+        time_limit_s=args.time_limit,
+        max_fabric=args.scaled,
+        seed=args.seed,
+    )
+    output = args.output or f"BENCH_{record['timestamp']}.json"
+    save_json(record, output)
+    print(format_table(
+        ["bench", "fabric", "wall_s", "peak_mb", "solves", "nodes",
+         "mttf_x", "degradation"],
+        perf.bench_table_rows(record),
+    ))
+    print(f"\nbench record -> {output}")
+    return 0
+
+
+def cmd_bench_compare(args) -> int:
+    from repro.obs import perf
+
+    baseline = load_json(args.baseline)
+    candidate = load_json(args.candidate)
+    thresholds = perf.CompareThresholds(
+        wall_rel=args.threshold_wall,
+        mem_rel=args.threshold_mem,
+        nodes_rel=args.threshold_nodes,
+    )
+    result = perf.compare_records(baseline, candidate, thresholds)
+    if result.rows:
+        print(format_table(
+            ["bench", "base_s", "cand_s", "wall", "base_mb", "cand_mb",
+             "base_nodes", "cand_nodes"],
+            result.rows,
+        ))
+    for warning in result.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if result.regressions:
+        print("\nREGRESSIONS")
+        for regression in result.regressions:
+            print(f"  {regression.describe()}")
+        if args.warn_only:
+            print("(--warn-only: not failing the run)", file=sys.stderr)
+            return 0
+        return 3
+    print("\nno regressions")
+    return 0
+
+
 def cmd_trace_summarize(args) -> int:
     summary = summarize_trace(args.file)
     print(format_table(
@@ -245,6 +316,40 @@ def cmd_trace_summarize(args) -> int:
         f"({summary.records} records, {len(summary.events)} events, "
         f"{len(summary.degradations)} degradation event(s))"
     )
+    if summary.solves:
+        print("\nconvergence (per solve)")
+        print("-----------------------")
+        print(format_table(
+            ["model", "backend", "kind", "status", "nodes", "incumbent",
+             "bound", "gap_%", "wall_s"],
+            convergence_rows(summary.solves),
+        ))
+    for run in summary.alg1_runs:
+        trajectory = " -> ".join(
+            f"{st:.3f}[{verdict}]" for st, verdict in zip(
+                run.get("st_trajectory", []), run.get("verdicts", [])
+            )
+        )
+        print()
+        print(format_mapping(
+            f"algorithm1: {run.get('benchmark', '?')}", {
+                "degradation": run.get("degradation"),
+                "ST range (ns)": (
+                    f"[{run.get('st_low_ns', 0.0):.3f}, "
+                    f"{run.get('st_up_ns', 0.0):.3f}]"
+                ),
+                "bisection steps": run.get("bisection_steps"),
+                "ILP bumps": run.get("ilp_bumps"),
+                "delta (ns)": run.get("delta_ns"),
+                "iterations": run.get("iterations"),
+                "relaxations": run.get("relaxations"),
+                "ST trajectory": trajectory or "-",
+                "final ST_target (ns)": run.get("final_st_target_ns"),
+                "solves": run.get("solves"),
+                "total nodes": run.get("total_nodes"),
+                "max MIP gap": run.get("max_mip_gap"),
+            }
+        ))
     if summary.degradations:
         rows = []
         for record in summary.degradations:
@@ -306,6 +411,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget for the whole command; on expiry the flow "
         "degrades gracefully instead of running on (default: unlimited)",
     )
+    obs_flags.add_argument(
+        "--solver-progress", action="store_true",
+        help="live stderr progress line (incumbent/bound/gap/nodes) during "
+        "long MILP solves",
+    )
+    obs_flags.add_argument(
+        "--profile", metavar="FILE.pstats", default=None,
+        help="cProfile the command, write pstats to FILE and print the "
+        "top cumulative-time hotspots",
+    )
 
     p = sub.add_parser("compile", help="mini-C -> mapped design JSON")
     p.add_argument("source")
@@ -346,13 +461,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_flow)
 
     p = sub.add_parser(
-        "bench", help="run one Table I benchmark", parents=[obs_flags]
+        "bench", help="Table I benchmarks: one / run / compare"
     )
-    p.add_argument("name")
-    p.add_argument("--scaled", type=int, default=None)
-    p.add_argument("--mode", choices=["freeze", "rotate"], default="rotate")
-    p.add_argument("--time-limit", type=float, default=30.0)
-    p.set_defaults(func=cmd_bench)
+    bsub = p.add_subparsers(dest="bench_command", required=True)
+
+    b = bsub.add_parser(
+        "one", help="run one Table I benchmark", parents=[obs_flags]
+    )
+    b.add_argument("name")
+    b.add_argument("--scaled", type=int, default=None)
+    b.add_argument("--mode", choices=["freeze", "rotate"], default="rotate")
+    b.add_argument("--time-limit", type=float, default=30.0)
+    b.set_defaults(func=cmd_bench)
+
+    b = bsub.add_parser(
+        "run", help="run the perf suite -> BENCH_<timestamp>.json",
+        parents=[obs_flags],
+    )
+    b.add_argument(
+        "-o", "--output", default=None,
+        help="bench record path (default: BENCH_<timestamp>.json)",
+    )
+    b.add_argument(
+        "--benchmarks", default=None, metavar="B1,B4,...",
+        help="comma-separated subset (default: the smoke suite)",
+    )
+    b.add_argument("--scaled", type=int, default=8, metavar="DIM",
+                   help="fabric cap (default: 8 = smoke scale)")
+    b.add_argument("--mode", choices=["freeze", "rotate"], default="rotate")
+    b.add_argument("--time-limit", type=float, default=15.0)
+    b.add_argument("--seed", type=int, default=0)
+    b.set_defaults(func=cmd_bench_run)
+
+    b = bsub.add_parser(
+        "compare", help="diff two bench records; exit 3 on regression"
+    )
+    b.add_argument("baseline")
+    b.add_argument("candidate")
+    b.add_argument(
+        "--threshold-wall", type=float, default=0.25, metavar="REL",
+        help="allowed relative wall-time increase (default: 0.25)",
+    )
+    b.add_argument(
+        "--threshold-mem", type=float, default=0.30, metavar="REL",
+        help="allowed relative peak-memory increase (default: 0.30)",
+    )
+    b.add_argument(
+        "--threshold-nodes", type=float, default=0.50, metavar="REL",
+        help="allowed relative solver-node increase (default: 0.50)",
+    )
+    b.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (CI soft mode)",
+    )
+    b.set_defaults(func=cmd_bench_compare)
 
     p = sub.add_parser("trace", help="inspect JSONL observability traces")
     tsub = p.add_subparsers(dest="trace_command", required=True)
@@ -364,9 +526,41 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _normalize_argv(argv: list[str] | None) -> list[str]:
+    """Back-compat shim: ``bench B13 ...`` means ``bench one B13 ...``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "bench" and len(argv) > 1:
+        nxt = argv[1]
+        if nxt not in ("run", "compare", "one") and not nxt.startswith("-"):
+            argv.insert(1, "one")
+    return argv
+
+
+def _run_profiled(args, path: str) -> int:
+    """Run the subcommand under cProfile; dump pstats + print hotspots."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    try:
+        code = profiler.runcall(args.func, args)
+    finally:
+        profiler.create_stats()
+        profiler.dump_stats(path)
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(15)
+        print(f"\nprofile -> {path}", file=sys.stderr)
+        print(buffer.getvalue(), file=sys.stderr, end="")
+    return code
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    args = build_parser().parse_args(_normalize_argv(argv))
     configure_logging(getattr(args, "log_level", "warning"))
+    if getattr(args, "solver_progress", False):
+        set_progress(True)
     sink = None
     trace_path = getattr(args, "trace", None)
     if trace_path:
@@ -377,7 +571,11 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         add_sink(sink)
     try:
-        code = args.func(args)
+        profile_path = getattr(args, "profile", None)
+        if profile_path:
+            code = _run_profiled(args, profile_path)
+        else:
+            code = args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         code = 1
@@ -387,6 +585,8 @@ def main(argv: list[str] | None = None) -> int:
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         code = 141
     finally:
+        if getattr(args, "solver_progress", False):
+            set_progress(None)
         if sink is not None:
             remove_sink(sink)
             sink.write_metrics(registry().snapshot())

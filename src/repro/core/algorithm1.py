@@ -53,6 +53,7 @@ from repro.hls.allocate import MappedDesign
 from repro.milp.scipy_backend import ScipyBackend
 from repro.milp.status import SolveStatus
 from repro.obs import counter, event, get_logger, span
+from repro.obs.solverstats import Algorithm1Stats
 from repro.resilience.deadline import Deadline, current_deadline, deadline_scope
 from repro.resilience.degrade import greedy_stress_level_remap
 from repro.timing.graph import build_timing_graphs
@@ -111,6 +112,11 @@ class RemapResult:
     #: :data:`repro.resilience.DEGRADATION_LEVELS` ("none", "incumbent",
     #: "greedy", "original").
     degradation: str = "none"
+    #: Outer-loop convergence record: Step-1 binary-search effort, the
+    #: ST_target/Delta relaxation trajectory, per-iteration CPD verdicts
+    #: and per-solve aggregates (also mirrored into ``stats["algorithm1"]``
+    #: and the ``algorithm1.stats`` trace event).
+    alg1: Algorithm1Stats = field(default_factory=Algorithm1Stats)
 
 
 def run_algorithm1(
@@ -227,6 +233,11 @@ def _run_algorithm1(
     final_cpd = cpd_orig
     degradation = "none"
     failure: Exception | None = None
+    alg1 = Algorithm1Stats(
+        st_low_ns=original_stress.mean_accumulated_ns,
+        st_up_ns=original_stress.max_accumulated_ns,
+        delta_ns=delta,
+    )
     try:
         step1 = stress_target_lower_bound(
             design,
@@ -237,6 +248,9 @@ def _run_algorithm1(
             delta_ns=config.delta_ns,
             backend=backend,
         )
+        alg1.bisection_steps = step1.bisection_steps
+        alg1.ilp_bumps = step1.ilp_bumps
+        _absorb_solve_stats(alg1, step1.stats)
         candidates = default_candidates(
             design, original, frozen, fabric, config.remap.resolved_window(fabric)
         )
@@ -254,6 +268,8 @@ def _run_algorithm1(
                 )
                 iteration_log.append(entry)
                 iter_span.set(result=entry["result"])
+            alg1.record_iteration(st_target, entry["result"])
+            _absorb_solve_stats(alg1, entry)
             _log.debug(
                 "%s: iteration %d at ST_target=%.3f ns -> %s",
                 design.name, iterations, st_target, entry["result"],
@@ -326,9 +342,17 @@ def _run_algorithm1(
             st_up_ns=original_stress.max_accumulated_ns,
             stats={"skipped": "degraded before Step 1 completed"},
         )
+    alg1.final_st_target_ns = st_target
+    event(
+        "algorithm1.stats",
+        benchmark=design.name,
+        degradation=degradation,
+        **alg1.to_dict(),
+    )
     stats = {
         "iterations": iteration_log,
         "path_filter_truncated": filtered.truncated,
+        "algorithm1": alg1.to_dict(),
     }
     if failure is not None:
         stats["degradation_reason"] = f"{type(failure).__name__}: {failure}"
@@ -345,7 +369,21 @@ def _run_algorithm1(
         critical_op_count=len(frozen.positions),
         stats=stats,
         degradation=degradation,
+        alg1=alg1,
     )
+
+
+def _absorb_solve_stats(alg1: Algorithm1Stats, entry: dict) -> None:
+    """Fold every per-solve :class:`SolveStats` dict found in an iteration
+    (or Step-1) stats entry into the outer-loop aggregates.
+
+    Handles all three strategies: two-step (``lp_stats``/``ilp_stats``),
+    monolithic (``solve_stats``) and sequential (per-context sub-entries).
+    """
+    for key in ("lp_stats", "ilp_stats", "solve_stats"):
+        alg1.absorb_solve(entry.get(key))
+    for ctx in entry.get("contexts", ()):
+        _absorb_solve_stats(alg1, ctx)
 
 
 def _used_incumbent(entry: dict) -> bool:

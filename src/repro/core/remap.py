@@ -399,6 +399,12 @@ def _extract(variables: RemapVariables, solution) -> dict[int, int]:
     return extract_assignment(groups, solution)
 
 
+def _solve_stats_dict(solution) -> dict | None:
+    """The :class:`~repro.obs.solverstats.SolveStats` record of a solve,
+    as a JSON-ready dict (``None`` when the backend attached none)."""
+    return solution.stats.to_dict() if solution.stats is not None else None
+
+
 def _solve_monolithic(
     model: Model, variables: RemapVariables, backend: ScipyBackend
 ) -> RemapOutcome:
@@ -407,17 +413,17 @@ def _solve_monolithic(
         elapsed = solve_span.duration_s
         solve_span.set(status=solution.status.value)
         require_not_error(solution)
+    stats = {
+        "strategy": "monolithic", "solve_s": elapsed,
+        "status": solution.status.value,
+        "solve_stats": _solve_stats_dict(solution),
+    }
     if not solution.status.has_solution:
-        return RemapOutcome(
-            feasible=False,
-            stats={"strategy": "monolithic", "solve_s": elapsed,
-                   "status": solution.status.value},
-        )
+        return RemapOutcome(feasible=False, stats=stats)
     return RemapOutcome(
         feasible=True,
         assignment=_extract(variables, solution),
-        stats={"strategy": "monolithic", "solve_s": elapsed,
-               "status": solution.status.value},
+        stats=stats,
     )
 
 
@@ -447,6 +453,7 @@ def _solve_two_step(
             relaxed.restore_types()
         stats["lp_s"] = lp_solution.solve_seconds
         stats["lp_status"] = lp_solution.status.value
+        stats["lp_stats"] = _solve_stats_dict(lp_solution)
         require_not_error(lp_solution)
         if not lp_solution.status.has_solution:
             stats["status"] = "lp_" + lp_solution.status.value
@@ -489,11 +496,24 @@ def _solve_two_step(
         stats["groups_fixed"] = report.groups_fixed
         stats["groups_total"] = report.groups_total
         stats["fixed_fraction"] = report.fraction_fixed
+        stats["vars_fixed"] = report.variables_fixed
+        stats["vars_free"] = report.variables_free
 
         with span("ilp_fix", groups_fixed=report.groups_fixed):
             ilp_solution = model.solve(backend)
+        if ilp_solution.stats is not None:
+            # The residual-ILP record carries the LP->ILP pre-mapping
+            # outcome, so one SolveStats tells the whole two-step story.
+            ilp_solution.stats.record_fixing(
+                groups_total=report.groups_total,
+                groups_fixed=report.groups_fixed,
+                vars_fixed=report.variables_fixed,
+                vars_free=report.variables_free,
+                threshold=report.details.get("threshold", config.fix_threshold),
+            )
         stats["ilp_s"] = ilp_solution.solve_seconds
         stats["ilp_status"] = ilp_solution.status.value
+        stats["ilp_stats"] = _solve_stats_dict(ilp_solution)
         require_not_error(ilp_solution)
         if not ilp_solution.status.has_solution:
             stats["status"] = "ilp_" + ilp_solution.status.value

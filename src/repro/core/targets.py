@@ -51,6 +51,9 @@ class StressTargetResult:
     st_up_ns: float
     bisection_steps: int = 0
     ilp_bumps: int = 0
+    #: Every LP feasibility probe of the bisection, in order:
+    #: ``[{"st_target_ns": ..., "feasible": ...}, ...]``.
+    probes: list[dict] = field(default_factory=list)
     stats: dict = field(default_factory=dict)
 
 
@@ -115,6 +118,7 @@ def _stress_target_lower_bound(
     candidates = default_candidates(
         design, original, frozen, fabric, config.resolved_window(fabric)
     )
+    probes: list[dict] = []
 
     def lp_feasible(target: float) -> bool:
         with span("lp_probe", st_target_ns=target) as probe_span:
@@ -136,6 +140,9 @@ def _stress_target_lower_bound(
             # raise so the ladder engages instead of biasing the bisection.
             require_not_error(solution)
             probe_span.set(feasible=solution.status.has_solution)
+        probes.append(
+            {"st_target_ns": target, "feasible": solution.status.has_solution}
+        )
         return solution.status.has_solution
 
     low, high = st_low, st_up
@@ -193,6 +200,7 @@ def _stress_target_lower_bound(
         st_up_ns=st_up,
         bisection_steps=steps,
         ilp_bumps=bumps,
+        probes=probes,
         stats=stats,
     )
 

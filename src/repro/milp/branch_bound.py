@@ -33,6 +33,12 @@ from repro.milp.constraint import Sense
 from repro.milp.model import MatrixForm, Model
 from repro.milp.status import Solution, SolveStatus
 from repro.obs import counter, get_logger, span
+from repro.obs.solverstats import (
+    SolveProgress,
+    SolveStats,
+    progress_enabled,
+    relative_gap,
+)
 from repro.resilience.deadline import current_deadline
 from repro.resilience.faults import inject_solver_fault
 
@@ -65,7 +71,9 @@ class BranchBoundBackend:
     def __init__(self, max_nodes: int = 200_000, time_limit: float | None = None):
         self.max_nodes = max_nodes
         self.time_limit = time_limit
-        #: Number of nodes explored by the most recent solve.
+        #: Number of nodes explored by the most recent solve.  Deprecated:
+        #: read ``Solution.stats.nodes`` instead — the per-solve record
+        #: cannot be clobbered by a later solve on the same backend.
         self.last_node_count = 0
 
     # -- LP relaxation -------------------------------------------------------
@@ -114,39 +122,51 @@ class BranchBoundBackend:
     # -- main loop --------------------------------------------------------------
     def solve(self, model: Model, **options) -> Solution:
         """Solve ``model`` to proven optimality (subject to node/time limits)."""
+        stats = SolveStats(backend="branch_bound", kind="milp")
         with span(
             "solver", backend="branch_bound", kind="milp", model=model.name
         ) as solver_span:
-            solution = self._solve(model, solver_span, **options)
+            solution = self._solve(model, solver_span, stats, **options)
+            if solution.stats is None:
+                stats.elapsed_s = solver_span.duration_s
+                solution.stats = stats
             solver_span.set(
-                nodes=self.last_node_count, status=solution.status.value
+                status=solution.status.value, **solution.stats.span_attrs()
             )
         counter("milp.bb.solves").inc()
-        counter("milp.bb.nodes_explored").inc(self.last_node_count)
+        counter("milp.bb.nodes_explored").inc(solution.stats.nodes)
+        self.last_node_count = solution.stats.nodes
         _log.debug(
             "branch-and-bound %s: %d nodes, status %s in %.3fs",
-            model.name, self.last_node_count, solution.status.value,
+            model.name, solution.stats.nodes, solution.status.value,
             solution.solve_seconds,
         )
         return solution
 
-    def _solve(self, model: Model, solver_span, **options) -> Solution:
+    def _solve(
+        self, model: Model, solver_span, stats: SolveStats, **options
+    ) -> Solution:
         deadline = current_deadline()
         deadline.check(f"branch_bound:{model.name}")
         injected = inject_solver_fault(model.name)
         if injected is not None:
+            stats.limit_reason = "fault_injected"
             return injected
         form = model.to_matrix_form()
         n = len(form.variables)
         time_limit = deadline.cap(options.get("time_limit", self.time_limit))
         max_nodes = options.get("max_nodes", self.max_nodes)
-        self.last_node_count = 0
 
         if n == 0:
-            return Solution(status=SolveStatus.OPTIMAL, objective=0.0, values={})
+            return Solution(
+                status=SolveStatus.OPTIMAL, objective=0.0, values={},
+            )
 
         discrete = np.flatnonzero(form.integrality)
         tiebreak = itertools.count()
+        progress = (
+            SolveProgress(f"bb {model.name}") if progress_enabled() else None
+        )
 
         root = self._solve_relaxation(form, form.lower, form.upper)
         if root is None:
@@ -155,65 +175,97 @@ class BranchBoundBackend:
                 solve_seconds=solver_span.duration_s,
             )
         root_bound, _ = root
+        stats.lp_objective = root_bound
+        stats.sample(solver_span.duration_s, 0, None, root_bound)
 
         heap: list[_Node] = [
             _Node(root_bound, next(tiebreak), form.lower.copy(), form.upper.copy())
         ]
         best_obj = math.inf
         best_x: np.ndarray | None = None
+        #: Tightest dual bound proven so far: the minimum over open nodes.
+        global_bound = root_bound
         proven = True
 
-        while heap:
-            if self.last_node_count >= max_nodes or (
-                time_limit is not None
-                and solver_span.duration_s > time_limit
-            ) or deadline.expired:
-                proven = False
-                break
-            node = heapq.heappop(heap)
-            if node.bound >= best_obj - 1e-9 and best_x is not None:
-                continue  # cannot improve on the incumbent
-            self.last_node_count += 1
-            try:
-                relaxed = self._solve_relaxation(form, node.lower, node.upper)
-            except SolverError:
-                # A node LP blew up mid-search.  With an incumbent in hand
-                # the search degrades to "best found so far" (the ladder's
-                # incumbent rung); without one the error propagates.
-                if best_x is None:
-                    raise
-                counter("milp.bb.incumbent_recoveries").inc()
-                proven = False
-                break
-            if relaxed is None:
-                continue
-            bound, x = relaxed
-            if bound >= best_obj - 1e-9 and best_x is not None:
-                continue
+        try:
+            while heap:
+                if stats.nodes >= max_nodes:
+                    proven = False
+                    stats.limit_reason = "node_limit"
+                    break
+                if (
+                    time_limit is not None
+                    and solver_span.duration_s > time_limit
+                ):
+                    proven = False
+                    stats.limit_reason = "time_limit"
+                    break
+                if deadline.expired:
+                    proven = False
+                    stats.limit_reason = "deadline"
+                    break
+                node = heapq.heappop(heap)
+                global_bound = node.bound
+                if node.bound >= best_obj - 1e-9 and best_x is not None:
+                    continue  # cannot improve on the incumbent
+                stats.nodes += 1
+                if progress is not None:
+                    progress.update(
+                        solver_span.duration_s,
+                        stats.nodes,
+                        best_obj if best_x is not None else None,
+                        global_bound,
+                    )
+                try:
+                    relaxed = self._solve_relaxation(form, node.lower, node.upper)
+                except SolverError:
+                    # A node LP blew up mid-search.  With an incumbent in
+                    # hand the search degrades to "best found so far" (the
+                    # ladder's incumbent rung); without one the error
+                    # propagates.
+                    if best_x is None:
+                        raise
+                    counter("milp.bb.incumbent_recoveries").inc()
+                    proven = False
+                    stats.limit_reason = "solver_error"
+                    break
+                if relaxed is None:
+                    continue
+                bound, x = relaxed
+                if bound >= best_obj - 1e-9 and best_x is not None:
+                    continue
 
-            fractional = [
-                (abs(x[j] - round(x[j])), j)
-                for j in discrete
-                if abs(x[j] - round(x[j])) > _INTEGRALITY_TOL
-            ]
-            if not fractional:
-                if bound < best_obj - 1e-9:
-                    best_obj = bound
-                    best_x = x.copy()
-                continue
+                fractional = [
+                    (abs(x[j] - round(x[j])), j)
+                    for j in discrete
+                    if abs(x[j] - round(x[j])) > _INTEGRALITY_TOL
+                ]
+                if not fractional:
+                    if bound < best_obj - 1e-9:
+                        best_obj = bound
+                        best_x = x.copy()
+                        stats.sample(
+                            solver_span.duration_s, stats.nodes,
+                            best_obj, global_bound,
+                        )
+                    continue
 
-            # Branch on the most fractional variable.
-            _, j = max(fractional)
-            floor_val = math.floor(x[j])
-            down_lower, down_upper = node.lower.copy(), node.upper.copy()
-            down_upper[j] = floor_val
-            up_lower, up_upper = node.lower.copy(), node.upper.copy()
-            up_lower[j] = floor_val + 1
-            for lo, hi in ((down_lower, down_upper), (up_lower, up_upper)):
-                if lo[j] <= hi[j]:
-                    heapq.heappush(heap, _Node(bound, next(tiebreak), lo, hi))
+                # Branch on the most fractional variable.
+                _, j = max(fractional)
+                floor_val = math.floor(x[j])
+                down_lower, down_upper = node.lower.copy(), node.upper.copy()
+                down_upper[j] = floor_val
+                up_lower, up_upper = node.lower.copy(), node.upper.copy()
+                up_lower[j] = floor_val + 1
+                for lo, hi in ((down_lower, down_upper), (up_lower, up_upper)):
+                    if lo[j] <= hi[j]:
+                        heapq.heappush(heap, _Node(bound, next(tiebreak), lo, hi))
+        finally:
+            if progress is not None:
+                progress.close()
 
         elapsed = solver_span.duration_s
+        stats.elapsed_s = elapsed
         if best_x is None:
             status = SolveStatus.INFEASIBLE if proven else SolveStatus.ERROR
             message = "" if proven else "node/time limit reached without incumbent"
@@ -224,10 +276,21 @@ class BranchBoundBackend:
             best_x[j] = round(best_x[j])
         values = {var: float(best_x[i]) for i, var in enumerate(form.variables)}
         status = SolveStatus.OPTIMAL if proven else SolveStatus.FEASIBLE
+        objective = float(form.objective @ best_x)
+        stats.incumbent = objective
+        # Proven optimality closes the gap by definition; otherwise the
+        # tightest open-node bound certifies the remaining gap.
+        stats.best_bound = objective if proven else min(
+            global_bound, objective
+        )
+        stats.mip_gap = (
+            0.0 if proven else relative_gap(objective, stats.best_bound)
+        )
+        stats.sample(elapsed, stats.nodes, objective, stats.best_bound)
         return Solution(
             status=status,
-            objective=float(form.objective @ best_x),
+            objective=objective,
             values=values,
             solve_seconds=elapsed,
-            message=f"nodes={self.last_node_count}",
+            message=f"nodes={stats.nodes}",
         )

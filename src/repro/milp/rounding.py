@@ -38,6 +38,7 @@ class RoundingReport:
 
     groups_total: int = 0
     groups_fixed: int = 0
+    variables_total: int = 0
     variables_fixed_one: int = 0
     variables_fixed_zero: int = 0
     strategy: str = ""
@@ -49,6 +50,16 @@ class RoundingReport:
         if self.groups_total == 0:
             return 0.0
         return self.groups_fixed / self.groups_total
+
+    @property
+    def variables_fixed(self) -> int:
+        """Binary variables the pre-mapping removed from the residual ILP."""
+        return self.variables_fixed_one + self.variables_fixed_zero
+
+    @property
+    def variables_free(self) -> int:
+        """Binary variables that survived the pre-mapping into the ILP."""
+        return self.variables_total - self.variables_fixed
 
 
 def threshold_fix(
@@ -65,7 +76,12 @@ def threshold_fix(
     """
     if not 0.5 < threshold <= 1.0:
         raise ModelError(f"threshold must lie in (0.5, 1.0], got {threshold}")
-    report = RoundingReport(groups_total=len(groups), strategy="threshold")
+    report = RoundingReport(
+        groups_total=len(groups),
+        variables_total=sum(len(group) for group in groups),
+        strategy="threshold",
+        details={"threshold": threshold},
+    )
     with span("rounding", strategy="threshold") as round_span:
         for group in groups:
             winner = None
@@ -97,7 +113,12 @@ def randomized_round(
     still *more* aggressive than the paper's strategy — matching the
     comparison the authors describe).
     """
-    report = RoundingReport(groups_total=len(groups), strategy="randomized")
+    report = RoundingReport(
+        groups_total=len(groups),
+        variables_total=sum(len(group) for group in groups),
+        strategy="randomized",
+        details={"min_mass": min_mass},
+    )
     with span("rounding", strategy="randomized") as round_span:
         for group in groups:
             masses = [max(0.0, lp_solution.value(var, 0.0)) for var in group]

@@ -15,6 +15,7 @@ from repro.milp.constraint import Sense
 from repro.milp.model import Model
 from repro.milp.status import Solution, SolveStatus
 from repro.obs import counter, get_logger, histogram, span
+from repro.obs.solverstats import SolveStats, progress_enabled
 from repro.resilience.deadline import current_deadline
 from repro.resilience.faults import inject_solver_fault
 
@@ -56,11 +57,17 @@ class ScipyBackend:
         deadline.check(f"milp_solve:{model.name}")
         injected = inject_solver_fault(model.name)
         if injected is not None:
+            injected.stats = SolveStats(
+                backend="highs", limit_reason="fault_injected"
+            )
             return injected
         form = model.to_matrix_form()
         n = len(form.variables)
         if n == 0:
-            return Solution(status=SolveStatus.OPTIMAL, objective=0.0, values={})
+            return Solution(
+                status=SolveStatus.OPTIMAL, objective=0.0, values={},
+                stats=SolveStats(backend="highs"),
+            )
 
         lower = np.full(len(form.senses), -np.inf)
         upper = np.full(len(form.senses), np.inf)
@@ -79,6 +86,10 @@ class ScipyBackend:
         mip_rel_gap = options.get("mip_rel_gap", self.mip_rel_gap)
         if mip_rel_gap is not None:
             milp_options["mip_rel_gap"] = float(mip_rel_gap)
+        if progress_enabled():
+            # HiGHS's own branch-and-cut log is the live progress line for
+            # this backend (incumbent/bound/gap per node batch).
+            milp_options["disp"] = True
 
         constraints = []
         if form.a_matrix.shape[0]:
@@ -88,8 +99,9 @@ class ScipyBackend:
             # Pure LP (e.g. the two-step method's relaxation): HiGHS's
             # interior-point method is several times faster than the
             # branch-and-cut entry point on these transportation-like LPs.
-            return self._solve_lp(form, lower, upper, time_limit)
+            return self._solve_lp(form, lower, upper, time_limit, model.name)
 
+        stats = SolveStats(backend="highs", kind="milp")
         with span(
             "solver", backend="highs", kind="milp", model=model.name,
             variables=n,
@@ -105,7 +117,29 @@ class ScipyBackend:
             except Exception as exc:  # scipy raises ValueError on malformed input
                 raise SolverError(f"HiGHS backend failure: {exc}") from exc
             elapsed = solver_span.duration_s
-            solver_span.set(status=int(result.status))
+            stats.elapsed_s = elapsed
+            stats.nodes = int(getattr(result, "mip_node_count", 0) or 0)
+            bound = getattr(result, "mip_dual_bound", None)
+            if bound is not None and np.isfinite(bound):
+                stats.best_bound = float(bound)
+            gap = getattr(result, "mip_gap", None)
+            if gap is not None and np.isfinite(gap):
+                stats.mip_gap = float(gap)
+            status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
+            if status is SolveStatus.FEASIBLE:
+                # HiGHS status 1 = a limit stopped the search; which limit
+                # is only in prose, so classify from the configuration.
+                stats.limit_reason = (
+                    "time_limit" if time_limit is not None else "limit"
+                )
+            elif status is SolveStatus.OPTIMAL and (
+                mip_rel_gap and stats.mip_gap and stats.mip_gap > 0.0
+            ):
+                stats.limit_reason = "gap_limit"
+            if result.x is not None:
+                stats.incumbent = float(form.objective @ result.x)
+                stats.sample(elapsed, stats.nodes, stats.incumbent, stats.best_bound)
+            solver_span.set(status=status.value, **stats.span_attrs())
         counter("milp.highs.milp_solves").inc()
         histogram("milp.highs.solve_seconds").observe(elapsed)
         _log.debug(
@@ -113,7 +147,6 @@ class ScipyBackend:
             model.name, n, result.status, elapsed,
         )
 
-        status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
         if status is SolveStatus.FEASIBLE and result.x is None:
             # Limit hit without an incumbent: report as an error distinct
             # from proven infeasibility so callers can retry with more time.
@@ -121,21 +154,25 @@ class ScipyBackend:
                 status=SolveStatus.ERROR,
                 solve_seconds=elapsed,
                 message=f"limit reached without incumbent: {result.message}",
+                stats=stats,
             )
         if not status.has_solution:
-            return Solution(status=status, solve_seconds=elapsed, message=result.message)
+            return Solution(
+                status=status, solve_seconds=elapsed, message=result.message,
+                stats=stats,
+            )
 
         values = {var: float(result.x[i]) for i, var in enumerate(form.variables)}
-        objective = float(form.objective @ result.x)
         return Solution(
             status=status,
-            objective=objective,
+            objective=stats.incumbent,
             values=values,
             solve_seconds=elapsed,
             message=result.message,
+            stats=stats,
         )
 
-    def _solve_lp(self, form, lower, upper, time_limit) -> Solution:
+    def _solve_lp(self, form, lower, upper, time_limit, name="lp") -> Solution:
         """Pure-LP fast path through linprog/HiGHS-IPM."""
         import numpy as np
         from scipy import sparse
@@ -165,8 +202,10 @@ class ScipyBackend:
         options: dict = {}
         if time_limit is not None:
             options["time_limit"] = float(time_limit)
+        stats = SolveStats(backend="highs", kind="lp")
         with span(
-            "solver", backend="highs", kind="lp", variables=len(form.variables)
+            "solver", backend="highs", kind="lp", model=name,
+            variables=len(form.variables),
         ) as solver_span:
             result = linprog(
                 form.objective,
@@ -187,21 +226,28 @@ class ScipyBackend:
                     **kwargs,
                 )
             elapsed = solver_span.duration_s
-            solver_span.set(status=int(result.status))
+            stats.elapsed_s = elapsed
+            if result.x is not None:
+                stats.lp_objective = float(form.objective @ result.x)
+                stats.incumbent = stats.lp_objective
+            status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
+            solver_span.set(status=status.value, **stats.span_attrs())
         counter("milp.highs.lp_solves").inc()
         histogram("milp.highs.solve_seconds").observe(elapsed)
-        status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
         if not status.has_solution or result.x is None:
             if status is SolveStatus.FEASIBLE:
                 status = SolveStatus.ERROR
+                stats.limit_reason = "time_limit"
             return Solution(
-                status=status, solve_seconds=elapsed, message=result.message
+                status=status, solve_seconds=elapsed, message=result.message,
+                stats=stats,
             )
         values = {var: float(result.x[i]) for i, var in enumerate(form.variables)}
         return Solution(
             status=SolveStatus.OPTIMAL,
-            objective=float(form.objective @ result.x),
+            objective=stats.lp_objective,
             values=values,
             solve_seconds=elapsed,
             message=result.message,
+            stats=stats,
         )

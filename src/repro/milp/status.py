@@ -8,6 +8,7 @@ from typing import Mapping
 
 from repro.errors import InfeasibleError, ModelError, SolverError
 from repro.milp.expr import Variable
+from repro.obs.solverstats import SolveStats
 
 
 class SolveStatus(enum.Enum):
@@ -51,6 +52,13 @@ class Solution:
         Wall-clock time spent inside the backend.
     message:
         Free-form backend diagnostics.
+    stats:
+        Per-solve convergence telemetry
+        (:class:`~repro.obs.solverstats.SolveStats`): nodes explored,
+        incumbent/bound trajectory, final MIP gap, LP->ILP pre-mapping
+        counts, limit-hit reason.  Populated by both backends; ``None``
+        only for solutions constructed outside a backend (e.g. injected
+        faults).
     """
 
     status: SolveStatus
@@ -58,6 +66,7 @@ class Solution:
     values: Mapping[Variable, float] = field(default_factory=dict)
     solve_seconds: float = 0.0
     message: str = ""
+    stats: SolveStats | None = None
 
     def __getitem__(self, var: Variable) -> float:
         if not self.status.has_solution:

@@ -43,6 +43,15 @@ from repro.obs.metrics import (
     registry,
 )
 from repro.obs.sinks import JsonlSink, TreeSink, render_tree
+from repro.obs.solverstats import (
+    Algorithm1Stats,
+    SolveProgress,
+    SolveStats,
+    TrajectorySample,
+    convergence_rows,
+    progress_enabled,
+    set_progress,
+)
 from repro.obs.spans import (
     PATH_SEP,
     Span,
@@ -64,19 +73,24 @@ from repro.obs.trace import (
 
 __all__ = [
     "PATH_SEP",
+    "Algorithm1Stats",
     "Counter",
     "Gauge",
     "Histogram",
     "JsonlSink",
     "MetricsRegistry",
+    "SolveProgress",
+    "SolveStats",
     "Span",
     "StageRow",
     "TraceError",
     "TraceSummary",
+    "TrajectorySample",
     "TreeSink",
     "add_sink",
     "attached",
     "configure_logging",
+    "convergence_rows",
     "counter",
     "current_span",
     "event",
@@ -84,10 +98,12 @@ __all__ = [
     "get_logger",
     "histogram",
     "parse_level",
+    "progress_enabled",
     "read_trace",
     "registry",
     "remove_sink",
     "render_tree",
+    "set_progress",
     "span",
     "summarize_records",
     "summarize_trace",

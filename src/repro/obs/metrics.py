@@ -1,9 +1,16 @@
 """Process-local metrics: counters, gauges and histograms.
 
 The registry is the always-on half of the observability layer: instruments
-are plain attribute updates (no locks on the hot path, no I/O), so solver
-internals can count nodes, relaxations and accepted moves unconditionally.
-Sinks read a :meth:`MetricsRegistry.snapshot` at the end of a run.
+are cheap attribute updates behind a per-instrument lock (no I/O), so
+solver internals can count nodes, relaxations and accepted moves
+unconditionally — including from sweep worker threads.  Sinks read a
+:meth:`MetricsRegistry.snapshot` at the end of a run.
+
+Histograms additionally keep a bounded reservoir of observations
+(:data:`RESERVOIR_SIZE`, Vitter's Algorithm R) so snapshots can report
+p50/p95/p99 without unbounded memory.  The reservoir RNG is seeded from
+the instrument *name*, so quantiles over a deterministic workload are
+themselves deterministic run-to-run.
 
 Naming convention (see ``docs/observability.md``): dotted lowercase paths,
 ``<subsystem>.<thing>[.<aspect>]`` — e.g. ``milp.bb.nodes_explored``,
@@ -14,52 +21,79 @@ Naming convention (see ``docs/observability.md``): dotted lowercase paths,
 from __future__ import annotations
 
 import math
+import random
 import threading
+import zlib
 from typing import Iterator
+
+#: Max observations a Histogram retains for quantile estimation.  1024
+#: doubles give exact quantiles for every smoke-scale workload and a
+#: uniform sample (Algorithm R) beyond it.
+RESERVOIR_SIZE = 1024
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Linear-interpolation percentile of an ascending list (q in [0, 1])."""
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> dict:
         return {"kind": "counter", "value": self.value}
 
 
 class Gauge:
-    """A value that can move both ways (last-write-wins)."""
+    """A value that can move both ways (last-write-wins, thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def snapshot(self) -> dict:
         return {"kind": "gauge", "value": self.value}
 
 
 class Histogram:
-    """Streaming summary of observations (count/sum/min/max/mean).
+    """Streaming summary of observations (count/sum/min/max/mean + quantiles).
 
-    Full quantile sketches are overkill for solver telemetry; the mean and
-    extremes are what the bench tables consume.
+    Beyond the running aggregates, a bounded reservoir (uniform sample,
+    Algorithm R) supports p50/p95/p99 in :meth:`snapshot`.  The sampling
+    RNG is seeded from the instrument name so deterministic workloads
+    yield deterministic quantiles.  All updates are thread-safe.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "_reservoir",
+                 "_rng", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -67,28 +101,53 @@ class Histogram:
         self.total: float = 0.0
         self.min: float = math.inf
         self.max: float = -math.inf
+        self._reservoir: list[float] = []
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            if len(self._reservoir) < RESERVOIR_SIZE:
+                self._reservoir.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < RESERVOIR_SIZE:
+                    self._reservoir[slot] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Reservoir estimate of the ``q``-quantile (exact while count
+        stays within :data:`RESERVOIR_SIZE`)."""
+        with self._lock:
+            ordered = sorted(self._reservoir)
+        return _percentile(ordered, q)
+
     def snapshot(self) -> dict:
+        with self._lock:
+            ordered = sorted(self._reservoir)
+            count, total = self.count, self.total
+            lo = self.min if count else 0.0
+            hi = self.max if count else 0.0
         return {
             "kind": "histogram",
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
-            "mean": self.mean,
+            "count": count,
+            "sum": total,
+            "min": lo,
+            "max": hi,
+            "mean": total / count if count else 0.0,
+            "p50": _percentile(ordered, 0.50),
+            "p95": _percentile(ordered, 0.95),
+            "p99": _percentile(ordered, 0.99),
         }
 
 
@@ -96,8 +155,9 @@ class MetricsRegistry:
     """Get-or-create home for named instruments.
 
     Creation is lock-protected (cheap, happens once per name); updates go
-    straight to the instrument.  A name is permanently bound to its first
-    kind — asking for ``counter("x")`` after ``gauge("x")`` is an error.
+    through each instrument's own lock.  A name is permanently bound to
+    its first kind — asking for ``counter("x")`` after ``gauge("x")`` is
+    an error.
     """
 
     def __init__(self) -> None:

@@ -4,6 +4,11 @@ A trace is re-read as a list of dict records (one per line); the summary
 aggregates span records per path into wall-time/count rows, reports the
 total wall time (sum of root spans — spans with ``parent == null``), and
 carries any ``metric`` lines through for display.
+
+Crash-truncated traces are expected input: a killed sweep leaves a torn
+final line behind, so :func:`read_trace` skips (and warns about) a
+malformed *last* line instead of raising — only corruption before the
+tail is an error.
 """
 
 from __future__ import annotations
@@ -14,7 +19,10 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from repro.errors import ReproError
+from repro.obs.logs import get_logger
 from repro.obs.spans import PATH_SEP
+
+_log = get_logger("obs.trace")
 
 
 class TraceError(ReproError):
@@ -70,6 +78,11 @@ class TraceSummary:
     metrics: dict[str, dict] = field(default_factory=dict)
     #: Events whose name is in :data:`DEGRADATION_EVENTS`, in trace order.
     degradations: list[dict] = field(default_factory=list)
+    #: ``solver`` span records, in trace order — the raw material of the
+    #: per-solve convergence table (attrs carry ``SolveStats.span_attrs``).
+    solves: list[dict] = field(default_factory=list)
+    #: ``algorithm1.stats`` event attrs, one dict per Algorithm 1 run.
+    alg1_runs: list[dict] = field(default_factory=list)
     #: Sum of root-span durations = the trace's total wall time.
     total_s: float = 0.0
     records: int = 0
@@ -98,18 +111,37 @@ def parse_trace_line(line: str, lineno: int = 0) -> dict:
     return record
 
 
-def read_trace(path: str | pathlib.Path) -> list[dict]:
-    """All records of a trace file, validated."""
-    records = []
+def read_trace(
+    path: str | pathlib.Path, tolerate_torn_tail: bool = True
+) -> list[dict]:
+    """All records of a trace file, validated.
+
+    A malformed *final* line is what a crash mid-write leaves behind (the
+    exact artefact of a killed sweep), so by default it is skipped with a
+    warning instead of raising; malformed lines anywhere else still raise
+    :class:`TraceError`.  Pass ``tolerate_torn_tail=False`` to make any
+    malformed line fatal.
+    """
     try:
-        handle = open(path, "r", encoding="utf-8")
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [
+                (lineno, line.strip())
+                for lineno, line in enumerate(handle, start=1)
+                if line.strip()
+            ]
     except OSError as exc:
         raise TraceError(f"cannot read trace {path}: {exc}") from exc
-    with handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if line:
-                records.append(parse_trace_line(line, lineno))
+    records = []
+    for position, (lineno, line) in enumerate(lines):
+        try:
+            records.append(parse_trace_line(line, lineno))
+        except TraceError:
+            if not tolerate_torn_tail or position != len(lines) - 1:
+                raise
+            _log.warning(
+                "%s: line %d is torn (crash-truncated write?); skipped",
+                path, lineno,
+            )
     return records
 
 
@@ -131,10 +163,14 @@ def summarize_records(records: Iterable[Mapping]) -> TraceSummary:
             row.total_s += float(record["duration_s"])
             if record["parent"] is None:
                 summary.total_s += float(record["duration_s"])
+            if record["name"] == "solver":
+                summary.solves.append(dict(record))
         elif kind == "event":
             summary.events.append(dict(record))
             if record["name"] in DEGRADATION_EVENTS:
                 summary.degradations.append(dict(record))
+            elif record["name"] == "algorithm1.stats":
+                summary.alg1_runs.append(dict(record.get("attrs", {})))
         elif kind == "metric":
             summary.metrics[record["name"]] = {
                 k: v for k, v in record.items() if k not in ("type", "name")

@@ -86,6 +86,99 @@ class TestFlowAndBench:
         out = capsys.readouterr().out
         assert "paper reference" in out
 
+    def test_bench_one_explicit_form(self, capsys):
+        assert main(["bench", "one", "B1", "--time-limit", "20"]) == 0
+        assert "paper reference" in capsys.readouterr().out
+
     def test_bench_unknown_name_reports_error(self, capsys):
         assert main(["bench", "B99"]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestBenchPerfHarness:
+    @pytest.fixture(scope="class")
+    def bench_record(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("bench") / "base.json"
+        code = main([
+            "bench", "run", "--benchmarks", "B1", "--time-limit", "10",
+            "-o", str(path),
+        ])
+        assert code == 0
+        return path
+
+    def test_run_writes_schema_versioned_record(self, bench_record, capsys):
+        data = json.loads(bench_record.read_text())
+        assert data["kind"] == "bench_record"
+        assert data["bench_schema"] == "repro.bench/1"
+        entry = data["entries"]["B1"]
+        assert entry["wall_s"] > 0
+        assert entry["solver"]["solves"] > 0
+        assert "stages" in entry
+
+    def test_compare_self_passes(self, bench_record, capsys):
+        assert main([
+            "bench", "compare", str(bench_record), str(bench_record),
+        ]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_fails_on_synthetic_slowdown(
+        self, bench_record, tmp_path, capsys
+    ):
+        slowed = json.loads(bench_record.read_text())
+        for entry in slowed["entries"].values():
+            entry["wall_s"] = entry["wall_s"] * 3.0 + 1.0
+        slow_path = tmp_path / "slow.json"
+        slow_path.write_text(json.dumps(slowed))
+        assert main([
+            "bench", "compare", str(bench_record), str(slow_path),
+        ]) == 3
+        assert "REGRESSIONS" in capsys.readouterr().out
+
+    def test_warn_only_downgrades_exit(self, bench_record, tmp_path, capsys):
+        slowed = json.loads(bench_record.read_text())
+        for entry in slowed["entries"].values():
+            entry["wall_s"] = entry["wall_s"] * 3.0 + 1.0
+        slow_path = tmp_path / "slow.json"
+        slow_path.write_text(json.dumps(slowed))
+        assert main([
+            "bench", "compare", str(bench_record), str(slow_path),
+            "--warn-only",
+        ]) == 0
+
+
+class TestTraceAndProfile:
+    def test_trace_summarize_shows_convergence_table(
+        self, kernel_file, tmp_path, capsys
+    ):
+        trace = tmp_path / "t.jsonl"
+        assert main([
+            "flow", str(kernel_file), "--fabric", "4x4",
+            "--time-limit", "20", "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "convergence (per solve)" in out
+        assert "algorithm1:" in out
+        assert "ST trajectory" in out
+
+    def test_profile_writes_pstats_and_hotspots(
+        self, kernel_file, tmp_path, capsys
+    ):
+        pstats_path = tmp_path / "flow.pstats"
+        assert main([
+            "flow", str(kernel_file), "--fabric", "4x4",
+            "--time-limit", "20", "--profile", str(pstats_path),
+        ]) == 0
+        assert pstats_path.exists() and pstats_path.stat().st_size > 0
+        err = capsys.readouterr().err
+        assert "profile ->" in err
+        assert "cumulative" in err
+
+    def test_metrics_flag_prints_quantiles(self, kernel_file, capsys):
+        assert main([
+            "flow", str(kernel_file), "--fabric", "4x4",
+            "--time-limit", "20", "--metrics",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "p50=" in out and "p95=" in out

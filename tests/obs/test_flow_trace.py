@@ -90,6 +90,55 @@ class TestTraceContents:
         assert "algorithm1.iterations" in summary.metrics
 
 
+class TestSolverTelemetry:
+    """Every solve carries SolveStats; the run carries Algorithm1Stats."""
+
+    def test_solver_spans_carry_stats_attrs(self, traced):
+        path, _ = traced
+        summary = summarize_trace(path)
+        assert summary.solves, "no solver spans in the trace"
+        for record in summary.solves:
+            attrs = record["attrs"]
+            assert "nodes" in attrs
+            assert attrs["kind"] in ("milp", "lp")
+            assert "status" in attrs
+
+    def test_alg1_stats_event_emitted(self, traced):
+        path, result = traced
+        summary = summarize_trace(path)
+        (run,) = summary.alg1_runs
+        assert run["iterations"] == result.remap.alg1.iterations
+        assert run["final_st_target_ns"] == pytest.approx(
+            result.remap.alg1.final_st_target_ns
+        )
+
+    def test_remap_result_carries_alg1_stats(self, traced):
+        _, result = traced
+        alg1 = result.remap.alg1
+        assert alg1.iterations >= 1
+        assert len(alg1.verdicts) == alg1.iterations
+        assert alg1.st_up_ns >= alg1.st_low_ns > 0.0
+        assert alg1.solves > 0
+
+    def test_solutions_expose_solve_stats(self, synth_design, fabric4):
+        """API-level check: a direct solve returns populated SolveStats."""
+        from repro.milp.model import Model
+        from repro.milp.scipy_backend import ScipyBackend
+
+        model = Model("stats_probe")
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        model.add_constraint(x + y >= 1)
+        model.set_objective(x + 2 * y, minimize=True)
+        solution = model.solve(ScipyBackend())
+        stats = solution.stats
+        assert stats is not None
+        assert stats.backend == "highs"
+        assert stats.kind == "milp"
+        assert stats.incumbent is not None
+        assert stats.elapsed_s > 0.0
+
+
 class TestUntracedRuns:
     def test_flow_works_without_sinks(self, synth_design, fabric4):
         flow = AgingAwareFlow(

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.obs import MetricsRegistry
-from repro.obs.metrics import registry as default_registry
+from repro.obs.metrics import RESERVOIR_SIZE, registry as default_registry
 
 
 @pytest.fixture
@@ -58,6 +60,70 @@ class TestHistogram:
         assert snap["min"] == 0.0
         assert snap["max"] == 0.0
         assert snap["mean"] == 0.0
+        assert snap["p50"] == 0.0
+
+    def test_quantiles_exact_within_reservoir(self, reg):
+        h = reg.histogram("milp.highs.solve_seconds")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["p50"] == pytest.approx(50.5)
+        assert snap["p95"] == pytest.approx(95.05)
+        assert snap["p99"] == pytest.approx(99.01)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_quantiles_sampled_beyond_reservoir(self, reg):
+        h = reg.histogram("big")
+        for v in range(4 * RESERVOIR_SIZE):
+            h.observe(float(v))
+        snap = h.snapshot()
+        # Uniform input: the sampled median lands near the true median.
+        true_median = (4 * RESERVOIR_SIZE - 1) / 2.0
+        assert abs(snap["p50"] - true_median) < 0.15 * 4 * RESERVOIR_SIZE
+        assert snap["count"] == 4 * RESERVOIR_SIZE  # aggregates stay exact
+        assert snap["max"] == 4.0 * RESERVOIR_SIZE - 1
+
+    def test_quantiles_deterministic_across_instances(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg_ in (a, b):
+            h = reg_.histogram("same.name")
+            for v in range(3 * RESERVOIR_SIZE):
+                h.observe(float(v % 777))
+        assert a.snapshot()["same.name"] == b.snapshot()["same.name"]
+
+
+class TestThreadSafety:
+    def test_concurrent_counter_increments_do_not_drop(self, reg):
+        c = reg.counter("sweep.entries")
+        threads = [
+            threading.Thread(
+                target=lambda: [c.inc() for _ in range(10_000)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 80_000
+
+    def test_concurrent_histogram_observations_do_not_drop(self, reg):
+        h = reg.histogram("milp.solve_seconds")
+        threads = [
+            threading.Thread(
+                target=lambda: [h.observe(1.0) for _ in range(5_000)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = h.snapshot()
+        assert snap["count"] == 40_000
+        assert snap["sum"] == pytest.approx(40_000.0)
+        assert snap["p50"] == 1.0
 
 
 class TestRegistry:

@@ -93,7 +93,7 @@ def test_premapping_shrinks_branching_tree(benchmark):
         model, variables, _ = build()
         raw_backend = BranchBoundBackend(max_nodes=20_000)
         raw = model.solve(raw_backend)
-        raw_nodes = raw_backend.last_node_count
+        raw_nodes = raw.stats.nodes
         # Two-step: LP relax, fix, then reference-solve the residue.
         model2, variables2, _ = build()
         relaxed = model2.relaxed()
@@ -102,7 +102,7 @@ def test_premapping_shrinks_branching_tree(benchmark):
         threshold_fix(model2, variables2.groups(), lp)
         fixed_backend = BranchBoundBackend(max_nodes=20_000)
         fixed = model2.solve(fixed_backend)
-        return raw_nodes, fixed_backend.last_node_count, raw, fixed
+        return raw_nodes, fixed.stats.nodes, raw, fixed
 
     raw_nodes, fixed_nodes, raw, fixed = benchmark.pedantic(
         run, rounds=1, iterations=1

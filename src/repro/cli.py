@@ -263,6 +263,7 @@ def cmd_bench_run(args) -> int:
         time_limit_s=args.time_limit,
         max_fabric=args.scaled,
         seed=args.seed,
+        jobs=args.jobs,
     )
     output = args.output or f"BENCH_{record['timestamp']}.json"
     save_json(record, output)
@@ -491,6 +492,10 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--mode", choices=["freeze", "rotate"], default="rotate")
     b.add_argument("--time-limit", type=float, default=15.0)
     b.add_argument("--seed", type=int, default=0)
+    b.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run suite entries on an N-process pool (default: 1 = serial)",
+    )
     b.set_defaults(func=cmd_bench_run)
 
     b = bsub.add_parser(

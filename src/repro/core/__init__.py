@@ -34,9 +34,11 @@ from repro.core.flow import (
 from repro.core.remap import (
     RemapConfig,
     RemapOutcome,
+    WarmStart,
     build_remap_model,
     default_candidates,
     frozen_stress_by_pe,
+    restamp_remap_model,
     solve_remap,
     solve_remap_sequential,
 )
@@ -68,6 +70,7 @@ __all__ = [
     "RemapVariables",
     "RotationSet",
     "StressTargetResult",
+    "WarmStart",
     "add_assignment_variables",
     "add_exclusivity_constraints",
     "add_path_constraints",
@@ -83,6 +86,7 @@ __all__ = [
     "default_delta_ns",
     "freeze_plan",
     "frozen_stress_by_pe",
+    "restamp_remap_model",
     "rotate_plan",
     "run_algorithm1",
     "run_flow",

@@ -31,9 +31,11 @@ from repro.arch.fabric import Fabric
 from repro.core.remap import (
     GreedyContext,
     RemapConfig,
+    WarmStart,
     build_remap_model,
     default_candidates,
     frozen_stress_by_pe,
+    restamp_remap_model,
     solve_remap,
     solve_remap_sequential,
 )
@@ -255,6 +257,11 @@ def _run_algorithm1(
             design, original, frozen, fabric, config.remap.resolved_window(fabric)
         )
         st_target = step1.st_target_ns
+        # The Eq. (3) model is assembled once and re-stamped with each
+        # relaxed ST_target; warm hints (previous pre-mapping/solution)
+        # ride along between iterations of the same model.
+        model = variables = None
+        warm: WarmStart | None = None
         while iterations < config.max_iterations and st_target <= st_ceiling:
             deadline.check("algorithm1:iteration")
             iterations += 1
@@ -262,12 +269,15 @@ def _run_algorithm1(
             with span(
                 "iteration", index=iterations, st_target_ns=st_target
             ) as iter_span:
-                entry = _run_iteration(
+                entry, model, variables, warm = _run_iteration(
                     design, fabric, original, config, backend, frozen,
                     candidates, monitored, cpd_orig, st_target, iterations, graphs,
+                    model=model, variables=variables, warm=warm,
                 )
                 iteration_log.append(entry)
                 iter_span.set(result=entry["result"])
+            if warm is not None:
+                warm.reason = entry["result"]
             alg1.record_iteration(st_target, entry["result"])
             _absorb_solve_stats(alg1, entry)
             _log.debug(
@@ -416,12 +426,23 @@ def _run_iteration(
     st_target: float,
     iteration: int,
     graphs,
-) -> dict:
+    model=None,
+    variables=None,
+    warm: WarmStart | None = None,
+) -> tuple:
     """One solve attempt of the relax loop.
 
-    Returns the iteration-log entry; ``result`` is one of ``accepted``,
-    ``infeasible``, ``cpd_violation`` or ``frozen_budget_infeasible``, and
-    an accepted entry additionally carries the candidate ``floorplan``.
+    The Eq. (3) model is built on the first call and threaded back in by
+    the caller afterwards: later iterations only re-stamp the ``st_target``
+    RHS parameter on the cached lowering (:func:`restamp_remap_model`).
+    ``warm`` carries the previous iteration's hints (see
+    :class:`~repro.core.remap.WarmStart`); the caller stamps its ``reason``
+    with the iteration verdict before passing it back.
+
+    Returns ``(entry, model, variables, warm_out)``; ``entry["result"]``
+    is one of ``accepted``, ``infeasible``, ``cpd_violation`` or
+    ``frozen_budget_infeasible``, and an accepted entry additionally
+    carries the candidate ``floorplan``.
     """
     if config.remap.strategy == "sequential":
         outcome = solve_remap_sequential(
@@ -430,18 +451,26 @@ def _run_iteration(
         )
         build_stats: dict = {}
     else:
-        try:
-            model, variables, build_stats = build_remap_model(
-                design, fabric, frozen, candidates, monitored,
-                cpd_orig, st_target, name=f"remap_iter{iteration}",
-                objective=config.remap.objective,
-            )
-        except BudgetInfeasibleError:
-            return {
-                "iteration": iteration,
-                "st_target_ns": st_target,
-                "result": "frozen_budget_infeasible",
-            }
+        if model is None:
+            # Built lazily (and re-tried each iteration while the frozen
+            # stress alone busts the budget: a relaxed target can admit a
+            # model that a tighter one could not).
+            try:
+                model, variables, build_stats = build_remap_model(
+                    design, fabric, frozen, candidates, monitored,
+                    cpd_orig, st_target, name="remap",
+                    objective=config.remap.objective,
+                )
+            except BudgetInfeasibleError:
+                entry = {
+                    "iteration": iteration,
+                    "st_target_ns": st_target,
+                    "result": "frozen_budget_infeasible",
+                }
+                return entry, None, None, None
+        else:
+            restamp_remap_model(model, st_target)
+            build_stats = {"restamped": True}
         greedy_ctx = GreedyContext(
             design=design,
             fabric=fabric,
@@ -450,7 +479,7 @@ def _run_iteration(
             frozen_stress_ns=frozen_stress_by_pe(design, frozen),
         )
         outcome = solve_remap(
-            model, variables, config.remap, backend, greedy_ctx
+            model, variables, config.remap, backend, greedy_ctx, warm
         )
     entry = {
         "iteration": iteration,
@@ -458,9 +487,10 @@ def _run_iteration(
         **build_stats,
         **outcome.stats,
     }
+    warm_out = outcome.warm if config.remap.strategy != "sequential" else None
     if not outcome.feasible:
         entry["result"] = "infeasible"
-        return entry
+        return entry, model, variables, warm_out
     candidate_fp = outcome.floorplan(original, frozen)
     check_frozen_ops(original, candidate_fp, frozen.positions)
     with span("sta_verify"):
@@ -469,6 +499,6 @@ def _run_iteration(
     if new_report.cpd_ns <= cpd_orig + CPD_EPS:
         entry["result"] = "accepted"
         entry["floorplan"] = candidate_fp
-        return entry
+        return entry, model, variables, warm_out
     entry["result"] = "cpd_violation"
-    return entry
+    return entry, model, variables, warm_out

@@ -130,7 +130,13 @@ def add_stress_constraints(
     st_target_ns: float,
     frozen_stress_ns: Mapping[int, float],
 ) -> None:
-    """Per-PE accumulated stress budget (the first constraint of Eq. 3)."""
+    """Per-PE accumulated stress budget (the first constraint of Eq. 3).
+
+    The rows are registered against the model's ``st_target`` RHS
+    parameter, so Algorithm 1's relaxation loop re-stamps them in O(PEs)
+    via ``model.set_parameter("st_target", value)`` instead of rebuilding
+    the model (the only thing the loop varies is this budget).
+    """
     per_pe_terms: dict[int, list[LinExpr]] = {}
     for op_id, members in variables.assign.items():
         stress = design.ops[op_id].stress_ns
@@ -138,6 +144,7 @@ def add_stress_constraints(
             per_pe_terms.setdefault(pe_index, []).append(
                 LinExpr.from_term(var, stress)
             )
+    variables.model.declare_parameter("st_target", st_target_ns)
     for pe_index in range(num_pes):
         frozen = frozen_stress_ns.get(pe_index, 0.0)
         if frozen > st_target_ns + 1e-9:
@@ -151,6 +158,7 @@ def add_stress_constraints(
         variables.model.add_constraint(
             linear_sum(terms) <= st_target_ns - frozen,
             name=f"stress[pe{pe_index}]",
+            parameter="st_target",
         )
 
 

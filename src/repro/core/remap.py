@@ -101,12 +101,33 @@ class RemapConfig:
 
 
 @dataclass
+class WarmStart:
+    """Incumbent hints carried across Algorithm 1's relaxation iterations.
+
+    ``fixing`` is the LP→ILP pre-mapped binding of the previous solve
+    (op → PE of every fixed one-hot group); ``values`` the previous
+    solution's variable values, valid across iterations because the model
+    — and therefore its ``Variable`` objects — is reused; ``reason`` the
+    verdict of the iteration that produced the hint (hints are only
+    *acted* on after an ``"infeasible"`` verdict: re-using the binding of
+    a CPD-violating solve would just reproduce the violation).
+    """
+
+    fixing: dict[int, int] = field(default_factory=dict)
+    values: Mapping | None = None
+    reason: str = ""
+
+
+@dataclass
 class RemapOutcome:
     """Result of one re-mapping solve at a fixed ST_target."""
 
     feasible: bool
     assignment: dict[int, int] = field(default_factory=dict)  # movable op -> PE
     stats: dict = field(default_factory=dict)
+    #: Hint for the *next* solve of the same (re-stamped) model, when the
+    #: strategy produced one (two-step ILP paths only).
+    warm: "WarmStart | None" = None
 
     def floorplan(self, original: Floorplan, frozen: FrozenPlan) -> Floorplan:
         """Materialise the re-mapped floorplan."""
@@ -219,6 +240,60 @@ def build_remap_model(
     gauge("milp.model.binaries").set(model.num_binary)
     gauge("milp.model.constraints").set(model.num_constraints)
     return model, variables, stats
+
+
+def restamp_remap_model(model: Model, st_target_ns: float) -> None:
+    """Re-aim an assembled Eq. (3) model at a new ``ST_target``.
+
+    The stress constraints are registered against the ``"st_target"``
+    parameter at build time, so this is an O(stress rows) RHS re-stamp on
+    the cached lowering — no expression re-traversal, no new model.  Any
+    pre-mapping fixes from the previous solve are reopened first.
+    """
+    with span("milp_restamp", model=model.name, st_target_ns=st_target_ns):
+        model.unfix_all()
+        model.set_parameter("st_target", st_target_ns)
+    counter("milp.models_restamped").inc()
+
+
+def _apply_fixing(
+    model: Model, variables: RemapVariables, fixing: Mapping[int, int]
+) -> bool:
+    """Re-apply a previous iteration's pre-mapping (op → PE) to ``model``.
+
+    Validates the whole binding against the current candidate sets before
+    touching any bounds, so a stale hint leaves the model untouched.
+    Returns False when any op or PE is unknown.
+    """
+    resolved = []  # (group members, winner variable) per op
+    for op_id, pe_index in fixing.items():
+        members = variables.assign.get(op_id)
+        if members is None:
+            return False
+        winner = next((var for var, pe in members if pe == pe_index), None)
+        if winner is None:
+            return False
+        resolved.append((members, winner))
+    for members, winner in resolved:
+        model.fix_variable(winner, 1.0)
+        for var, _pe in members:
+            if var is not winner:
+                model.fix_variable(var, 0.0)
+    return True
+
+
+def _fixed_assignment(
+    model: Model, variables: RemapVariables
+) -> dict[int, int]:
+    """The op → PE binding currently pinned on ``model`` (LP pre-mapping)."""
+    fixed = model.fixed_variables
+    binding: dict[int, int] = {}
+    for op_id, members in variables.assign.items():
+        for var, pe_index in members:
+            if fixed.get(var) == 1.0:
+                binding[op_id] = pe_index
+                break
+    return binding
 
 
 @dataclass
@@ -360,18 +435,23 @@ def solve_remap(
     config: RemapConfig,
     backend: ScipyBackend | None = None,
     greedy_context: "GreedyContext | None" = None,
+    warm: "WarmStart | None" = None,
 ) -> RemapOutcome:
     """Run the configured strategy on an assembled model.
 
     ``greedy_context`` enables the LP-guided greedy completion on large
     models (see :class:`GreedyContext`); without it the residual is always
-    solved as an ILP, exactly as in the paper.
+    solved as an ILP, exactly as in the paper.  ``warm`` carries the
+    previous iteration's hints when the same model is re-solved after an
+    ``ST_target`` re-stamp (see :class:`WarmStart`).
     """
     backend = backend or config.make_backend()
     if config.strategy == "monolithic":
-        return _solve_monolithic(model, variables, backend)
+        return _solve_monolithic(model, variables, backend, warm)
     if config.strategy == "two-step":
-        return _solve_two_step(model, variables, config, backend, greedy_context)
+        return _solve_two_step(
+            model, variables, config, backend, greedy_context, warm
+        )
     raise ModelError(f"unknown remap strategy {config.strategy!r}")
 
 
@@ -406,10 +486,18 @@ def _solve_stats_dict(solution) -> dict | None:
 
 
 def _solve_monolithic(
-    model: Model, variables: RemapVariables, backend: ScipyBackend
+    model: Model,
+    variables: RemapVariables,
+    backend: ScipyBackend,
+    warm: "WarmStart | None" = None,
 ) -> RemapOutcome:
+    options: dict = {}
+    if warm is not None and warm.reason == "infeasible" and warm.values:
+        # The previous solution of this (re-stamped) model seeds the
+        # solver's incumbent where the backend supports it.
+        options["warm_start"] = warm.values
     with span("milp_solve", strategy="monolithic") as solve_span:
-        solution = model.solve(backend)
+        solution = model.solve(backend, **options)
         elapsed = solve_span.duration_s
         solve_span.set(status=solution.status.value)
         require_not_error(solution)
@@ -424,6 +512,7 @@ def _solve_monolithic(
         feasible=True,
         assignment=_extract(variables, solution),
         stats=stats,
+        warm=WarmStart(values=dict(solution.values)),
     )
 
 
@@ -433,6 +522,7 @@ def _solve_two_step(
     config: RemapConfig,
     backend: ScipyBackend,
     greedy_context: "GreedyContext | None" = None,
+    warm: "WarmStart | None" = None,
 ) -> RemapOutcome:
     """The paper's LP-relax -> pre-map -> residual-ILP pipeline.
 
@@ -443,10 +533,45 @@ def _solve_two_step(
     CPLEX could.  The greedy result satisfies exclusivity and the stress
     budget by construction; path delays are re-verified by Algorithm 1's
     full STA pass, which gates every accepted floorplan anyway.
+
+    When ``warm`` carries the pre-mapping of a previous (infeasible)
+    iteration, that binding is tried first under the freshly re-stamped
+    stress budget: a hit skips the LP relaxation and most of the ILP
+    search; a miss reopens the fixes and falls through to the cold path.
     """
     stats: dict = {"strategy": "two-step", "rounding": config.rounding}
 
     with span("milp_solve", strategy="two-step") as solve_span:
+        if (
+            warm is not None
+            and warm.reason == "infeasible"
+            and warm.fixing
+            and config.rounding == "threshold"
+            and _apply_fixing(model, variables, warm.fixing)
+        ):
+            with span("ilp_warm_fixing", groups_fixed=len(warm.fixing)):
+                trial = model.solve(backend, warm_start=warm.values)
+            stats["warm_fixing"] = len(warm.fixing)
+            stats["ilp_s"] = trial.solve_seconds
+            stats["ilp_status"] = trial.status.value
+            stats["ilp_stats"] = _solve_stats_dict(trial)
+            if trial.status.has_solution:
+                counter("milp.warm_fixing_hits").inc()
+                stats["status"] = "ok"
+                solve_span.set(status="ok", completion="warm_fixing")
+                return RemapOutcome(
+                    feasible=True,
+                    assignment=_extract(variables, trial),
+                    stats=stats,
+                    warm=WarmStart(
+                        fixing=dict(warm.fixing), values=dict(trial.values)
+                    ),
+                )
+            # Miss (still infeasible, or a solver limit): reopen the fixes
+            # and run the cold LP→ILP pipeline on the same model.
+            counter("milp.warm_fixing_misses").inc()
+            model.unfix_all()
+            stats["warm_fixing_retry"] = True
         with span("lp_relax"):
             relaxed = model.relaxed()
             lp_solution = relaxed.solve(backend)
@@ -515,16 +640,23 @@ def _solve_two_step(
         stats["ilp_status"] = ilp_solution.status.value
         stats["ilp_stats"] = _solve_stats_dict(ilp_solution)
         require_not_error(ilp_solution)
+        # The LP's >threshold pre-mapping is the hint for the next solve of
+        # this model: after an infeasible verdict Algorithm 1 relaxes the
+        # budget and the same binding is retried first.
+        binding = _fixed_assignment(model, variables)
         if not ilp_solution.status.has_solution:
             stats["status"] = "ilp_" + ilp_solution.status.value
             solve_span.set(status=stats["status"])
-            return RemapOutcome(feasible=False, stats=stats)
+            return RemapOutcome(
+                feasible=False, stats=stats, warm=WarmStart(fixing=binding)
+            )
         stats["status"] = "ok"
         solve_span.set(status="ok", completion="ilp")
     return RemapOutcome(
         feasible=True,
         assignment=_extract(variables, ilp_solution),
         stats=stats,
+        warm=WarmStart(fixing=binding, values=dict(ilp_solution.values)),
     )
 
 

@@ -8,9 +8,9 @@ This backend exists for three reasons:
 * it is small enough to be read and tested exhaustively, so it serves as an
   executable specification that the fast backend is checked against in the
   test suite;
-* it exposes node counts, which the two-step-relaxation ablation
-  (``benchmarks/bench_ablation_twostep.py``) uses to show *why* the paper's
-  LP→ILP pre-mapping is necessary.
+* it exposes node counts (via ``Solution.stats.nodes``), which the
+  two-step-relaxation ablation (``benchmarks/bench_ablation_twostep.py``)
+  uses to show *why* the paper's LP→ILP pre-mapping is necessary.
 
 The implementation is classic best-bound branch and bound with LP
 relaxations solved by HiGHS (``scipy.optimize.linprog``), most-fractional
@@ -29,8 +29,7 @@ import numpy as np
 from scipy.optimize import linprog
 
 from repro.errors import SolverError
-from repro.milp.constraint import Sense
-from repro.milp.model import MatrixForm, Model
+from repro.milp.model import MatrixForm, Model, hint_vector
 from repro.milp.status import Solution, SolveStatus
 from repro.obs import counter, get_logger, span
 from repro.obs.solverstats import (
@@ -71,10 +70,6 @@ class BranchBoundBackend:
     def __init__(self, max_nodes: int = 200_000, time_limit: float | None = None):
         self.max_nodes = max_nodes
         self.time_limit = time_limit
-        #: Number of nodes explored by the most recent solve.  Deprecated:
-        #: read ``Solution.stats.nodes`` instead — the per-solve record
-        #: cannot be clobbered by a later solve on the same backend.
-        self.last_node_count = 0
 
     # -- LP relaxation -------------------------------------------------------
     @staticmethod
@@ -83,30 +78,18 @@ class BranchBoundBackend:
     ):
         """Solve the LP relaxation on the given bound box.
 
-        Returns ``(objective, x)`` or ``None`` when infeasible.
+        Returns ``(objective, x)`` or ``None`` when infeasible.  The
+        constraint split is cached on ``form``, so the per-node cost is
+        one linprog call, not a fresh matrix assembly.
         """
-        a_ub_rows, b_ub, a_eq_rows, b_eq = [], [], [], []
-        a_csr = form.a_matrix
-        for row, sense in enumerate(form.senses):
-            coeffs = a_csr.getrow(row)
-            if sense is Sense.LE:
-                a_ub_rows.append(coeffs)
-                b_ub.append(form.rhs[row])
-            elif sense is Sense.GE:
-                a_ub_rows.append(-coeffs)
-                b_ub.append(-form.rhs[row])
-            else:
-                a_eq_rows.append(coeffs)
-                b_eq.append(form.rhs[row])
-        from scipy import sparse
-
+        a_ub, b_ub, a_eq, b_eq = form.ub_eq_split()
         kwargs = {}
-        if a_ub_rows:
-            kwargs["A_ub"] = sparse.vstack(a_ub_rows, format="csr")
-            kwargs["b_ub"] = np.array(b_ub)
-        if a_eq_rows:
-            kwargs["A_eq"] = sparse.vstack(a_eq_rows, format="csr")
-            kwargs["b_eq"] = np.array(b_eq)
+        if a_ub is not None:
+            kwargs["A_ub"] = a_ub
+            kwargs["b_ub"] = b_ub
+        if a_eq is not None:
+            kwargs["A_eq"] = a_eq
+            kwargs["b_eq"] = b_eq
         result = linprog(
             c=form.objective,
             bounds=np.column_stack([lower, upper]),
@@ -121,7 +104,14 @@ class BranchBoundBackend:
 
     # -- main loop --------------------------------------------------------------
     def solve(self, model: Model, **options) -> Solution:
-        """Solve ``model`` to proven optimality (subject to node/time limits)."""
+        """Solve ``model`` to proven optimality (subject to node/time limits).
+
+        ``options["warm_start"]`` may carry an incumbent hint (a
+        ``{Variable: value}`` mapping): when it validates against the
+        model, it seeds the incumbent and upper bound before the first
+        node, so bound-based pruning engages from node 1 instead of after
+        the first integral leaf is found.
+        """
         stats = SolveStats(backend="branch_bound", kind="milp")
         with span(
             "solver", backend="branch_bound", kind="milp", model=model.name
@@ -135,7 +125,6 @@ class BranchBoundBackend:
             )
         counter("milp.bb.solves").inc()
         counter("milp.bb.nodes_explored").inc(solution.stats.nodes)
-        self.last_node_count = solution.stats.nodes
         _log.debug(
             "branch-and-bound %s: %d nodes, status %s in %.3fs",
             model.name, solution.stats.nodes, solution.status.value,
@@ -183,6 +172,20 @@ class BranchBoundBackend:
         ]
         best_obj = math.inf
         best_x: np.ndarray | None = None
+        hint = options.get("warm_start")
+        if hint:
+            x0 = hint_vector(form, hint)
+            if x0 is None:
+                counter("milp.warm_start_misses").inc()
+            else:
+                # Seed the incumbent: every node whose relaxation bound
+                # cannot beat the hint is pruned without branching.
+                best_obj = float(form.objective @ x0)
+                best_x = x0
+                stats.warm_started = True
+                stats.hint_objective = best_obj
+                stats.sample(solver_span.duration_s, 0, best_obj, root_bound)
+                counter("milp.warm_start_hits").inc()
         #: Tightest dual bound proven so far: the minimum over open nodes.
         global_bound = root_bound
         proven = True

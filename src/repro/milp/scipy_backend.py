@@ -11,8 +11,7 @@ import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
 from repro.errors import SolverError
-from repro.milp.constraint import Sense
-from repro.milp.model import Model
+from repro.milp.model import Model, hint_vector
 from repro.milp.status import Solution, SolveStatus
 from repro.obs import counter, get_logger, histogram, span
 from repro.obs.solverstats import SolveStats, progress_enabled
@@ -52,6 +51,14 @@ class ScipyBackend:
         The current :class:`~repro.resilience.Deadline` is honoured: an
         already-expired budget raises before HiGHS is entered, and the
         solver time limit is capped to the remaining budget.
+
+        ``options["warm_start"]`` may carry an incumbent hint (a
+        ``{Variable: value}`` mapping, e.g. a previous iteration's
+        solution).  HiGHS's scipy entry point has no MIP-start API, so the
+        hint cannot seed the search itself; it is validated and recorded
+        on :class:`SolveStats` (``warm_started``/``hint_objective``), and
+        for pure *feasibility* models (the paper's ``ObjFunc: Null``) a
+        still-feasible hint is returned directly without invoking HiGHS.
         """
         deadline = current_deadline()
         deadline.check(f"milp_solve:{model.name}")
@@ -69,16 +76,6 @@ class ScipyBackend:
                 stats=SolveStats(backend="highs"),
             )
 
-        lower = np.full(len(form.senses), -np.inf)
-        upper = np.full(len(form.senses), np.inf)
-        for row, sense in enumerate(form.senses):
-            if sense is Sense.LE:
-                upper[row] = form.rhs[row]
-            elif sense is Sense.GE:
-                lower[row] = form.rhs[row]
-            else:
-                lower[row] = upper[row] = form.rhs[row]
-
         milp_options: dict = {}
         time_limit = deadline.cap(options.get("time_limit", self.time_limit))
         if time_limit is not None:
@@ -93,15 +90,50 @@ class ScipyBackend:
 
         constraints = []
         if form.a_matrix.shape[0]:
-            constraints.append(LinearConstraint(form.a_matrix, lower, upper))
+            row_lower, row_upper = form.row_bounds()
+            constraints.append(
+                LinearConstraint(form.a_matrix, row_lower, row_upper)
+            )
 
         if not form.integrality.any():
             # Pure LP (e.g. the two-step method's relaxation): HiGHS's
             # interior-point method is several times faster than the
             # branch-and-cut entry point on these transportation-like LPs.
-            return self._solve_lp(form, lower, upper, time_limit, model.name)
+            return self._solve_lp(form, time_limit, model.name)
 
         stats = SolveStats(backend="highs", kind="milp")
+        hint = options.get("warm_start")
+        if hint:
+            x0 = hint_vector(form, hint)
+            if x0 is None:
+                counter("milp.warm_start_misses").inc()
+            else:
+                stats.warm_started = True
+                stats.hint_objective = float(form.objective @ x0)
+                counter("milp.warm_start_hits").inc()
+                if not model.has_objective():
+                    # Feasibility model: any feasible point is an answer, so
+                    # the validated hint short-circuits the solver entirely.
+                    with span(
+                        "solver", backend="highs", kind="milp",
+                        model=model.name, variables=n, warm_shortcut=True,
+                    ) as solver_span:
+                        stats.incumbent = stats.hint_objective
+                        stats.elapsed_s = solver_span.duration_s
+                        solver_span.set(status="optimal", **stats.span_attrs())
+                    counter("milp.warm_start_shortcuts").inc()
+                    values = {
+                        var: float(x0[i])
+                        for i, var in enumerate(form.variables)
+                    }
+                    return Solution(
+                        status=SolveStatus.OPTIMAL,
+                        objective=stats.incumbent,
+                        values=values,
+                        solve_seconds=stats.elapsed_s,
+                        message="warm-start hint accepted (feasibility model)",
+                        stats=stats,
+                    )
         with span(
             "solver", backend="highs", kind="milp", model=model.name,
             variables=n,
@@ -172,33 +204,18 @@ class ScipyBackend:
             stats=stats,
         )
 
-    def _solve_lp(self, form, lower, upper, time_limit, name="lp") -> Solution:
+    def _solve_lp(self, form, time_limit, name="lp") -> Solution:
         """Pure-LP fast path through linprog/HiGHS-IPM."""
-        import numpy as np
-        from scipy import sparse
         from scipy.optimize import linprog
 
-        from repro.milp.constraint import Sense as _Sense
-
-        a_ub_rows, b_ub, a_eq_rows, b_eq = [], [], [], []
-        for row, sense in enumerate(form.senses):
-            coeffs = form.a_matrix.getrow(row)
-            if sense is _Sense.LE:
-                a_ub_rows.append(coeffs)
-                b_ub.append(form.rhs[row])
-            elif sense is _Sense.GE:
-                a_ub_rows.append(-coeffs)
-                b_ub.append(-form.rhs[row])
-            else:
-                a_eq_rows.append(coeffs)
-                b_eq.append(form.rhs[row])
+        a_ub, b_ub, a_eq, b_eq = form.ub_eq_split()
         kwargs: dict = {}
-        if a_ub_rows:
-            kwargs["A_ub"] = sparse.vstack(a_ub_rows, format="csr")
-            kwargs["b_ub"] = np.array(b_ub)
-        if a_eq_rows:
-            kwargs["A_eq"] = sparse.vstack(a_eq_rows, format="csr")
-            kwargs["b_eq"] = np.array(b_eq)
+        if a_ub is not None:
+            kwargs["A_ub"] = a_ub
+            kwargs["b_ub"] = b_ub
+        if a_eq is not None:
+            kwargs["A_eq"] = a_eq
+            kwargs["b_eq"] = b_eq
         options: dict = {}
         if time_limit is not None:
             options["time_limit"] = float(time_limit)

@@ -42,7 +42,13 @@ from repro.obs.metrics import (
     histogram,
     registry,
 )
-from repro.obs.sinks import JsonlSink, TreeSink, render_tree
+from repro.obs.sinks import (
+    CollectorSink,
+    JsonlSink,
+    TreeSink,
+    render_tree,
+    replay_records,
+)
 from repro.obs.solverstats import (
     Algorithm1Stats,
     SolveProgress,
@@ -57,6 +63,7 @@ from repro.obs.spans import (
     Span,
     add_sink,
     attached,
+    clear_sinks,
     current_span,
     event,
     remove_sink,
@@ -74,6 +81,7 @@ from repro.obs.trace import (
 __all__ = [
     "PATH_SEP",
     "Algorithm1Stats",
+    "CollectorSink",
     "Counter",
     "Gauge",
     "Histogram",
@@ -89,6 +97,7 @@ __all__ = [
     "TreeSink",
     "add_sink",
     "attached",
+    "clear_sinks",
     "configure_logging",
     "convergence_rows",
     "counter",
@@ -103,6 +112,7 @@ __all__ = [
     "registry",
     "remove_sink",
     "render_tree",
+    "replay_records",
     "set_progress",
     "span",
     "summarize_records",

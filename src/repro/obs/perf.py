@@ -32,7 +32,8 @@ from dataclasses import dataclass, field
 
 from repro.obs.logs import get_logger
 from repro.obs.metrics import registry
-from repro.obs.spans import Span, attached
+from repro.obs.sinks import CollectorSink, replay_records
+from repro.obs.spans import attached, clear_sinks
 from repro.obs.trace import summarize_records
 
 _log = get_logger("obs.perf")
@@ -46,19 +47,6 @@ SMOKE_BENCHMARKS = ("B1", "B4", "B10", "B13", "B19", "B22")
 
 #: Fabric cap of the smoke profile (entries are scaled down to fit).
 SMOKE_MAX_FABRIC = 8
-
-
-class _CollectorSink:
-    """In-memory span/event collector (list of JSONL-shaped records)."""
-
-    def __init__(self) -> None:
-        self.records: list[dict] = []
-
-    def on_span(self, span: Span) -> None:
-        self.records.append(span.to_record())
-
-    def on_event(self, record: dict) -> None:
-        self.records.append(record)
 
 
 def _rss_mb() -> float | None:
@@ -132,7 +120,7 @@ def run_entry(
         )
     )
 
-    collector = _CollectorSink()
+    collector = CollectorSink()
     tracing_was_on = tracemalloc.is_tracing()
     if not tracing_was_on:
         tracemalloc.start()
@@ -166,6 +154,55 @@ def run_entry(
     return entry_record
 
 
+def _suite_worker(name: str, opts: dict) -> tuple[dict, list[dict]]:
+    """Process-pool body of one suite entry.
+
+    Runs in a worker process, so spans emitted there never reach the
+    parent's sinks directly; a collector captures them as JSONL-shaped
+    dicts (picklable) for the parent to replay.
+    """
+    clear_sinks()  # drop sinks (and their file handles) inherited via fork
+    collector = CollectorSink()
+    with attached(collector):
+        entry_record = run_entry(name, **opts)
+    return entry_record, collector.records
+
+
+def _run_entries_parallel(
+    names: tuple[str, ...], opts: dict, jobs: int
+) -> dict:
+    """Fan suite entries out over a process pool; results in suite order.
+
+    Worker trace records are replayed into the parent's attached sinks as
+    each entry completes, so ``--trace`` output covers the whole sweep.
+    The first worker failure propagates after pending entries are
+    cancelled.
+    """
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    results: dict[str, dict] = {}
+    with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+        futures = {
+            pool.submit(_suite_worker, name, opts): name for name in names
+        }
+        try:
+            for future in as_completed(futures):
+                name = futures[future]
+                entry_record, records = future.result()
+                replay_records(records)
+                results[name] = entry_record
+                _log.info(
+                    "bench %s: %.2fs, %.1f MiB peak, %d solves",
+                    name, entry_record["wall_s"], entry_record["peak_mem_mb"],
+                    entry_record["solver"]["solves"],
+                )
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+    return {name: results[name] for name in names}
+
+
 def run_suite(
     benchmarks: tuple[str, ...] | list[str] | None = None,
     mode: str = "rotate",
@@ -173,21 +210,32 @@ def run_suite(
     max_fabric: int | None = SMOKE_MAX_FABRIC,
     seed: int = 0,
     timestamp: str | None = None,
+    jobs: int = 1,
 ) -> dict:
-    """Run the benchmark suite and return a schema-versioned bench record."""
+    """Run the benchmark suite and return a schema-versioned bench record.
+
+    ``jobs > 1`` executes entries on a process pool (each entry is an
+    independent flow run with its own seed-derived inputs, so results are
+    identical to a serial run and the record keeps suite order).  The
+    ``metrics`` snapshot then only reflects the parent process — per-entry
+    numbers, which live in the entries themselves, are unaffected.
+    """
     names = tuple(benchmarks) if benchmarks else SMOKE_BENCHMARKS
-    entries = {}
-    for name in names:
-        _log.info("bench %s ...", name)
-        entries[name] = run_entry(
-            name, mode=mode, time_limit_s=time_limit_s,
-            max_fabric=max_fabric, seed=seed,
-        )
-        _log.info(
-            "bench %s: %.2fs, %.1f MiB peak, %d solves",
-            name, entries[name]["wall_s"], entries[name]["peak_mem_mb"],
-            entries[name]["solver"]["solves"],
-        )
+    opts = dict(
+        mode=mode, time_limit_s=time_limit_s, max_fabric=max_fabric, seed=seed
+    )
+    if jobs > 1 and len(names) > 1:
+        entries = _run_entries_parallel(names, opts, jobs)
+    else:
+        entries = {}
+        for name in names:
+            _log.info("bench %s ...", name)
+            entries[name] = run_entry(name, **opts)
+            _log.info(
+                "bench %s: %.2fs, %.1f MiB peak, %d solves",
+                name, entries[name]["wall_s"], entries[name]["peak_mem_mb"],
+                entries[name]["solver"]["solves"],
+            )
     record = {
         "schema": 1,
         "kind": "bench_record",

@@ -20,9 +20,9 @@ from __future__ import annotations
 import io
 import json
 import pathlib
-from typing import Mapping
+from typing import Iterable, Mapping, Sequence
 
-from repro.obs.spans import PATH_SEP, Span
+from repro.obs.spans import PATH_SEP, Span, SpanSink, active_sinks
 
 
 class JsonlSink:
@@ -49,6 +49,10 @@ class JsonlSink:
         self._write(span.to_record())
 
     def on_event(self, record: dict) -> None:
+        self._write(record)
+
+    def on_record(self, record: Mapping) -> None:
+        """Append an already-flattened record (see :func:`replay_records`)."""
         self._write(record)
 
     def write_metrics(self, snapshot: Mapping[str, Mapping]) -> None:
@@ -94,9 +98,58 @@ class TreeSink:
     def on_event(self, record: dict) -> None:
         self.events.append(record)
 
+    def on_record(self, record: dict) -> None:
+        """Route a replayed record to the span or event list by its type."""
+        if record.get("type") == "span":
+            self.spans.append(record)
+        else:
+            self.events.append(record)
+
     def render(self) -> str:
         """Indented tree: one line per distinct path, ordered by first visit."""
         return render_tree(self.spans)
+
+
+class CollectorSink:
+    """In-memory span/event collector (list of JSONL-shaped records).
+
+    Doubles as the transport format for process-parallel sweeps: a worker
+    attaches a collector, ships ``records`` back to the parent (they are
+    plain JSON-ready dicts, hence picklable), and the parent merges them
+    into its own sinks with :func:`replay_records`.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def on_span(self, span: Span) -> None:
+        self.records.append(span.to_record())
+
+    def on_event(self, record: dict) -> None:
+        self.records.append(record)
+
+    def on_record(self, record: dict) -> None:
+        self.records.append(record)
+
+
+def replay_records(
+    records: Iterable[Mapping],
+    sinks: Sequence[SpanSink] | None = None,
+) -> None:
+    """Feed already-flattened records into sinks (worker → parent merge).
+
+    ``sinks`` defaults to the currently attached set.  Only sinks exposing
+    ``on_record`` participate — the record is no longer a live
+    :class:`Span`, so the ``on_span`` protocol does not apply.
+    """
+    targets = [
+        sink
+        for sink in (active_sinks() if sinks is None else sinks)
+        if hasattr(sink, "on_record")
+    ]
+    for record in records:
+        for sink in targets:
+            sink.on_record(record)
 
 
 def render_tree(spans: list[Mapping]) -> str:

@@ -79,10 +79,10 @@ class TrajectorySample:
 class SolveStats:
     """Telemetry of one backend solve, attached to its ``Solution``.
 
-    Replaces mutable backend state (``BranchBoundBackend.last_node_count``)
-    as the supported way to learn what a solve did: the record travels with
+    The supported way to learn what a solve did: the record travels with
     the :class:`~repro.milp.status.Solution`, so concurrent or nested
-    solves cannot clobber each other's numbers.
+    solves cannot clobber each other's numbers (mutable backend state such
+    as the former ``BranchBoundBackend.last_node_count`` could).
     """
 
     backend: str = ""
@@ -103,6 +103,11 @@ class SolveStats:
     limit_reason: str = ""
     elapsed_s: float = 0.0
     trajectory: list[TrajectorySample] = field(default_factory=list)
+    #: Whether the solve was seeded with a validated incumbent hint.
+    warm_started: bool = False
+    #: Objective of the accepted hint (hint quality: compare against the
+    #: final ``incumbent`` to see how much the search improved on it).
+    hint_objective: float | None = None
     # -- LP->ILP pre-mapping (the paper's 0.95 threshold), recorded on the
     # residual-ILP solve of the two-step method ------------------------------
     fix_threshold: float | None = None
@@ -164,6 +169,10 @@ class SolveStats:
             attrs["gap"] = self.mip_gap
         if self.limit_reason:
             attrs["limit_reason"] = self.limit_reason
+        if self.warm_started:
+            attrs["warm_started"] = True
+            if self.hint_objective is not None:
+                attrs["hint_objective"] = self.hint_objective
         if self.groups_total is not None:
             attrs["groups_fixed"] = self.groups_fixed
             attrs["groups_total"] = self.groups_total
@@ -184,6 +193,9 @@ class SolveStats:
             "elapsed_s": self.elapsed_s,
             "trajectory": [point.to_dict() for point in self.trajectory],
         }
+        if self.warm_started:
+            data["warm_started"] = True
+            data["hint_objective"] = self.hint_objective
         if self.groups_total is not None:
             data["fixing"] = {
                 "threshold": self.fix_threshold,

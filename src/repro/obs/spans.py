@@ -183,6 +183,18 @@ def active_sinks() -> tuple[SpanSink, ...]:
     return tuple(_sinks)
 
 
+def clear_sinks() -> None:
+    """Detach every sink.
+
+    Called first thing in forked sweep workers: a fork inherits the
+    parent's sink list (including open trace-file handles), and a child
+    writing to those would interleave with — and duplicate — the parent's
+    records.  Workers collect into their own sink instead; the parent
+    replays the returned records.
+    """
+    _sinks.clear()
+
+
 @contextlib.contextmanager
 def attached(*sinks: SpanSink) -> Iterator[None]:
     """Scope-attach sinks: ``with attached(tree_sink): run_flow(...)``."""

@@ -18,8 +18,10 @@ changes.  EXPERIMENTS.md records measured-vs-published values.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.benchgen.suite import TABLE1, Table1Entry
@@ -28,9 +30,24 @@ from repro.core.algorithm1 import Algorithm1Config
 from repro.core.flow import AgingAwareFlow, FlowConfig
 from repro.core.remap import RemapConfig
 from repro.errors import FlowError, ReproError, SweepError
-from repro.obs import configure_logging, counter, event, get_logger, span
+from repro.obs import (
+    CollectorSink,
+    attached,
+    clear_sinks,
+    configure_logging,
+    counter,
+    event,
+    get_logger,
+    replay_records,
+    span,
+)
 from repro.resilience.checkpoint import SweepCheckpoint
-from repro.resilience.deadline import Deadline, deadline_scope, shielded
+from repro.resilience.deadline import (
+    Deadline,
+    current_deadline,
+    deadline_scope,
+    shielded,
+)
 from repro.report.figures import ascii_curve, bar_chart, series_csv, stress_grid
 from repro.report.paper import (
     BenchmarkMeasurement,
@@ -82,6 +99,8 @@ class ExperimentConfig:
     keep_going: bool = False
     #: Extra attempts (with a perturbed seed) after a transient failure.
     retries: int = 1
+    #: Process-pool width for table1/fig5 sweeps (1 = serial in-process).
+    jobs: int = 1
 
     def suite(self) -> list[Table1Entry]:
         entries = [
@@ -155,18 +174,15 @@ def measure_benchmark(
     )
 
 
-def _measure_with_retry(
-    entry: Table1Entry,
-    config: ExperimentConfig,
-    checkpoint: SweepCheckpoint | None,
-    log=_log_line,
-) -> BenchmarkMeasurement:
+def _measure_entry(
+    entry: Table1Entry, config: ExperimentConfig, log=_log_line
+) -> tuple[BenchmarkMeasurement | None, dict]:
     """Measure one entry; retry transient failures with a perturbed seed.
 
-    On success the measurement is appended to ``checkpoint`` (when given);
-    a permanent failure is recorded there too (``status: "failed"`` — a
-    later ``--resume`` run will retry it) and raised as
-    :class:`~repro.errors.SweepError`.
+    Returns ``(measurement, checkpoint_record)``; ``measurement`` is None
+    on permanent failure (``record["status"] == "failed"``).  The record
+    is exactly what a checkpoint stores — the caller owns the append, so
+    serial and process-parallel sweeps write identical checkpoints.
     """
     attempts = max(1, config.retries + 1)
     last_error: ReproError | None = None
@@ -191,34 +207,153 @@ def _measure_with_retry(
                     f"seed {config.seed + RETRY_SEED_STRIDE * (attempt + 1)}"
                 )
             continue
-        if checkpoint is not None:
-            checkpoint.append(
-                {
-                    "entry": entry.name,
-                    "status": "ok",
-                    "seed": seed,
-                    "freeze_increase": measurement.freeze_increase,
-                    "rotate_increase": measurement.rotate_increase,
-                }
-            )
-        return measurement
+        return measurement, {
+            "entry": entry.name,
+            "status": "ok",
+            "seed": seed,
+            "freeze_increase": measurement.freeze_increase,
+            "rotate_increase": measurement.rotate_increase,
+        }
     counter("sweep.entry_failures").inc()
     event(
         "sweep.entry_failed",
         entry=entry.name,
         error=f"{type(last_error).__name__}: {last_error}",
     )
+    return None, {
+        "entry": entry.name,
+        "status": "failed",
+        "error": f"{type(last_error).__name__}: {last_error}",
+    }
+
+
+def _measure_with_retry(
+    entry: Table1Entry,
+    config: ExperimentConfig,
+    checkpoint: SweepCheckpoint | None,
+    log=_log_line,
+) -> BenchmarkMeasurement:
+    """Serial-path wrapper of :func:`_measure_entry`.
+
+    On success the measurement is appended to ``checkpoint`` (when given);
+    a permanent failure is recorded there too (``status: "failed"`` — a
+    later ``--resume`` run will retry it) and raised as
+    :class:`~repro.errors.SweepError`.
+    """
+    measurement, record = _measure_entry(entry, config, log=log)
     if checkpoint is not None:
-        checkpoint.append(
-            {
-                "entry": entry.name,
-                "status": "failed",
-                "error": f"{type(last_error).__name__}: {last_error}",
-            }
+        checkpoint.append(record)
+    if measurement is None:
+        raise SweepError(
+            f"{entry.name}: failed after {max(1, config.retries + 1)} "
+            f"attempt(s): {record['error']}"
         )
-    raise SweepError(
-        f"{entry.name}: failed after {attempts} attempt(s): {last_error}"
-    ) from last_error
+    return measurement
+
+
+def _sweep_worker(
+    entry: Table1Entry,
+    config: ExperimentConfig,
+    deadline_share_s: float | None,
+) -> dict:
+    """Process-pool body of one sweep entry.
+
+    Runs in a forked worker: inherited sinks are dropped (their file
+    handles belong to the parent), spans/events are captured by a local
+    collector and shipped back as picklable records, and the checkpoint is
+    never touched here — the parent owns all appends.
+    """
+    clear_sinks()
+    collector = CollectorSink()
+    worker_config = replace(
+        config, checkpoint=None, jobs=1, deadline_s=deadline_share_s
+    )
+    start = time.perf_counter()
+    with attached(collector):
+        with span("table1_entry", benchmark=entry.name):
+            measurement, record = _measure_entry(
+                entry, worker_config, log=_log_line
+            )
+    return {
+        "record": record,
+        "ok": measurement is not None,
+        "trace_records": collector.records,
+        "wall_s": time.perf_counter() - start,
+    }
+
+
+def _sweep_parallel(
+    pending: list[Table1Entry],
+    config: ExperimentConfig,
+    checkpoint: SweepCheckpoint | None,
+    results: dict[str, BenchmarkMeasurement],
+    failed: list[str],
+    log=_log_line,
+) -> None:
+    """Fan pending sweep entries out over a process pool.
+
+    Each entry is measured exactly as in a serial sweep (same seeds, same
+    retry ladder), so the measurements are identical — only wall-clock
+    interleaving changes.  The parent appends checkpoint records in
+    completion order (same fsync guarantees; ``--resume`` composes) and
+    replays worker trace records into its own sinks.  Every worker
+    receives an equal share of the parent's remaining deadline budget,
+    further capped by ``config.deadline_s``.
+    """
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    jobs = min(config.jobs, len(pending))
+    share = config.deadline_s
+    remaining = current_deadline().remaining_s()
+    if math.isfinite(remaining):
+        # Entries run in ceil(n/jobs) waves; a fair share assumes each
+        # worker processes one entry per wave.
+        wave_share = remaining / math.ceil(len(pending) / jobs)
+        share = wave_share if share is None else min(share, wave_share)
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {
+            pool.submit(_sweep_worker, entry, config, share): entry
+            for entry in pending
+        }
+        try:
+            for future in as_completed(futures):
+                entry = futures[future]
+                outcome = future.result()
+                replay_records(outcome["trace_records"])
+                record = outcome["record"]
+                if checkpoint is not None:
+                    checkpoint.append(record)
+                if outcome["ok"]:
+                    measurement = BenchmarkMeasurement(
+                        entry=entry,
+                        freeze_increase=record["freeze_increase"],
+                        rotate_increase=record["rotate_increase"],
+                    )
+                    results[entry.name] = measurement
+                    log(
+                        f"{entry.name}: freeze "
+                        f"{measurement.freeze_increase:.2f}x "
+                        f"(paper {entry.freeze_ref:.2f}) rotate "
+                        f"{measurement.rotate_increase:.2f}x "
+                        f"(paper {entry.rotate_ref:.2f}) "
+                        f"[{outcome['wall_s']:.1f}s]"
+                    )
+                elif config.keep_going:
+                    failed.append(entry.name)
+                    log(
+                        f"{entry.name}: FAILED ({record['error']}); "
+                        "continuing (--keep-going)"
+                    )
+                else:
+                    raise SweepError(
+                        f"{entry.name}: failed after "
+                        f"{max(1, config.retries + 1)} attempt(s): "
+                        f"{record['error']}"
+                    )
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
 
 
 def run_table1(config: ExperimentConfig, log=_log_line) -> list[BenchmarkMeasurement]:
@@ -231,6 +366,11 @@ def run_table1(config: ExperimentConfig, log=_log_line) -> list[BenchmarkMeasure
     their measurements verbatim — the final table is bit-identical to an
     uninterrupted run.  ``config.keep_going`` records a permanently-failed
     entry and moves on instead of aborting the sweep.
+
+    ``config.jobs > 1`` measures the non-restored entries on a process
+    pool (:func:`_sweep_parallel`) — per-entry measurements and checkpoint
+    records are identical to a serial sweep, and the returned list keeps
+    suite order regardless of completion order.
     """
     checkpoint = (
         SweepCheckpoint(Path(config.checkpoint)) if config.checkpoint else None
@@ -241,39 +381,51 @@ def run_table1(config: ExperimentConfig, log=_log_line) -> list[BenchmarkMeasure
             done = checkpoint.completed()
         else:
             checkpoint.reset()
-    measurements: list[BenchmarkMeasurement] = []
+    suite = config.suite()
+    results: dict[str, BenchmarkMeasurement] = {}
     failed: list[str] = []
-    for entry in config.suite():
+    pending: list[Table1Entry] = []
+    for entry in suite:
         record = done.get(entry.name)
         if record is not None:
             counter("sweep.entries_resumed").inc()
-            measurements.append(
-                BenchmarkMeasurement(
-                    entry=entry,
-                    freeze_increase=record["freeze_increase"],
-                    rotate_increase=record["rotate_increase"],
-                )
+            results[entry.name] = BenchmarkMeasurement(
+                entry=entry,
+                freeze_increase=record["freeze_increase"],
+                rotate_increase=record["rotate_increase"],
             )
             log(f"{entry.name}: restored from checkpoint")
-            continue
-        with span("table1_entry", benchmark=entry.name) as entry_span:
-            try:
-                measurement = _measure_with_retry(
-                    entry, config, checkpoint, log=log
-                )
-            except SweepError as exc:
-                if not config.keep_going:
-                    raise
-                failed.append(entry.name)
-                log(f"{entry.name}: FAILED ({exc}); continuing (--keep-going)")
-                continue
-        measurements.append(measurement)
-        log(
-            f"{entry.name}: freeze {measurement.freeze_increase:.2f}x "
-            f"(paper {entry.freeze_ref:.2f}) rotate "
-            f"{measurement.rotate_increase:.2f}x (paper {entry.rotate_ref:.2f}) "
-            f"[{entry_span.duration_s:.1f}s]"
-        )
+        else:
+            pending.append(entry)
+    if config.jobs > 1 and len(pending) > 1:
+        _sweep_parallel(pending, config, checkpoint, results, failed, log)
+    else:
+        for entry in pending:
+            with span("table1_entry", benchmark=entry.name) as entry_span:
+                try:
+                    measurement = _measure_with_retry(
+                        entry, config, checkpoint, log=log
+                    )
+                except SweepError as exc:
+                    if not config.keep_going:
+                        raise
+                    failed.append(entry.name)
+                    log(
+                        f"{entry.name}: FAILED ({exc}); continuing "
+                        "(--keep-going)"
+                    )
+                    continue
+            results[entry.name] = measurement
+            log(
+                f"{entry.name}: freeze {measurement.freeze_increase:.2f}x "
+                f"(paper {entry.freeze_ref:.2f}) rotate "
+                f"{measurement.rotate_increase:.2f}x "
+                f"(paper {entry.rotate_ref:.2f}) "
+                f"[{entry_span.duration_s:.1f}s]"
+            )
+    measurements = [
+        results[entry.name] for entry in suite if entry.name in results
+    ]
     if failed:
         log("")
         log(
@@ -394,6 +546,11 @@ def main(argv: list[str] | None = None) -> int:
         help="perturbed-seed retries per transiently-failed entry",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="measure table1/fig5 entries on an N-process pool "
+        "(default: 1 = serial; results are identical either way)",
+    )
+    parser.add_argument(
         "--log-level", default="warning",
         choices=["debug", "info", "warning", "error", "critical"],
     )
@@ -417,6 +574,7 @@ def main(argv: list[str] | None = None) -> int:
         resume=args.resume,
         keep_going=args.keep_going,
         retries=args.retries,
+        jobs=args.jobs,
     )
     configure_logging(args.log_level)
     # CLI invocation: experiment output belongs on stdout, so the drivers

@@ -88,7 +88,7 @@ class TestBranchBound:
         solution = model.solve(backend)
         assert solution.status is SolveStatus.OPTIMAL
         assert solution.objective == pytest.approx(16.0)
-        assert backend.last_node_count >= 1
+        assert solution.stats.nodes >= 1
 
     def test_infeasible(self):
         model = Model("inf")

@@ -50,6 +50,57 @@ class TestFlowConfig:
         assert flow_config("rotate", 10.0).algorithm1.mode == "rotate"
 
 
+class TestParallelSweep:
+    def test_jobs2_matches_serial_and_resumes(self, tmp_path):
+        """``--jobs 2`` is a pure wall-clock optimisation: measurements,
+        checkpoint records and resume semantics are identical to serial."""
+        pytest.importorskip("scipy")
+        import json
+
+        from repro.report.experiments import run_table1
+
+        def sweep(checkpoint, jobs, resume=False):
+            config = ExperimentConfig(
+                scale="quick",
+                only=["B1", "B4"],
+                time_limit_s=8.0,
+                checkpoint=str(checkpoint),
+                resume=resume,
+                jobs=jobs,
+            )
+            rows = run_table1(config, log=lambda line: None)
+            return [
+                (m.entry.name, m.freeze_increase, m.rotate_increase)
+                for m in rows
+            ]
+
+        def records(path):
+            with open(path) as fh:
+                return [json.loads(line) for line in fh]
+
+        serial_ckpt = tmp_path / "serial.jsonl"
+        parallel_ckpt = tmp_path / "parallel.jsonl"
+        serial = sweep(serial_ckpt, jobs=1)
+        parallel = sweep(parallel_ckpt, jobs=2)
+        assert parallel == serial
+
+        by_entry = lambda record: record["entry"]  # noqa: E731
+        serial_records = sorted(records(serial_ckpt), key=by_entry)
+        parallel_records = sorted(records(parallel_ckpt), key=by_entry)
+        assert parallel_records == serial_records
+
+        # A truncated checkpoint resumes under --jobs without re-running
+        # the completed entry, and the file ends up complete.
+        done = [r for r in serial_records if r["entry"] == "B1"]
+        resume_ckpt = tmp_path / "resume.jsonl"
+        resume_ckpt.write_text(
+            "".join(json.dumps(r) + "\n" for r in done)
+        )
+        resumed = sweep(resume_ckpt, jobs=2, resume=True)
+        assert resumed == serial
+        assert sorted(records(resume_ckpt), key=by_entry) == serial_records
+
+
 class TestCliParsing:
     def test_main_rejects_unknown_experiment(self, capsys):
         from repro.report.experiments import main

@@ -12,6 +12,7 @@ inspected and re-analysed from the shell::
     python -m repro.cli bench    one B13 [--scaled 8] [--mode rotate]
     python -m repro.cli bench    run [-o BENCH.json] [--benchmarks B1,B4]
     python -m repro.cli bench    compare baseline.json candidate.json
+    python -m repro.cli verify   result.json [--certify-backend branch-bound]
     python -m repro.cli trace    summarize trace.jsonl
 
 ``compile`` accepts a mini-C file or a named library kernel (fir8,
@@ -132,6 +133,7 @@ def _flow_config(args) -> FlowConfig:
     return FlowConfig(
         algorithm1=Algorithm1Config(
             mode=args.mode,
+            certify=not getattr(args, "no_certify", False),
             remap=RemapConfig(time_limit_s=args.time_limit),
         )
     )
@@ -169,7 +171,9 @@ def cmd_remap(args) -> int:
     design = load_design(args.design)
     original = load_floorplan(args.floorplan)
     config = Algorithm1Config(
-        mode=args.mode, remap=RemapConfig(time_limit_s=args.time_limit)
+        mode=args.mode,
+        certify=not args.no_certify,
+        remap=RemapConfig(time_limit_s=args.time_limit),
     )
     result = run_algorithm1(
         design, original.fabric, original, config, deadline=_deadline_of(args)
@@ -178,6 +182,7 @@ def cmd_remap(args) -> int:
     print(format_mapping("Re-mapping", {
         "fell back": result.fell_back,
         "degradation": result.degradation,
+        "certified": result.certified,
         "iterations": result.iterations,
         "original CPD (ns)": result.original_cpd_ns,
         "final CPD (ns)": result.final_cpd_ns,
@@ -224,6 +229,7 @@ def cmd_flow(args) -> int:
     print(format_mapping(f"flow: {name}", {
         "MTTF increase": f"{result.mttf_increase:.2f}x",
         "CPD preserved": result.cpd_preserved,
+        "certified": result.remap.certified,
         "degradation": result.remap.degradation,
         "contexts": design.num_contexts,
         "utilization": f"{result.original.floorplan.utilization():.0%}",
@@ -307,6 +313,50 @@ def cmd_bench_compare(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from repro.verify import certify_artifact
+
+    document = load_json(args.record)
+    report = certify_artifact(
+        document,
+        certify_backend=args.certify_backend,
+        sample=args.sample,
+        seed=args.seed,
+        time_limit_s=args.time_limit,
+    )
+    cert = report["certificate"]
+    fields = {
+        "certificate": "PASS" if not cert["violations"] else "FAIL",
+        "checks": len(cert["checks"]),
+        "violations": len(cert["violations"]),
+    }
+    differential = report["differential"]
+    if differential is not None:
+        fields["differential"] = (
+            "agree" if differential["ok"] else "MISMATCH"
+        )
+        fields["sampled contexts"] = ", ".join(
+            str(c) for c in differential["sampled_contexts"]
+        )
+    print(format_mapping(f"verify: {report['benchmark']}", fields))
+    for check in cert["checks"]:
+        print(f"  [pass] {check}")
+    for violation in cert["violations"]:
+        print(
+            f"  [FAIL] {violation['kind']}[{violation['subject']}]: "
+            f"{violation['detail']}"
+        )
+    if differential is not None:
+        for context, result in differential["contexts"].items():
+            objectives = " ".join(
+                f"{backend}={value}"
+                for backend, value in result["objectives"].items()
+            )
+            status = "ok" if result["ok"] else "MISMATCH"
+            print(f"  [ctx {context}] {status}: {objectives}")
+    return 0 if report["ok"] else 4
+
+
 def cmd_trace_summarize(args) -> int:
     summary = summarize_trace(args.file)
     print(format_table(
@@ -349,8 +399,15 @@ def cmd_trace_summarize(args) -> int:
                 "solves": run.get("solves"),
                 "total nodes": run.get("total_nodes"),
                 "max MIP gap": run.get("max_mip_gap"),
+                "certifications": run.get("certifications"),
+                "cert failures": run.get("cert_failures"),
+                "cert cold rebuilds": run.get("cert_cold_rebuilds"),
             }
         ))
+    if summary.sweep_entries:
+        print("\nsweep entries")
+        print("-------------")
+        print(format_table(["entry", "verdict"], summary.verdict_table()))
     if summary.degradations:
         rows = []
         for record in summary.degradations:
@@ -423,6 +480,14 @@ def build_parser() -> argparse.ArgumentParser:
         "top cumulative-time hotspots",
     )
 
+    # Certification opt-out, shared by the Algorithm-1-running commands.
+    cert_flags = argparse.ArgumentParser(add_help=False)
+    cert_flags.add_argument(
+        "--no-certify", action="store_true",
+        help="skip the independent certification of accepted MILP "
+        "solutions (on by default; see docs/robustness.md)",
+    )
+
     p = sub.add_parser("compile", help="mini-C -> mapped design JSON")
     p.add_argument("source")
     p.add_argument("-o", "--output", default="design.json")
@@ -437,7 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "remap", help="aging-aware re-mapping (Algorithm 1)",
-        parents=[obs_flags],
+        parents=[obs_flags, cert_flags],
     )
     p.add_argument("design")
     p.add_argument("floorplan")
@@ -452,7 +517,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser(
-        "flow", help="full Phase 1 + Phase 2 on a kernel", parents=[obs_flags]
+        "flow", help="full Phase 1 + Phase 2 on a kernel",
+        parents=[obs_flags, cert_flags],
     )
     p.add_argument("source")
     p.add_argument("--fabric", default="4x4")
@@ -467,7 +533,8 @@ def build_parser() -> argparse.ArgumentParser:
     bsub = p.add_subparsers(dest="bench_command", required=True)
 
     b = bsub.add_parser(
-        "one", help="run one Table I benchmark", parents=[obs_flags]
+        "one", help="run one Table I benchmark",
+        parents=[obs_flags, cert_flags],
     )
     b.add_argument("name")
     b.add_argument("--scaled", type=int, default=None)
@@ -520,6 +587,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="report regressions but exit 0 (CI soft mode)",
     )
     b.set_defaults(func=cmd_bench_compare)
+
+    p = sub.add_parser(
+        "verify",
+        help="independently certify a saved flow record "
+        "(repro flow ... -o record.json)",
+    )
+    p.add_argument("record", help="flow_result JSON artifact to certify")
+    p.add_argument(
+        "--certify-backend", default=None,
+        choices=["highs", "branch-bound"], metavar="BACKEND",
+        help="additionally re-solve sampled contexts on this backend and "
+        "compare objectives against HiGHS (highs | branch-bound)",
+    )
+    p.add_argument(
+        "--sample", type=int, default=2, metavar="N",
+        help="contexts to re-solve in differential mode (default: 2)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--time-limit", type=float, default=30.0,
+        help="per-context solver time limit in differential mode",
+    )
+    p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("trace", help="inspect JSONL observability traces")
     tsub = p.add_subparsers(dest="trace_command", required=True)

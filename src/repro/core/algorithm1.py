@@ -47,6 +47,7 @@ from repro.core.targets import (
 )
 from repro.errors import (
     BudgetInfeasibleError,
+    CertificationError,
     DeadlineExceededError,
     FlowError,
     SolverError,
@@ -92,6 +93,12 @@ class Algorithm1Config:
     remap: RemapConfig = field(default_factory=RemapConfig)
     #: Allow ST_target to exceed ST_up by this factor before giving up.
     st_ceiling_factor: float = 1.5
+    #: Independently certify every accepted floorplan (:mod:`repro.verify`):
+    #: row-by-row feasibility against the uncompiled model plus
+    #: first-principles stress/slot/frozen/CPD re-checks.  A failure
+    #: triggers one cold-rebuild re-solve (catching silent restamp or
+    #: warm-start corruption) before the degradation ladder engages.
+    certify: bool = True
 
 
 @dataclass
@@ -119,6 +126,14 @@ class RemapResult:
     #: and per-solve aggregates (also mirrored into ``stats["algorithm1"]``
     #: and the ``algorithm1.stats`` trace event).
     alg1: Algorithm1Stats = field(default_factory=Algorithm1Stats)
+    #: Independent-certification verdict for ``floorplan``: ``True`` when
+    #: the accepted MILP result passed :mod:`repro.verify`; ``None`` when
+    #: certification was disabled or the floorplan came from a non-MILP
+    #: ladder rung (greedy/original — nothing model-level to certify).  A
+    #: certification failure never returns ``False``: it raises
+    #: :class:`~repro.errors.CertificationError` internally and degrades,
+    #: with the reason recorded in ``stats["degradation_reason"]``.
+    certified: bool | None = None
 
 
 def run_algorithm1(
@@ -234,6 +249,7 @@ def _run_algorithm1(
     best: Floorplan | None = None
     final_cpd = cpd_orig
     degradation = "none"
+    certified: bool | None = None
     failure: Exception | None = None
     alg1 = Algorithm1Stats(
         st_low_ns=original_stress.mean_accumulated_ns,
@@ -279,6 +295,9 @@ def _run_algorithm1(
             if warm is not None:
                 warm.reason = entry["result"]
             alg1.record_iteration(st_target, entry["result"])
+            alg1.certifications += entry.get("certifications", 0)
+            alg1.cert_failures += entry.get("cert_failures", 0)
+            alg1.cert_cold_rebuilds += int(entry.get("cert_cold_rebuild", False))
             _absorb_solve_stats(alg1, entry)
             _log.debug(
                 "%s: iteration %d at ST_target=%.3f ns -> %s",
@@ -287,6 +306,7 @@ def _run_algorithm1(
             if entry["result"] == "accepted":
                 best = entry.pop("floorplan")
                 final_cpd = entry["new_cpd_ns"]
+                certified = entry.get("certified")
                 if _used_incumbent(entry):
                     # Accepted, but a solver limit was hit on the way: the
                     # floorplan came from a best-so-far incumbent, not a
@@ -295,8 +315,12 @@ def _run_algorithm1(
                 break
             relaxations.inc()
             st_target += delta
-    except (SolverError, DeadlineExceededError) as exc:
+    except (SolverError, DeadlineExceededError, CertificationError) as exc:
         failure = exc
+        if isinstance(exc, CertificationError):
+            # The iteration's counters were lost with its entry; record the
+            # terminal failure on the run-level aggregates directly.
+            alg1.cert_failures += 1
 
     if failure is not None:
         # Ladder rung 2: solver path is gone (crash, timeout without
@@ -380,6 +404,7 @@ def _run_algorithm1(
         stats=stats,
         degradation=degradation,
         alg1=alg1,
+        certified=certified,
     )
 
 
@@ -497,8 +522,126 @@ def _run_iteration(
         new_report = analyze(design, candidate_fp, graphs)
     entry["new_cpd_ns"] = new_report.cpd_ns
     if new_report.cpd_ns <= cpd_orig + CPD_EPS:
+        if config.certify:
+            return _certify_accepted(
+                design, fabric, original, config, backend, frozen,
+                candidates, monitored, cpd_orig, st_target, iteration,
+                graphs, entry, candidate_fp, outcome, model, variables,
+                warm_out,
+            )
         entry["result"] = "accepted"
         entry["floorplan"] = candidate_fp
         return entry, model, variables, warm_out
     entry["result"] = "cpd_violation"
     return entry, model, variables, warm_out
+
+
+def _certify_accepted(
+    design,
+    fabric,
+    original,
+    config: Algorithm1Config,
+    backend,
+    frozen: FrozenPlan,
+    candidates,
+    monitored,
+    cpd_orig: float,
+    st_target: float,
+    iteration: int,
+    graphs,
+    entry: dict,
+    candidate_fp: Floorplan,
+    outcome,
+    model,
+    variables,
+    warm_out,
+) -> tuple:
+    """Trust-but-verify gate on an accepted iteration.
+
+    The floorplan (and, when a backend solution exists, the solution
+    itself) is re-checked by :mod:`repro.verify` — an independent code
+    path sharing nothing with the incremental compile/restamp/warm-start
+    machinery.  On failure, the Eq. (3) model is rebuilt **cold** (fresh
+    lowering, no warm start) and re-solved once: if the cold result
+    certifies, the stale model state was corrupt and the cold model
+    replaces it for the remaining iterations.  If even the cold path
+    fails, a :class:`CertificationError` propagates to the degradation
+    ladder.
+    """
+    from repro.verify.certifier import certify_remap
+
+    is_cached = config.remap.strategy != "sequential"
+    with span("certify", iteration=iteration):
+        cert = certify_remap(
+            design, candidate_fp, frozen.positions, st_target, cpd_orig,
+            model=model if is_cached else None,
+            solution=outcome.solution,
+            graphs=graphs,
+        )
+    entry["certifications"] = 1
+    if cert.ok:
+        entry["result"] = "accepted"
+        entry["certified"] = True
+        entry["floorplan"] = candidate_fp
+        return entry, model, variables, warm_out
+    entry["cert_failures"] = 1
+    if not is_cached:
+        # The sequential strategy builds fresh models every call — there
+        # is no cached state a cold rebuild could flush.
+        cert.raise_if_failed(f"{design.name} iteration {iteration}")
+    _log.warning(
+        "%s: iteration %d failed certification; cold-rebuilding the model",
+        design.name, iteration,
+    )
+    counter("verify.cold_rebuilds").inc()
+    event(
+        "certification.cold_rebuild",
+        benchmark=design.name,
+        iteration=iteration,
+        violations=[v.kind for v in cert.violations[:8]],
+    )
+    entry["cert_cold_rebuild"] = True
+    try:
+        cold_model, cold_vars, _cold_stats = build_remap_model(
+            design, fabric, frozen, candidates, monitored,
+            cpd_orig, st_target, name="remap_cold",
+            objective=config.remap.objective,
+        )
+    except BudgetInfeasibleError:
+        cert.raise_if_failed(f"{design.name} iteration {iteration}")
+    greedy_ctx = GreedyContext(
+        design=design,
+        fabric=fabric,
+        frozen_positions=frozen.positions,
+        st_target_ns=st_target,
+        frozen_stress_ns=frozen_stress_by_pe(design, frozen),
+    )
+    cold_outcome = solve_remap(
+        cold_model, cold_vars, config.remap, backend, greedy_ctx, None
+    )
+    if cold_outcome.feasible:
+        cold_fp = cold_outcome.floorplan(original, frozen)
+        check_frozen_ops(original, cold_fp, frozen.positions)
+        with span("sta_verify"):
+            cold_report = analyze(design, cold_fp, graphs)
+        if cold_report.cpd_ns <= cpd_orig + CPD_EPS:
+            with span("certify", iteration=iteration, cold_rebuild=True):
+                cold_cert = certify_remap(
+                    design, cold_fp, frozen.positions, st_target, cpd_orig,
+                    model=cold_model,
+                    solution=cold_outcome.solution,
+                    graphs=graphs,
+                )
+            entry["certifications"] = 2
+            if cold_cert.ok:
+                entry["result"] = "accepted"
+                entry["certified"] = True
+                entry["new_cpd_ns"] = cold_report.cpd_ns
+                entry["floorplan"] = cold_fp
+                # The cold model supersedes the corrupt cached one for the
+                # rest of the relax loop.
+                return entry, cold_model, cold_vars, cold_outcome.warm
+    cert.raise_if_failed(f"{design.name} iteration {iteration}")
+    raise CertificationError(  # pragma: no cover - raise_if_failed always raises
+        f"{design.name} iteration {iteration} failed certification"
+    )

@@ -128,6 +128,12 @@ class RemapOutcome:
     #: Hint for the *next* solve of the same (re-stamped) model, when the
     #: strategy produced one (two-step ILP paths only).
     warm: "WarmStart | None" = None
+    #: The backend :class:`~repro.milp.status.Solution` behind
+    #: ``assignment``, when one exists — greedy completions and the
+    #: sequential decomposition assemble the binding without a single
+    #: model-wide solution.  Consumed by :mod:`repro.verify` to re-check
+    #: feasibility row-by-row against the uncompiled model.
+    solution: object | None = None
 
     def floorplan(self, original: Floorplan, frozen: FrozenPlan) -> Floorplan:
         """Materialise the re-mapped floorplan."""
@@ -513,6 +519,7 @@ def _solve_monolithic(
         assignment=_extract(variables, solution),
         stats=stats,
         warm=WarmStart(values=dict(solution.values)),
+        solution=solution,
     )
 
 
@@ -566,6 +573,7 @@ def _solve_two_step(
                     warm=WarmStart(
                         fixing=dict(warm.fixing), values=dict(trial.values)
                     ),
+                    solution=trial,
                 )
             # Miss (still infeasible, or a solver limit): reopen the fixes
             # and run the cold LP→ILP pipeline on the same model.
@@ -657,6 +665,7 @@ def _solve_two_step(
         assignment=_extract(variables, ilp_solution),
         stats=stats,
         warm=WarmStart(fixing=binding, values=dict(ilp_solution.values)),
+        solution=ilp_solution,
     )
 
 

@@ -107,6 +107,22 @@ class DeadlineExceededError(FlowError):
         self.elapsed_s = elapsed_s
 
 
+class CertificationError(ReproError):
+    """An independently re-checked solution failed certification.
+
+    Raised by :mod:`repro.verify` when a solver solution (or a final
+    floorplan) violates a re-derived constraint — feasibility rows,
+    per-PE stress budgets, exactly-one-PE bindings, frozen-op pinning,
+    or the CPD-preservation invariant.  Algorithm 1 treats it like a
+    solver failure: one cold-rebuild re-solve, then the degradation
+    ladder.
+    """
+
+    def __init__(self, message: str, violations: tuple = ()) -> None:
+        super().__init__(message)
+        self.violations = tuple(violations)
+
+
 class SweepError(ReproError):
     """An experiment sweep entry failed permanently (after retries)."""
 

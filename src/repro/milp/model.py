@@ -42,6 +42,20 @@ from repro.obs import counter
 HINT_TOL = 1e-6
 
 
+@dataclass(frozen=True)
+class RowMeta:
+    """Identity of one constraint row, for human-readable audit messages.
+
+    ``rhs`` is sampled at call time, so restamped parameter rows report
+    their *current* right-hand side.
+    """
+
+    index: int
+    name: str
+    sense: str
+    rhs: float
+
+
 @dataclass
 class MatrixForm:
     """Sparse standard form of a model.
@@ -369,6 +383,24 @@ class Model:
     @property
     def num_constraints(self) -> int:
         return len(self._constraints)
+
+    def row_metadata(self) -> tuple[RowMeta, ...]:
+        """Per-row identity (index, name, sense, current RHS).
+
+        Derived from the *live* constraint objects — deliberately not from
+        the compiled lowering — so :mod:`repro.verify` can label the rows
+        it re-checks without touching the cache it is auditing.  Unnamed
+        rows get a positional ``row[i]`` label.
+        """
+        return tuple(
+            RowMeta(
+                index=i,
+                name=constraint.name or f"row[{i}]",
+                sense=constraint.sense.value,
+                rhs=constraint.rhs,
+            )
+            for i, constraint in enumerate(self._constraints)
+        )
 
     def _check_owned(self, var: Variable) -> None:
         idx = var.index

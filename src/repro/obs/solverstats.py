@@ -233,6 +233,12 @@ class Algorithm1Stats:
     solves: int = 0
     total_nodes: int = 0
     max_mip_gap: float | None = None
+    #: Trust-but-verify aggregates (:mod:`repro.verify`): independent
+    #: certification passes run, passes that found violations, and
+    #: cold-rebuild re-solves triggered by a failed certification.
+    certifications: int = 0
+    cert_failures: int = 0
+    cert_cold_rebuilds: int = 0
 
     @property
     def iterations(self) -> int:
@@ -274,6 +280,9 @@ class Algorithm1Stats:
             "solves": self.solves,
             "total_nodes": self.total_nodes,
             "max_mip_gap": self.max_mip_gap,
+            "certifications": self.certifications,
+            "cert_failures": self.cert_failures,
+            "cert_cold_rebuilds": self.cert_cold_rebuilds,
         }
 
 

@@ -48,8 +48,36 @@ DEGRADATION_EVENTS = frozenset(
         "anneal.nan_abort",
         "sweep.retry",
         "sweep.entry_failed",
+        "sweep.worker_crash",
+        "sweep.entry_timeout",
+        "sweep.quarantined",
+        "certification.failed",
+        "certification.cold_rebuild",
     }
 )
+
+#: Per-entry sweep verdicts, worst first.  An entry's verdict is the
+#: highest-ranked signal seen for it anywhere in the trace: a clean
+#: ``table1_entry`` span is ``ok``; retry/crash/timeout events upgrade it
+#: to ``retried``; exhaustion, certification failure, and quarantine win
+#: over everything before them.
+VERDICT_RANK = {
+    "ok": 0,
+    "retried": 1,
+    "cert-failed": 2,
+    "failed": 3,
+    "quarantined": 4,
+}
+
+#: Event name -> the sweep verdict it implies for its entry/benchmark.
+_EVENT_VERDICTS = {
+    "sweep.retry": "retried",
+    "sweep.worker_crash": "retried",
+    "sweep.entry_timeout": "retried",
+    "sweep.entry_failed": "failed",
+    "sweep.quarantined": "quarantined",
+    "certification.failed": "cert-failed",
+}
 
 
 @dataclass
@@ -83,6 +111,9 @@ class TraceSummary:
     solves: list[dict] = field(default_factory=list)
     #: ``algorithm1.stats`` event attrs, one dict per Algorithm 1 run.
     alg1_runs: list[dict] = field(default_factory=list)
+    #: Per-sweep-entry verdict (see :data:`VERDICT_RANK`), in the order
+    #: entries first appear in the trace.
+    sweep_entries: dict[str, str] = field(default_factory=dict)
     #: Sum of root-span durations = the trace's total wall time.
     total_s: float = 0.0
     records: int = 0
@@ -95,6 +126,16 @@ class TraceSummary:
             share = 100.0 * stage.total_s / self.total_s if self.total_s else 0.0
             rows.append([label, stage.count, round(stage.total_s, 3), round(share, 1)])
         return rows
+
+    def verdict_table(self) -> list[list[str]]:
+        """Per-entry ``[entry, verdict]`` rows, worst verdicts first."""
+        return [
+            [entry, verdict]
+            for entry, verdict in sorted(
+                self.sweep_entries.items(),
+                key=lambda item: (-VERDICT_RANK[item[1]], item[0]),
+            )
+        ]
 
 
 def parse_trace_line(line: str, lineno: int = 0) -> dict:
@@ -145,6 +186,15 @@ def read_trace(
     return records
 
 
+def _note_verdict(summary: TraceSummary, entry: object, verdict: str) -> None:
+    """Upgrade ``entry``'s sweep verdict if ``verdict`` outranks it."""
+    if not isinstance(entry, str) or not entry:
+        return
+    current = summary.sweep_entries.get(entry)
+    if current is None or VERDICT_RANK[verdict] > VERDICT_RANK[current]:
+        summary.sweep_entries[entry] = verdict
+
+
 def summarize_records(records: Iterable[Mapping]) -> TraceSummary:
     """Aggregate records into per-stage rows + total wall time."""
     summary = TraceSummary()
@@ -165,12 +215,23 @@ def summarize_records(records: Iterable[Mapping]) -> TraceSummary:
                 summary.total_s += float(record["duration_s"])
             if record["name"] == "solver":
                 summary.solves.append(dict(record))
+            elif record["name"] == "table1_entry":
+                attrs = record.get("attrs") or {}
+                _note_verdict(summary, attrs.get("benchmark"), "ok")
         elif kind == "event":
             summary.events.append(dict(record))
             if record["name"] in DEGRADATION_EVENTS:
                 summary.degradations.append(dict(record))
             elif record["name"] == "algorithm1.stats":
                 summary.alg1_runs.append(dict(record.get("attrs", {})))
+            verdict = _EVENT_VERDICTS.get(record["name"])
+            if verdict is not None:
+                attrs = record.get("attrs") or {}
+                _note_verdict(
+                    summary,
+                    attrs.get("entry", attrs.get("benchmark")),
+                    verdict,
+                )
         elif kind == "metric":
             summary.metrics[record["name"]] = {
                 k: v for k, v in record.items() if k not in ("type", "name")

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
 import time
 from dataclasses import dataclass, field, replace
@@ -42,6 +43,7 @@ from repro.obs import (
     span,
 )
 from repro.resilience.checkpoint import SweepCheckpoint
+from repro.resilience.faults import should_inject
 from repro.resilience.deadline import (
     Deadline,
     current_deadline,
@@ -80,6 +82,17 @@ def _log_line(message: str = "") -> None:
 #: with another entry's nominal seed.
 RETRY_SEED_STRIDE = 1009
 
+#: Base of the exponential backoff slept before an isolated crash retry
+#: (doubles per strike).  Module-level so tests can shrink it.
+_CRASH_BACKOFF_BASE_S = 0.5
+
+#: Supervisor polling period while watching in-flight sweep workers.
+_POLL_INTERVAL_S = 0.2
+
+#: Exit code of a fault-injected worker crash (any hard death works; a
+#: recognisable code makes post-mortems unambiguous).
+_CRASH_EXIT_CODE = 86
+
 
 @dataclass
 class ExperimentConfig:
@@ -101,6 +114,11 @@ class ExperimentConfig:
     retries: int = 1
     #: Process-pool width for table1/fig5 sweeps (1 = serial in-process).
     jobs: int = 1
+    #: Hard wall-clock limit per parallel sweep entry; an overrunning
+    #: worker is killed and the entry retried in isolation (None = off).
+    entry_timeout_s: float | None = None
+    #: Independently certify every accepted MILP solution (repro.verify).
+    certify: bool = True
 
     def suite(self) -> list[Table1Entry]:
         entries = [
@@ -114,13 +132,17 @@ class ExperimentConfig:
 
 
 def flow_config(
-    mode: str, time_limit_s: float, max_iterations: int = 12
+    mode: str,
+    time_limit_s: float,
+    max_iterations: int = 12,
+    certify: bool = True,
 ) -> FlowConfig:
     """Standard experiment flow configuration for one re-mapping mode."""
     return FlowConfig(
         algorithm1=Algorithm1Config(
             mode=mode,
             max_iterations=max_iterations,
+            certify=certify,
             remap=RemapConfig(time_limit_s=time_limit_s),
         )
     )
@@ -152,12 +174,14 @@ def measure_benchmark(
     increases: dict[str, float] = {}
     with deadline_scope(deadline):
         baseline_flow = AgingAwareFlow(
-            flow_config("freeze", config.time_limit_s)
+            flow_config("freeze", config.time_limit_s, certify=config.certify)
         )
         with shielded():
             original = baseline_flow.phase1(design, fabric)
         for mode in ("freeze", "rotate"):
-            flow = AgingAwareFlow(flow_config(mode, config.time_limit_s))
+            flow = AgingAwareFlow(
+                flow_config(mode, config.time_limit_s, certify=config.certify)
+            )
             remapped, remap = flow.phase2(design, fabric, original)
             if remap.final_cpd_ns > remap.original_cpd_ns + 1e-6:
                 raise FlowError(
@@ -255,6 +279,7 @@ def _sweep_worker(
     entry: Table1Entry,
     config: ExperimentConfig,
     deadline_share_s: float | None,
+    inject: str | None = None,
 ) -> dict:
     """Process-pool body of one sweep entry.
 
@@ -262,7 +287,16 @@ def _sweep_worker(
     handles belong to the parent), spans/events are captured by a local
     collector and shipped back as picklable records, and the checkpoint is
     never touched here — the parent owns all appends.
+
+    ``inject`` is the parent's fault-injection verdict (decided at submit
+    time so hit counters stay deterministic — forked workers each start
+    from zero): ``"crash"`` dies hard mid-entry, ``"hang"`` wedges as if
+    stuck in a native call.
     """
+    if inject == "crash":
+        os._exit(_CRASH_EXIT_CODE)
+    if inject == "hang":
+        time.sleep(3600.0)
     clear_sinks()
     collector = CollectorSink()
     worker_config = replace(
@@ -282,78 +316,291 @@ def _sweep_worker(
     }
 
 
+def _wave_share(
+    config: ExperimentConfig, n_entries: int, jobs: int
+) -> float | None:
+    """Per-worker deadline share for a wave of ``n_entries`` entries.
+
+    Entries run in ``ceil(n/jobs)`` sub-waves; a fair share assumes each
+    worker processes one entry per sub-wave.  Recomputed per wave so
+    retries see the budget that is actually left.
+    """
+    share = config.deadline_s
+    remaining = current_deadline().remaining_s()
+    if math.isfinite(remaining):
+        wave_share = remaining / math.ceil(n_entries / jobs)
+        share = wave_share if share is None else min(share, wave_share)
+    return share
+
+
+def _finish_entry(
+    entry: Table1Entry,
+    outcome: dict,
+    config: ExperimentConfig,
+    checkpoint: SweepCheckpoint | None,
+    results: dict[str, BenchmarkMeasurement],
+    failed: list[str],
+    log,
+) -> None:
+    """Absorb one worker outcome into the sweep state (parent side)."""
+    replay_records(outcome["trace_records"])
+    record = outcome["record"]
+    if checkpoint is not None:
+        checkpoint.append(record)
+    if outcome["ok"]:
+        measurement = BenchmarkMeasurement(
+            entry=entry,
+            freeze_increase=record["freeze_increase"],
+            rotate_increase=record["rotate_increase"],
+        )
+        results[entry.name] = measurement
+        log(
+            f"{entry.name}: freeze "
+            f"{measurement.freeze_increase:.2f}x "
+            f"(paper {entry.freeze_ref:.2f}) rotate "
+            f"{measurement.rotate_increase:.2f}x "
+            f"(paper {entry.rotate_ref:.2f}) "
+            f"[{outcome['wall_s']:.1f}s]"
+        )
+    elif config.keep_going:
+        failed.append(entry.name)
+        log(
+            f"{entry.name}: FAILED ({record['error']}); "
+            "continuing (--keep-going)"
+        )
+    else:
+        raise SweepError(
+            f"{entry.name}: failed after "
+            f"{max(1, config.retries + 1)} attempt(s): "
+            f"{record['error']}"
+        )
+
+
+def _strike_entry(
+    entry: Table1Entry,
+    kind: str,
+    reason: str,
+    config: ExperimentConfig,
+    checkpoint: SweepCheckpoint | None,
+    quarantined: list[str],
+    strikes: dict[str, int],
+    retry: list[Table1Entry],
+    log,
+) -> None:
+    """Record one fatal worker incident (crash or timeout) for ``entry``.
+
+    First strike: append a ``"failed"`` checkpoint record and queue an
+    isolated serial retry.  An entry that kills workers twice — or more
+    often than ``config.retries`` allows — is quarantined: recorded as
+    ``"quarantined"`` (still resumable; ``completed()`` only honours
+    ``"ok"``), reported at sweep end, and never allowed to take the pool
+    down again this run.
+    """
+    strikes[entry.name] = strikes.get(entry.name, 0) + 1
+    count = strikes[entry.name]
+    if kind == "timeout":
+        counter("sweep.entry_timeouts").inc()
+        event(
+            "sweep.entry_timeout", entry=entry.name, strikes=count,
+            error=reason,
+        )
+    else:
+        counter("sweep.worker_crashes").inc()
+        event(
+            "sweep.worker_crash", entry=entry.name, strikes=count,
+            error=reason,
+        )
+    if count >= 2 or count > config.retries:
+        counter("sweep.entries_quarantined").inc()
+        event(
+            "sweep.quarantined", entry=entry.name, strikes=count,
+            error=reason,
+        )
+        if checkpoint is not None:
+            checkpoint.append({
+                "entry": entry.name,
+                "status": "quarantined",
+                "strikes": count,
+                "error": reason,
+            })
+        quarantined.append(entry.name)
+        log(
+            f"{entry.name}: QUARANTINED after {count} fatal attempt(s) "
+            f"({reason}); a --resume run will retry it"
+        )
+    else:
+        if checkpoint is not None:
+            checkpoint.append({
+                "entry": entry.name, "status": "failed", "error": reason,
+            })
+        retry.append(entry)
+        log(f"{entry.name}: {reason}; will retry in isolation")
+
+
+def _run_wave(
+    wave: list[Table1Entry],
+    config: ExperimentConfig,
+    checkpoint: SweepCheckpoint | None,
+    results: dict[str, BenchmarkMeasurement],
+    failed: list[str],
+    quarantined: list[str],
+    strikes: dict[str, int],
+    log,
+) -> list[Table1Entry]:
+    """Run one wave of entries on a fresh process pool.
+
+    Returns the entries that must run again: struck in-flight entries
+    (worker death or entry timeout — the supervisor retries them in
+    isolation) plus queued entries a broken pool never started (requeued
+    without a strike).  Entries out of strikes are quarantined here.
+    """
+    from concurrent.futures import ProcessPoolExecutor, wait
+    from concurrent.futures.process import BrokenProcessPool
+
+    jobs = min(config.jobs, len(wave))
+    share = _wave_share(config, len(wave), jobs)
+    retry: list[Table1Entry] = []
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    try:
+        futures: dict = {}
+        order: list = []
+        for entry in wave:
+            # Fault-injection verdicts are taken here, in the parent,
+            # so per-point hit counters are process-stable (see
+            # repro.resilience.faults.FAULT_POINTS).
+            inject = None
+            if should_inject("worker_crash"):
+                inject = "crash"
+            elif should_inject("worker_hang"):
+                inject = "hang"
+            future = pool.submit(_sweep_worker, entry, config, share, inject)
+            futures[future] = entry
+            order.append(future)
+        pending = set(futures)
+        observed: dict = {}  # future -> first-seen-running monotonic time
+        timed_out: set = set()
+        broken: set = set()
+        while pending:
+            done, pending = wait(pending, timeout=_POLL_INTERVAL_S)
+            now = time.monotonic()
+            for future in pending:
+                if future not in observed and future.running():
+                    observed[future] = now
+            if config.entry_timeout_s is not None and not timed_out:
+                overdue = {
+                    future for future in pending
+                    if future in observed
+                    and now - observed[future] > config.entry_timeout_s
+                }
+                if overdue:
+                    timed_out |= overdue
+                    for future in overdue:
+                        log(
+                            f"{futures[future].name}: exceeded entry "
+                            f"timeout ({config.entry_timeout_s:.1f}s); "
+                            "killing pool workers"
+                        )
+                    # No per-future kill exists: pool workers are
+                    # anonymous until they die.  Kill them all; innocent
+                    # in-flight entries surface as crash strikes and win
+                    # their isolated retry.
+                    for proc in list(pool._processes.values()):
+                        proc.kill()
+            for future in done:
+                entry = futures[future]
+                try:
+                    outcome = future.result()
+                except BrokenProcessPool:
+                    broken.add(future)
+                    continue
+                _finish_entry(
+                    entry, outcome, config, checkpoint, results, failed,
+                    log,
+                )
+        # The pool is dead (workers killed or a worker crashed).  At most
+        # ``jobs`` of the broken futures were actually executing: strike
+        # the observed-running ones plus the earliest-submitted
+        # unobserved ones up to the pool width (FIFO dispatch means those
+        # are the likeliest culprits); requeue the rest without a strike.
+        unobserved_slots = max(
+            0, jobs - sum(1 for f in broken if f in observed)
+        )
+        for future in (f for f in order if f in broken):
+            entry = futures[future]
+            if future in observed:
+                kind = "timeout" if future in timed_out else "crash"
+                reason = (
+                    f"entry timeout ({config.entry_timeout_s:.1f}s) "
+                    "exceeded; worker killed"
+                    if kind == "timeout"
+                    else "worker process died mid-entry"
+                )
+                _strike_entry(
+                    entry, kind, reason, config, checkpoint, quarantined,
+                    strikes, retry, log,
+                )
+            elif unobserved_slots > 0:
+                unobserved_slots -= 1
+                _strike_entry(
+                    entry, "crash", "worker process died mid-entry",
+                    config, checkpoint, quarantined, strikes, retry, log,
+                )
+            else:
+                retry.append(entry)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return retry
+
+
 def _sweep_parallel(
     pending: list[Table1Entry],
     config: ExperimentConfig,
     checkpoint: SweepCheckpoint | None,
     results: dict[str, BenchmarkMeasurement],
     failed: list[str],
+    quarantined: list[str],
     log=_log_line,
 ) -> None:
-    """Fan pending sweep entries out over a process pool.
+    """Fan pending sweep entries out over a supervised process pool.
 
     Each entry is measured exactly as in a serial sweep (same seeds, same
     retry ladder), so the measurements are identical — only wall-clock
     interleaving changes.  The parent appends checkpoint records in
     completion order (same fsync guarantees; ``--resume`` composes) and
-    replays worker trace records into its own sinks.  Every worker
-    receives an equal share of the parent's remaining deadline budget,
-    further capped by ``config.deadline_s``.
-    """
-    from concurrent.futures import ProcessPoolExecutor, as_completed
+    replays worker trace records into its own sinks.
 
-    jobs = min(config.jobs, len(pending))
-    share = config.deadline_s
-    remaining = current_deadline().remaining_s()
-    if math.isfinite(remaining):
-        # Entries run in ceil(n/jobs) waves; a fair share assumes each
-        # worker processes one entry per wave.
-        wave_share = remaining / math.ceil(len(pending) / jobs)
-        share = wave_share if share is None else min(share, wave_share)
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {
-            pool.submit(_sweep_worker, entry, config, share): entry
-            for entry in pending
-        }
-        try:
-            for future in as_completed(futures):
-                entry = futures[future]
-                outcome = future.result()
-                replay_records(outcome["trace_records"])
-                record = outcome["record"]
-                if checkpoint is not None:
-                    checkpoint.append(record)
-                if outcome["ok"]:
-                    measurement = BenchmarkMeasurement(
-                        entry=entry,
-                        freeze_increase=record["freeze_increase"],
-                        rotate_increase=record["rotate_increase"],
-                    )
-                    results[entry.name] = measurement
-                    log(
-                        f"{entry.name}: freeze "
-                        f"{measurement.freeze_increase:.2f}x "
-                        f"(paper {entry.freeze_ref:.2f}) rotate "
-                        f"{measurement.rotate_increase:.2f}x "
-                        f"(paper {entry.rotate_ref:.2f}) "
-                        f"[{outcome['wall_s']:.1f}s]"
-                    )
-                elif config.keep_going:
-                    failed.append(entry.name)
-                    log(
-                        f"{entry.name}: FAILED ({record['error']}); "
-                        "continuing (--keep-going)"
-                    )
-                else:
-                    raise SweepError(
-                        f"{entry.name}: failed after "
-                        f"{max(1, config.retries + 1)} attempt(s): "
-                        f"{record['error']}"
-                    )
-        except BaseException:
-            for future in futures:
-                future.cancel()
-            raise
+    Unlike a bare pool, the supervisor survives worker death: a
+    ``BrokenProcessPool`` or per-entry timeout kills at most one wave.
+    Struck entries re-run one at a time on a fresh single-worker pool
+    (exponential backoff between attempts), entries the broken pool never
+    started are requeued unpenalised, and an entry that keeps killing
+    workers is quarantined rather than allowed to wedge the sweep.
+    """
+    queue = list(pending)
+    strikes: dict[str, int] = {}
+    while queue:
+        struck = next(
+            (e for e in queue if strikes.get(e.name, 0) > 0), None
+        )
+        if struck is not None:
+            queue.remove(struck)
+            wave = [struck]
+            backoff = (
+                _CRASH_BACKOFF_BASE_S * 2 ** (strikes[struck.name] - 1)
+            )
+            log(
+                f"{struck.name}: backing off {backoff:.1f}s before "
+                "isolated retry"
+            )
+            time.sleep(backoff)
+        else:
+            wave, queue = queue, []
+        queue.extend(
+            _run_wave(
+                wave, config, checkpoint, results, failed, quarantined,
+                strikes, log,
+            )
+        )
 
 
 def run_table1(config: ExperimentConfig, log=_log_line) -> list[BenchmarkMeasurement]:
@@ -384,6 +631,7 @@ def run_table1(config: ExperimentConfig, log=_log_line) -> list[BenchmarkMeasure
     suite = config.suite()
     results: dict[str, BenchmarkMeasurement] = {}
     failed: list[str] = []
+    quarantined: list[str] = []
     pending: list[Table1Entry] = []
     for entry in suite:
         record = done.get(entry.name)
@@ -398,7 +646,9 @@ def run_table1(config: ExperimentConfig, log=_log_line) -> list[BenchmarkMeasure
         else:
             pending.append(entry)
     if config.jobs > 1 and len(pending) > 1:
-        _sweep_parallel(pending, config, checkpoint, results, failed, log)
+        _sweep_parallel(
+            pending, config, checkpoint, results, failed, quarantined, log
+        )
     else:
         for entry in pending:
             with span("table1_entry", benchmark=entry.name) as entry_span:
@@ -431,6 +681,14 @@ def run_table1(config: ExperimentConfig, log=_log_line) -> list[BenchmarkMeasure
         log(
             f"WARNING: {len(failed)} entr{'y' if len(failed) == 1 else 'ies'} "
             f"failed permanently: {', '.join(failed)}"
+        )
+    if quarantined:
+        log("")
+        log(
+            f"WARNING: {len(quarantined)} "
+            f"entr{'y' if len(quarantined) == 1 else 'ies'} quarantined "
+            f"after repeated worker deaths: {', '.join(quarantined)}; "
+            "a --resume run will retry them"
         )
     log("")
     if not measurements:
@@ -551,6 +809,16 @@ def main(argv: list[str] | None = None) -> int:
         "(default: 1 = serial; results are identical either way)",
     )
     parser.add_argument(
+        "--entry-timeout", type=float, default=None, metavar="SECONDS",
+        help="hard wall-clock limit per parallel sweep entry; an "
+        "overrunning worker is killed and the entry retried "
+        "(default: no timeout)",
+    )
+    parser.add_argument(
+        "--no-certify", action="store_true",
+        help="skip independent certification of accepted MILP solutions",
+    )
+    parser.add_argument(
         "--log-level", default="warning",
         choices=["debug", "info", "warning", "error", "critical"],
     )
@@ -575,6 +843,8 @@ def main(argv: list[str] | None = None) -> int:
         keep_going=args.keep_going,
         retries=args.retries,
         jobs=args.jobs,
+        entry_timeout_s=args.entry_timeout,
+        certify=not args.no_certify,
     )
     configure_logging(args.log_level)
     # CLI invocation: experiment output belongs on stdout, so the drivers

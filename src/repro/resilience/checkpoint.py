@@ -21,6 +21,9 @@ import pathlib
 from typing import Iterator
 
 from repro.errors import ReproError
+from repro.obs.logs import get_logger
+
+_log = get_logger("resilience.checkpoint")
 
 
 class CheckpointError(ReproError):
@@ -59,26 +62,44 @@ class SweepCheckpoint:
             handle.flush()
             os.fsync(handle.fileno())
 
-    def records(self) -> Iterator[dict]:
-        """Yield every record in journal order (missing file = empty)."""
+    def records(self, tolerate_torn_tail: bool = True) -> Iterator[dict]:
+        """Yield every record in journal order (missing file = empty).
+
+        A malformed *final* line is skipped with a warning when
+        ``tolerate_torn_tail`` is true: a process killed mid-``append``
+        leaves at most one truncated line at the end of the journal, and
+        that must not make the whole sweep unresumable (same contract as
+        :func:`repro.obs.trace.read_trace`).  A torn line anywhere else
+        means real corruption and still raises :class:`CheckpointError`.
+        """
         if not self.path.exists():
             return
         with open(self.path, "r", encoding="utf-8") as handle:
-            for lineno, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise CheckpointError(
-                        f"{self.path}:{lineno}: not valid JSON: {exc}"
-                    ) from exc
+            lines = [
+                (lineno, line.strip())
+                for lineno, line in enumerate(handle, start=1)
+                if line.strip()
+            ]
+        for position, (lineno, line) in enumerate(lines):
+            try:
+                record = json.loads(line)
                 if not isinstance(record, dict) or "entry" not in record:
                     raise CheckpointError(
                         f"{self.path}:{lineno}: not a sweep record: {line!r}"
                     )
-                yield record
+            except (json.JSONDecodeError, CheckpointError) as exc:
+                if not tolerate_torn_tail or position != len(lines) - 1:
+                    if isinstance(exc, CheckpointError):
+                        raise
+                    raise CheckpointError(
+                        f"{self.path}:{lineno}: not valid JSON: {exc}"
+                    ) from exc
+                _log.warning(
+                    "%s: line %d is torn (crash-truncated write?); skipped",
+                    self.path, lineno,
+                )
+                return
+            yield record
 
     def latest(self) -> dict[str, dict]:
         """Latest record per entry name (later lines supersede earlier)."""

@@ -43,6 +43,13 @@ FAULT_POINTS = (
     "infeasible_model",   # MILP backend proves the model infeasible
     "thermal_divergence", # thermal solve returns non-finite temperatures
     "annealing_nan",      # annealing move cost evaluates to NaN
+    # Sweep-worker faults: the decision is taken in the *parent* at
+    # submission time (forked workers would each count hits from zero, so
+    # ``worker_crash@N`` would be nondeterministic); the flag rides into
+    # the worker, which then dies (``os._exit``) or hangs.  Exercised by
+    # the supervised pool in repro.report.experiments.
+    "worker_crash",       # sweep worker exits hard mid-entry (segfault/OOM)
+    "worker_hang",        # sweep worker hangs inside a native call
 )
 
 #: Name of the activating environment variable.

@@ -1,0 +1,102 @@
+"""Cross-backend differential certification.
+
+Two solver backends that share no code beyond the modelling layer — HiGHS
+through scipy and the pure-Python branch-and-bound — are the strongest
+independent oracle this repo has: a model solved by both, with both
+solutions row-certified and the objectives agreeing within tolerance, is
+very unlikely to be silently mis-lowered.  ``repro verify
+--certify-backend`` and the fuzz tests drive this module.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CertificationError, SolverError
+from repro.milp.status import SolveStatus
+from repro.obs import get_logger
+from repro.verify.certifier import Certificate, certify_solution
+
+_log = get_logger("verify.differential")
+
+#: Relative objective-agreement tolerance between backends.  Generous on
+#: purpose: backends may stop at different feasible incumbents when a MIP
+#: gap or limit is configured; exact agreement is only expected on solves
+#: run to proven optimality.
+OBJ_REL_TOL = 1e-6
+OBJ_ABS_TOL = 1e-6
+
+#: CLI spellings of the two backends.
+BACKEND_NAMES = ("highs", "branch-bound")
+
+
+def make_backend(name: str, time_limit_s: float | None = None):
+    """Instantiate a backend from its CLI spelling."""
+    if name == "highs":
+        from repro.milp.scipy_backend import ScipyBackend
+
+        return ScipyBackend(time_limit=time_limit_s)
+    if name in ("branch-bound", "branch_bound"):
+        from repro.milp.branch_bound import BranchBoundBackend
+
+        return BranchBoundBackend(time_limit=time_limit_s)
+    raise CertificationError(
+        f"unknown certify backend {name!r} (choose from {BACKEND_NAMES})"
+    )
+
+
+def differential_solve(
+    model,
+    backends: dict,
+    rel_tol: float = OBJ_REL_TOL,
+    abs_tol: float = OBJ_ABS_TOL,
+) -> dict:
+    """Solve ``model`` with every named backend and cross-certify.
+
+    Each backend's solution is row-certified against the uncompiled model
+    (:func:`certify_solution`); solved objectives must agree pairwise
+    within ``abs_tol + rel_tol * scale``.  Returns a JSON-ready report;
+    ``report["ok"]`` is the verdict.
+    """
+    objectives: dict[str, float] = {}
+    statuses: dict[str, str] = {}
+    certificates: dict[str, Certificate] = {}
+    for name, backend in backends.items():
+        try:
+            solution = model.solve(backend)
+        except SolverError as exc:
+            statuses[name] = f"error: {exc}"
+            continue
+        statuses[name] = solution.status.value
+        if not solution.status.has_solution:
+            continue
+        objectives[name] = float(solution.objective)
+        certificates[name] = certify_solution(model, solution)
+
+    agree = True
+    max_gap = 0.0
+    solved = list(objectives.items())
+    for i, (name_a, obj_a) in enumerate(solved):
+        for name_b, obj_b in solved[i + 1:]:
+            gap = abs(obj_a - obj_b)
+            scale = max(1.0, abs(obj_a), abs(obj_b))
+            max_gap = max(max_gap, gap / scale)
+            if gap > abs_tol + rel_tol * scale:
+                agree = False
+                _log.warning(
+                    "objective mismatch %s=%.9g vs %s=%.9g (gap %.3g)",
+                    name_a, obj_a, name_b, obj_b, gap,
+                )
+    feasible_everywhere = all(
+        status in (SolveStatus.OPTIMAL.value, SolveStatus.FEASIBLE.value)
+        for status in statuses.values()
+    )
+    certified = all(cert.ok for cert in certificates.values())
+    return {
+        "ok": agree and feasible_everywhere and certified,
+        "agree": agree,
+        "statuses": statuses,
+        "objectives": objectives,
+        "max_rel_gap": max_gap,
+        "certificates": {
+            name: cert.to_dict() for name, cert in certificates.items()
+        },
+    }

@@ -130,3 +130,79 @@ class TestDeterminism:
         a = run_algorithm1(synth_design, fabric4, synth_floorplan, config(seed=9))
         b = run_algorithm1(synth_design, fabric4, synth_floorplan, config(seed=9))
         assert a.floorplan == b.floorplan
+
+
+class TestCertification:
+    """Trust-but-verify wiring: accepted MILP results are independently
+    certified by default; a certification failure triggers exactly one
+    cold-rebuild re-solve before the degradation ladder takes over."""
+
+    def _bad_certificate(self):
+        from repro.verify.certifier import Certificate, Violation
+
+        cert = Certificate()
+        cert.violations.append(
+            Violation(
+                kind="row_infeasible", subject="row[0]",
+                detail="injected certification failure",
+            )
+        )
+        return cert
+
+    def test_accepted_result_is_certified_by_default(
+        self, synth_design, synth_floorplan, fabric4
+    ):
+        result = run_algorithm1(
+            synth_design, fabric4, synth_floorplan, config()
+        )
+        assert result.certified is True
+        assert result.alg1.certifications >= 1
+        assert result.alg1.cert_failures == 0
+
+    def test_certify_opt_out(self, synth_design, synth_floorplan, fabric4):
+        result = run_algorithm1(
+            synth_design, fabric4, synth_floorplan, config(certify=False)
+        )
+        assert result.certified is None
+        assert result.alg1.certifications == 0
+
+    def test_cert_failure_triggers_one_cold_rebuild(
+        self, monkeypatch, synth_design, synth_floorplan, fabric4
+    ):
+        import repro.verify.certifier as certifier
+
+        real = certifier.certify_remap
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return self._bad_certificate()
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(certifier, "certify_remap", flaky)
+        result = run_algorithm1(
+            synth_design, fabric4, synth_floorplan, config()
+        )
+        assert result.certified is True
+        assert result.alg1.cert_cold_rebuilds == 1
+        assert result.alg1.cert_failures >= 1
+        assert result.alg1.certifications >= 2
+
+    def test_persistent_cert_failure_degrades(
+        self, monkeypatch, synth_design, synth_floorplan, fabric4
+    ):
+        import repro.verify.certifier as certifier
+
+        monkeypatch.setattr(
+            certifier, "certify_remap",
+            lambda *args, **kwargs: self._bad_certificate(),
+        )
+        result = run_algorithm1(
+            synth_design, fabric4, synth_floorplan, config()
+        )
+        # The MILP result is never trusted; the ladder serves a
+        # non-certified floorplan instead of a corrupt "optimal" one.
+        assert result.certified is not True
+        assert result.degradation != "none"
+        assert result.alg1.cert_failures >= 1

@@ -157,3 +157,50 @@ class TestConvergenceCollection:
         assert run["verdicts"] == ["accepted"]
         # alg1 stats events are informational, not degradations.
         assert summary.degradations == []
+
+
+class TestSweepVerdicts:
+    """Per-entry verdict column: ok / retried / cert-failed / failed /
+    quarantined, worst signal wins."""
+
+    def test_clean_entries_are_ok(self):
+        records = [
+            _span_record("table1_entry", benchmark="B1"),
+            _span_record("table1_entry", benchmark="B2"),
+        ]
+        summary = summarize_records(records)
+        assert summary.sweep_entries == {"B1": "ok", "B2": "ok"}
+
+    def test_worst_signal_wins(self):
+        records = [
+            _span_record("table1_entry", benchmark="B1"),
+            _event_record("sweep.retry", entry="B1", attempt=1),
+            _span_record("table1_entry", benchmark="B2"),
+            _event_record("sweep.worker_crash", entry="B2", strikes=1),
+            _event_record("sweep.quarantined", entry="B2", strikes=2),
+            _event_record("certification.failed", benchmark="B3"),
+            _span_record("table1_entry", benchmark="B3"),
+            _event_record("sweep.entry_timeout", entry="B4", strikes=1),
+        ]
+        summary = summarize_records(records)
+        assert summary.sweep_entries == {
+            "B1": "retried",
+            "B2": "quarantined",
+            "B3": "cert-failed",
+            "B4": "retried",
+        }
+        # verdict_table sorts worst-first.
+        assert [row[0] for row in summary.verdict_table()] == [
+            "B2", "B3", "B1", "B4",
+        ]
+
+    def test_new_supervisor_events_are_degradations(self):
+        from repro.obs.trace import DEGRADATION_EVENTS
+
+        assert {
+            "sweep.worker_crash",
+            "sweep.entry_timeout",
+            "sweep.quarantined",
+            "certification.failed",
+            "certification.cold_rebuild",
+        } <= DEGRADATION_EVENTS

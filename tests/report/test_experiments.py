@@ -49,6 +49,12 @@ class TestFlowConfig:
     def test_default_mode_rotate(self):
         assert flow_config("rotate", 10.0).algorithm1.mode == "rotate"
 
+    def test_certify_on_by_default_and_optional(self):
+        assert flow_config("rotate", 10.0).algorithm1.certify is True
+        config = flow_config("rotate", 10.0, certify=False)
+        assert config.algorithm1.certify is False
+        assert ExperimentConfig().certify is True
+
 
 class TestParallelSweep:
     def test_jobs2_matches_serial_and_resumes(self, tmp_path):
@@ -99,6 +105,118 @@ class TestParallelSweep:
         resumed = sweep(resume_ckpt, jobs=2, resume=True)
         assert resumed == serial
         assert sorted(records(resume_ckpt), key=by_entry) == serial_records
+
+
+def _fast_measure(entry, config, seed=None):
+    """Instant deterministic stand-in for measure_benchmark.
+
+    Patched into the experiments module before the pool forks, so workers
+    inherit it — supervisor tests then exercise crash/hang/retry paths in
+    milliseconds instead of real MILP runs.
+    """
+    from repro.report.paper import BenchmarkMeasurement
+
+    return BenchmarkMeasurement(
+        entry=entry, freeze_increase=1.5, rotate_increase=2.5
+    )
+
+
+def _checkpoint_statuses(path):
+    import json
+
+    statuses: dict[str, list[str]] = {}
+    with open(path) as handle:
+        for line in handle:
+            record = json.loads(line)
+            statuses.setdefault(record["entry"], []).append(
+                record["status"]
+            )
+    return statuses
+
+
+class TestSupervisedSweep:
+    @pytest.fixture(autouse=True)
+    def fast_supervisor(self, monkeypatch):
+        import repro.report.experiments as experiments
+
+        monkeypatch.setattr(experiments, "_CRASH_BACKOFF_BASE_S", 0.01)
+        monkeypatch.setattr(experiments, "_POLL_INTERVAL_S", 0.05)
+        monkeypatch.setattr(
+            experiments, "measure_benchmark", _fast_measure
+        )
+
+    def _config(self, tmp_path, **overrides):
+        defaults = dict(
+            scale="quick",
+            only=["B1", "B4"],
+            jobs=2,
+            checkpoint=str(tmp_path / "sweep.jsonl"),
+        )
+        defaults.update(overrides)
+        return ExperimentConfig(**defaults)
+
+    def test_single_crash_is_retried_in_isolation(self, tmp_path):
+        from repro.report.experiments import run_table1
+        from repro.resilience.faults import fault_scope
+
+        config = self._config(tmp_path)
+        with fault_scope("worker_crash@1") as plan:
+            rows = run_table1(config, log=lambda line: None)
+        assert plan.fired("worker_crash") == 1
+        assert [m.entry.name for m in rows] == ["B1", "B4"]
+        statuses = _checkpoint_statuses(config.checkpoint)
+        # The injected entry dies, gets a "failed" record, and its
+        # isolated retry lands the "ok" — the sweep never aborts.
+        assert statuses["B1"][0] == "failed"
+        assert statuses["B1"][-1] == "ok"
+        assert statuses["B4"][-1] == "ok"
+
+    def test_repeat_killer_is_quarantined_then_resumable(self, tmp_path):
+        from repro.report.experiments import run_table1
+        from repro.resilience.faults import fault_scope
+
+        config = self._config(tmp_path)
+        lines: list[str] = []
+        with fault_scope("worker_crash"):
+            rows = run_table1(config, log=lines.append)
+        assert rows == []
+        statuses = _checkpoint_statuses(config.checkpoint)
+        assert statuses["B1"][-1] == "quarantined"
+        assert statuses["B4"][-1] == "quarantined"
+        assert any("quarantined" in line for line in lines)
+
+        # Quarantine is not a tombstone: --resume retries the entries.
+        resumed = run_table1(
+            self._config(tmp_path, resume=True), log=lambda line: None
+        )
+        assert [m.entry.name for m in resumed] == ["B1", "B4"]
+        statuses = _checkpoint_statuses(config.checkpoint)
+        assert statuses["B1"][-1] == "ok"
+        assert statuses["B4"][-1] == "ok"
+
+    def test_hanging_worker_is_killed_and_retried(self, tmp_path):
+        from repro.report.experiments import run_table1
+        from repro.resilience.faults import fault_scope
+
+        config = self._config(tmp_path, entry_timeout_s=2.0)
+        with fault_scope("worker_hang@1"):
+            rows = run_table1(config, log=lambda line: None)
+        assert [m.entry.name for m in rows] == ["B1", "B4"]
+        statuses = _checkpoint_statuses(config.checkpoint)
+        assert statuses["B1"][-1] == "ok"
+        failed = [
+            record
+            for record in self._records(config.checkpoint)
+            if record["status"] == "failed"
+        ]
+        assert any("timeout" in record["error"] for record in failed)
+
+    @staticmethod
+    def _records(path):
+        import json
+
+        with open(path) as handle:
+            return [json.loads(line) for line in handle]
 
 
 class TestCliParsing:

@@ -59,15 +59,58 @@ class TestSweepCheckpoint:
         with pytest.raises(CheckpointError):
             cp.append({"status": "ok"})
 
-    def test_corrupt_line_raises(self, tmp_path):
+    def test_corrupt_middle_line_raises(self, tmp_path):
         path = tmp_path / "cp.jsonl"
-        path.write_text('{"entry": "B1", "status": "ok"}\n{oops\n')
+        path.write_text(
+            '{"entry": "B1", "status": "ok"}\n'
+            "{oops\n"
+            '{"entry": "B2", "status": "ok"}\n'
+        )
         with pytest.raises(CheckpointError, match="not valid JSON"):
             list(SweepCheckpoint(path).records())
 
-    def test_non_record_json_raises(self, tmp_path):
+    def test_torn_final_line_is_skipped_with_warning(self, tmp_path):
+        """A kill mid-append leaves a torn last line; resume must not
+        refuse the whole checkpoint over it (mirrors read_trace)."""
+        import logging
+
         path = tmp_path / "cp.jsonl"
-        path.write_text("[1, 2, 3]\n")
+        path.write_text(
+            '{"entry": "B1", "status": "ok"}\n'
+            '{"entry": "B2", "status": "o'
+        )
+        captured: list[logging.LogRecord] = []
+
+        class _Capture(logging.Handler):
+            def emit(self, record: logging.LogRecord) -> None:
+                captured.append(record)
+
+        logger = logging.getLogger("repro.resilience.checkpoint")
+        handler = _Capture(level=logging.WARNING)
+        logger.addHandler(handler)
+        try:
+            records = list(SweepCheckpoint(path).records())
+        finally:
+            logger.removeHandler(handler)
+        assert [r["entry"] for r in records] == ["B1"]
+        assert any("torn" in r.getMessage() for r in captured)
+        assert SweepCheckpoint(path).completed().keys() == {"B1"}
+
+    def test_torn_tail_can_be_made_fatal(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        path.write_text('{"entry": "B1", "status": "ok"}\n{oops\n')
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            list(SweepCheckpoint(path).records(tolerate_torn_tail=False))
+
+    def test_non_record_final_json_is_skipped(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        path.write_text('{"entry": "B1", "status": "ok"}\n[1, 2, 3]\n')
+        records = list(SweepCheckpoint(path).records())
+        assert [r["entry"] for r in records] == ["B1"]
+
+    def test_non_record_middle_json_raises(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        path.write_text('[1, 2, 3]\n{"entry": "B1", "status": "ok"}\n')
         with pytest.raises(CheckpointError, match="not a sweep record"):
             list(SweepCheckpoint(path).records())
 

@@ -61,6 +61,8 @@ class TestPlanParsing:
             "infeasible_model",
             "thermal_divergence",
             "annealing_nan",
+            "worker_crash",
+            "worker_hang",
         )
 
 

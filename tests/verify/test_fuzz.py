@@ -1,0 +1,152 @@
+"""Property/fuzz tests: every seeded perturbation of a certified-good
+floorplan must be rejected with the right violation class, and the
+unperturbed result must certify cleanly."""
+
+from __future__ import annotations
+
+import copy
+import random
+
+import pytest
+
+from repro.core import Algorithm1Config, RemapConfig, run_algorithm1
+from repro.verify import (
+    ABS_TOL,
+    KIND_FROZEN,
+    KIND_SCHEDULE,
+    KIND_SLOT,
+    KIND_STRESS,
+    KIND_UNASSIGNED,
+    certify_floorplan,
+)
+
+pytest.importorskip("scipy")
+
+
+@pytest.fixture(scope="module")
+def certified(synth_design, synth_floorplan, fabric4):
+    result = run_algorithm1(
+        synth_design,
+        fabric4,
+        synth_floorplan,
+        Algorithm1Config(mode="rotate", remap=RemapConfig(time_limit_s=30)),
+    )
+    assert not result.fell_back
+    assert result.certified is True
+    return result
+
+
+def _max_stress(design, floorplan) -> float:
+    by_pe: dict[int, float] = {}
+    for op_id, op in design.ops.items():
+        pe = floorplan.pe_of[op_id]
+        by_pe[pe] = by_pe.get(pe, 0.0) + op.stress_ns
+    return max(by_pe.values())
+
+
+class TestPerturbations:
+    def test_unperturbed_certifies(self, certified, synth_design):
+        cert = certify_floorplan(
+            synth_design,
+            certified.floorplan,
+            frozen_positions=certified.frozen.positions,
+            st_target_ns=certified.st_target_ns + ABS_TOL,
+            baseline_cpd_ns=certified.original_cpd_ns + 1e-6,
+        )
+        assert cert.ok, [v.detail for v in cert.violations]
+
+    def test_unassigned_op_rejected(self, certified, synth_design):
+        fp = copy.deepcopy(certified.floorplan)
+        victim = sorted(fp.pe_of)[0]
+        del fp.pe_of[victim]
+        cert = certify_floorplan(synth_design, fp)
+        assert KIND_UNASSIGNED in cert.kinds()
+
+    def test_stress_over_budget_rejected(self, certified, synth_design):
+        tight = _max_stress(synth_design, certified.floorplan) * 0.9
+        cert = certify_floorplan(
+            synth_design, certified.floorplan, st_target_ns=tight
+        )
+        assert KIND_STRESS in cert.kinds()
+
+    def test_moved_frozen_op_rejected(self, certified, synth_design, fabric4):
+        op_id = sorted(certified.floorplan.pe_of)[0]
+        wrong_pe = (
+            certified.floorplan.pe_of[op_id] + 1
+        ) % fabric4.num_pes
+        cert = certify_floorplan(
+            synth_design,
+            certified.floorplan,
+            frozen_positions={op_id: wrong_pe},
+        )
+        assert KIND_FROZEN in cert.kinds()
+
+    def test_slot_conflict_rejected(self, certified, synth_design):
+        fp = copy.deepcopy(certified.floorplan)
+        by_context: dict[int, list[int]] = {}
+        for op_id, op in synth_design.ops.items():
+            by_context.setdefault(op.context, []).append(op_id)
+        pair = next(ops for ops in by_context.values() if len(ops) >= 2)
+        fp.pe_of[pair[1]] = fp.pe_of[pair[0]]
+        cert = certify_floorplan(synth_design, fp)
+        assert KIND_SLOT in cert.kinds()
+
+    def test_changed_schedule_rejected(self, certified, synth_design):
+        fp = copy.deepcopy(certified.floorplan)
+        op_id = sorted(fp.context_of)[0]
+        fp.context_of[op_id] = fp.context_of[op_id] + 1
+        cert = certify_floorplan(synth_design, fp)
+        assert KIND_SCHEDULE in cert.kinds()
+
+
+class TestRandomFuzz:
+    def test_seeded_random_perturbations_all_rejected(
+        self, certified, synth_design, fabric4
+    ):
+        """Twenty seeded perturbations, one invariant broken each — the
+        certifier must flag the broken invariant's class every time."""
+        rng = random.Random(20260806)
+        op_ids = sorted(certified.floorplan.pe_of)
+        by_context: dict[int, list[int]] = {}
+        for op_id, op in synth_design.ops.items():
+            by_context.setdefault(op.context, []).append(op_id)
+        crowded = [ops for ops in by_context.values() if len(ops) >= 2]
+        for _ in range(20):
+            fp = copy.deepcopy(certified.floorplan)
+            kwargs = dict(
+                frozen_positions=certified.frozen.positions,
+                st_target_ns=certified.st_target_ns + ABS_TOL,
+                baseline_cpd_ns=certified.original_cpd_ns + 1e-6,
+            )
+            mutation = rng.choice(
+                ("unassign", "stress", "frozen", "slot", "schedule")
+            )
+            if mutation == "unassign":
+                del fp.pe_of[rng.choice(op_ids)]
+                expected = KIND_UNASSIGNED
+            elif mutation == "stress":
+                kwargs["st_target_ns"] = (
+                    _max_stress(synth_design, fp) * rng.uniform(0.1, 0.9)
+                )
+                expected = KIND_STRESS
+            elif mutation == "frozen":
+                op_id = rng.choice(op_ids)
+                offset = rng.randrange(1, fabric4.num_pes)
+                kwargs["frozen_positions"] = {
+                    op_id: (fp.pe_of[op_id] + offset) % fabric4.num_pes
+                }
+                expected = KIND_FROZEN
+            elif mutation == "slot":
+                ops = rng.choice(crowded)
+                a, b = rng.sample(ops, 2)
+                fp.pe_of[b] = fp.pe_of[a]
+                expected = KIND_SLOT
+            else:
+                op_id = rng.choice(op_ids)
+                fp.context_of[op_id] = fp.context_of[op_id] + rng.randrange(
+                    1, 4
+                )
+                expected = KIND_SCHEDULE
+            cert = certify_floorplan(synth_design, fp, **kwargs)
+            assert not cert.ok, mutation
+            assert expected in cert.kinds(), (mutation, cert.to_dict())

@@ -13,7 +13,9 @@ inspected and re-analysed from the shell::
     python -m repro.cli bench    run [-o BENCH.json] [--benchmarks B1,B4]
     python -m repro.cli bench    compare baseline.json candidate.json
     python -m repro.cli verify   result.json [--certify-backend branch-bound]
-    python -m repro.cli trace    summarize trace.jsonl
+    python -m repro.cli trace    summarize trace.jsonl [--json]
+    python -m repro.cli explain  result.json [trace.jsonl] [-o report.html]
+    python -m repro.cli explain  design.json --probe-infeasible [--fabric 4x4]
 
 ``compile`` accepts a mini-C file or a named library kernel (fir8,
 matvec4, checksum, sobel3).  ``analyze`` prints CPD, stress and MTTF for
@@ -47,6 +49,7 @@ The bare form ``bench B13`` remains an alias for ``bench one B13``.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import pathlib
 import sys
@@ -59,6 +62,7 @@ from repro.core.algorithm1 import Algorithm1Config, run_algorithm1
 from repro.core.flow import AgingAwareFlow, FlowConfig
 from repro.core.remap import RemapConfig
 from repro.errors import ReproError
+from repro.explain import set_explain
 from repro.hls.lower import compile_source
 from repro.hls.schedule import schedule_dfg
 from repro.hls.allocate import tech_map
@@ -357,8 +361,114 @@ def cmd_verify(args) -> int:
     return 0 if report["ok"] else 4
 
 
+def _print_explain(entry: dict, indent: str = "  ") -> None:
+    """Render one ``algorithm1.explain`` record for the terminal."""
+    entry = dict(entry)
+    iis = entry.pop("iis", None)
+    culprit = entry.pop("culprit", None)
+    print(indent + " ".join(f"{k}={v}" for k, v in entry.items()))
+    if culprit:
+        print(
+            f"{indent}  culprit path: context={culprit.get('context')} "
+            f"ops={culprit.get('ops')} delay={culprit.get('delay_ns')}ns"
+        )
+    if iis:
+        members = iis.get("members") or []
+        print(
+            f"{indent}  IIS: status={iis.get('status')} "
+            f"minimal={iis.get('minimal')} verified={iis.get('verified')} "
+            f"({len(members)} member(s), {iis.get('probes')} probes)"
+        )
+        for member in members:
+            tags = ", ".join(
+                f"{k}={v}" for k, v in (member.get("tags") or {}).items()
+            )
+            line = (
+                f"{indent}    - {member.get('name')} "
+                f"{member.get('sense')} {member.get('rhs')}"
+            )
+            print(line + (f"  [{tags}]" if tags else ""))
+
+
+def cmd_explain(args) -> int:
+    """Explain a saved run (flow record and/or trace) or probe an IIS."""
+    from repro.obs import report as report_mod
+    from repro.obs.trace import summarize_trace as _summarize
+
+    if args.probe_infeasible:
+        return _cmd_explain_probe(args)
+    record = None
+    trace_summary = None
+    for path in args.artifacts:
+        document = None
+        if not str(path).endswith(".jsonl"):
+            try:
+                document = load_json(path)
+            except (ReproError, ValueError):
+                document = None
+        if document is not None and document.get("kind") == "flow_result":
+            record = document
+        else:
+            trace_summary = _summarize(path)
+    if record is None and trace_summary is None:
+        print("error: no flow record or trace found in arguments",
+              file=sys.stderr)
+        return 1
+    report = report_mod.build_report(record=record, trace=trace_summary)
+    fmt = args.format
+    if fmt is None and args.output:
+        suffix = pathlib.Path(args.output).suffix.lower()
+        fmt = "html" if suffix in (".html", ".htm") else "markdown"
+    rendered = report.render(fmt or "markdown")
+    if args.output:
+        pathlib.Path(args.output).write_text(rendered, encoding="utf-8")
+        print(f"report ({len(report.sections)} sections) -> {args.output}")
+    else:
+        print(rendered)
+    return 0
+
+
+def _cmd_explain_probe(args) -> int:
+    """Forced-infeasible IIS demonstration on a saved design.
+
+    Builds the pigeonhole stress probe (provably infeasible), extracts an
+    IIS, independently re-verifies it, and prints the conflict in domain
+    terms.  Exit 0 only when the IIS is found *and* certified.
+    """
+    from repro.explain import find_iis, verify_iis
+    from repro.explain.probe import build_infeasible_stress_model
+
+    design = load_design(args.artifacts[0])
+    fabric = _parse_fabric(args.fabric)
+    model, st_target = build_infeasible_stress_model(
+        design, fabric, factor=args.probe_factor
+    )
+    print(
+        f"probe: {design.name} on {fabric.rows}x{fabric.cols}, "
+        f"ST_target={st_target:.4g} ns (below the mean per-PE load "
+        "— infeasible by pigeonhole)"
+    )
+    iis = find_iis(model, time_limit_s=args.time_limit)
+    print(iis.describe())
+    if iis.status != "iis":
+        return 5
+    certified = verify_iis(model, iis, time_limit_s=args.time_limit)
+    print(
+        "independent re-check: members-only infeasible and every "
+        "single-member drop feasible"
+        if certified
+        else "independent re-check FAILED"
+    )
+    return 0 if certified else 5
+
+
 def cmd_trace_summarize(args) -> int:
     summary = summarize_trace(args.file)
+    if args.json:
+        print(json.dumps(
+            summary.to_dict(), indent=2, sort_keys=True, default=str
+        ))
+        return 0
     print(format_table(
         ["stage", "count", "wall_s", "share_%"], summary.stage_table()
     ))
@@ -404,6 +514,11 @@ def cmd_trace_summarize(args) -> int:
                 "cert cold rebuilds": run.get("cert_cold_rebuilds"),
             }
         ))
+    if summary.explains:
+        print("\nexplanations (why iterations were rejected / the run ended)")
+        print("-" * 58)
+        for entry in summary.explains:
+            _print_explain(entry)
     if summary.sweep_entries:
         print("\nsweep entries")
         print("-------------")
@@ -478,6 +593,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", metavar="FILE.pstats", default=None,
         help="cProfile the command, write pstats to FILE and print the "
         "top cumulative-time hotspots",
+    )
+    obs_flags.add_argument(
+        "--no-explain", action="store_true",
+        help="disable solve diagnostics (binding attribution, IIS "
+        "extraction, explain events; on by default — docs/observability.md)",
     )
 
     # Certification opt-out, shared by the Algorithm-1-running commands.
@@ -617,7 +737,49 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize", help="aggregate a trace into a per-stage table"
     )
     ts.add_argument("file")
+    ts.add_argument(
+        "--json", action="store_true",
+        help="emit the full summary as one JSON document instead of tables",
+    )
     ts.set_defaults(func=cmd_trace_summarize)
+
+    p = sub.add_parser(
+        "explain",
+        help="explain a saved run: self-contained HTML/markdown report, "
+        "or a forced-infeasible IIS probe",
+    )
+    p.add_argument(
+        "artifacts", nargs="+",
+        help="flow record (repro flow -o record.json) and/or JSONL trace; "
+        "with --probe-infeasible: a mapped design JSON",
+    )
+    p.add_argument(
+        "-o", "--output", default=None,
+        help="write the rendered report here (.html -> HTML, else markdown); "
+        "default: print markdown to stdout",
+    )
+    p.add_argument(
+        "--format", choices=["html", "markdown", "md"], default=None,
+        help="report format (default: inferred from -o, else markdown)",
+    )
+    p.add_argument(
+        "--probe-infeasible", action="store_true",
+        help="build the provably-infeasible pigeonhole stress model for "
+        "the given design, extract + verify an IIS, and print it",
+    )
+    p.add_argument(
+        "--fabric", default="4x4",
+        help="fabric for --probe-infeasible (default: 4x4)",
+    )
+    p.add_argument(
+        "--probe-factor", type=float, default=0.9, metavar="F",
+        help="ST_target = F * mean per-PE load, F in (0,1) (default: 0.9)",
+    )
+    p.add_argument(
+        "--time-limit", type=float, default=30.0,
+        help="IIS extraction/verification budget in seconds (default: 30)",
+    )
+    p.set_defaults(func=cmd_explain)
     return parser
 
 
@@ -656,6 +818,8 @@ def main(argv: list[str] | None = None) -> int:
     configure_logging(getattr(args, "log_level", "warning"))
     if getattr(args, "solver_progress", False):
         set_progress(True)
+    if getattr(args, "no_explain", False):
+        set_explain(False)
     sink = None
     trace_path = getattr(args, "trace", None)
     if trace_path:
@@ -682,6 +846,8 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if getattr(args, "solver_progress", False):
             set_progress(None)
+        if getattr(args, "no_explain", False):
+            set_explain(None)
         if sink is not None:
             remove_sink(sink)
             sink.write_metrics(registry().snapshot())

@@ -52,6 +52,7 @@ from repro.errors import (
     FlowError,
     SolverError,
 )
+from repro.explain import explain_enabled
 from repro.hls.allocate import MappedDesign
 from repro.milp.scipy_backend import ScipyBackend
 from repro.milp.status import SolveStatus
@@ -64,6 +65,7 @@ from repro.timing.kpaths import (
     DEFAULT_MAX_PATHS,
     DEFAULT_RETENTION,
     filter_paths,
+    worst_path,
 )
 from repro.timing.sta import all_critical_paths, analyze
 
@@ -246,6 +248,8 @@ def _run_algorithm1(
     st_target = original_stress.max_accumulated_ns
     iterations = 0
     iteration_log: list[dict] = []
+    explanations: list[dict] = []
+    model = variables = None
     best: Floorplan | None = None
     final_cpd = cpd_orig
     degradation = "none"
@@ -276,7 +280,6 @@ def _run_algorithm1(
         # The Eq. (3) model is assembled once and re-stamped with each
         # relaxed ST_target; warm hints (previous pre-mapping/solution)
         # ride along between iterations of the same model.
-        model = variables = None
         warm: WarmStart | None = None
         while iterations < config.max_iterations and st_target <= st_ceiling:
             deadline.check("algorithm1:iteration")
@@ -299,6 +302,10 @@ def _run_algorithm1(
             alg1.cert_failures += entry.get("cert_failures", 0)
             alg1.cert_cold_rebuilds += int(entry.get("cert_cold_rebuild", False))
             _absorb_solve_stats(alg1, entry)
+            if entry["result"] != "accepted" and explain_enabled():
+                explanations.append(
+                    _explain_iteration(design.name, entry, cpd_orig)
+                )
             _log.debug(
                 "%s: iteration %d at ST_target=%.3f ns -> %s",
                 design.name, iterations, st_target, entry["result"],
@@ -321,6 +328,18 @@ def _run_algorithm1(
             # The iteration's counters were lost with its entry; record the
             # terminal failure on the run-level aggregates directly.
             alg1.cert_failures += 1
+
+    if best is None and explain_enabled():
+        # The relax loop ended without an accepted floorplan: record the
+        # terminal root cause (and, when the last verdict was infeasible,
+        # extract an IIS from the still-stamped model) before the
+        # degradation ladder overwrites the outcome.
+        explanations.append(
+            _explain_terminal(
+                design.name, alg1, failure, iterations, config, st_target,
+                st_ceiling, model,
+            )
+        )
 
     if failure is not None:
         # Ladder rung 2: solver path is gone (crash, timeout without
@@ -387,6 +406,7 @@ def _run_algorithm1(
         "iterations": iteration_log,
         "path_filter_truncated": filtered.truncated,
         "algorithm1": alg1.to_dict(),
+        "explanations": explanations,
     }
     if failure is not None:
         stats["degradation_reason"] = f"{type(failure).__name__}: {failure}"
@@ -438,6 +458,106 @@ def _used_incumbent(entry: dict) -> bool:
     )
 
 
+def _solve_limit_reasons(entry) -> dict[str, str]:
+    """Every non-empty ``limit_reason`` across an iteration's solve stats."""
+    reasons: dict[str, str] = {}
+    for key in ("lp_stats", "ilp_stats", "solve_stats"):
+        stats = entry.get(key)
+        if stats and stats.get("limit_reason"):
+            reasons[key] = stats["limit_reason"]
+    for index, ctx in enumerate(entry.get("contexts", ())):
+        for key, value in _solve_limit_reasons(ctx).items():
+            reasons[f"context{index}.{key}"] = value
+    return reasons
+
+
+def _explain_iteration(benchmark: str, entry: dict, cpd_orig: float) -> dict:
+    """Structured "why was this iteration rejected" record + trace event."""
+    cause: dict = {
+        "iteration": entry["iteration"],
+        "st_target_ns": entry["st_target_ns"],
+        "cause": entry["result"],
+    }
+    if entry["result"] == "infeasible":
+        status = entry.get("status") or entry.get("ilp_status")
+        if status:
+            cause["status"] = status
+        reasons = _solve_limit_reasons(entry)
+        if reasons:
+            cause["limit_reasons"] = reasons
+    elif entry["result"] == "cpd_violation":
+        cause["new_cpd_ns"] = entry.get("new_cpd_ns")
+        cause["cpd_orig_ns"] = cpd_orig
+        if entry.get("culprit"):
+            cause["culprit"] = entry["culprit"]
+    elif entry["result"] == "frozen_budget_infeasible":
+        for key in ("pe", "frozen_ns"):
+            if entry.get(key) is not None:
+                cause[key] = entry[key]
+    event("algorithm1.explain", benchmark=benchmark, **cause)
+    return cause
+
+
+def _explain_terminal(
+    benchmark: str,
+    alg1: Algorithm1Stats,
+    failure: Exception | None,
+    iterations: int,
+    config: Algorithm1Config,
+    st_target: float,
+    st_ceiling: float,
+    model,
+) -> dict:
+    """Root cause of a run that ended with no accepted floorplan.
+
+    When the final verdict was an infeasible solve and the Eq. (3) model
+    is still in hand (stamped at the last tried ``ST_target``), an IIS is
+    extracted so the trace names the conflicting constraints in domain
+    terms.  A fault-injected "infeasible" comes out as ``status:
+    feasible`` here — the model re-checks feasible — which is recorded
+    honestly rather than papered over.
+    """
+    if failure is not None:
+        terminal = {
+            "DeadlineExceededError": "deadline",
+            "CertificationError": "certification_failed",
+        }.get(type(failure).__name__, "solver_error")
+        detail = str(failure)
+    elif iterations >= config.max_iterations:
+        terminal = "iteration_budget_exhausted"
+        detail = (
+            f"max_iterations={config.max_iterations} reached without an "
+            "accepted floorplan"
+        )
+    elif st_target > st_ceiling:
+        terminal = "st_ceiling_exhausted"
+        detail = (
+            f"ST_target {st_target:.3f}ns exceeded the ceiling "
+            f"{st_ceiling:.3f}ns (st_ceiling_factor="
+            f"{config.st_ceiling_factor})"
+        )
+    else:
+        terminal = "no_iterations"
+        detail = "the relax loop never ran"
+    cause: dict = {
+        "cause": "terminal",
+        "terminal_cause": terminal,
+        "detail": detail,
+        "iterations": iterations,
+        "st_target_ns": st_target,
+        "verdicts": list(alg1.verdicts),
+    }
+    last_verdict = alg1.verdicts[-1] if alg1.verdicts else ""
+    if model is not None and last_verdict == "infeasible":
+        from repro.explain import find_iis
+
+        with span("explain_iis", model=model.name):
+            iis = find_iis(model, time_limit_s=10.0)
+        cause["iis"] = iis.to_dict()
+    event("algorithm1.explain", benchmark=benchmark, **cause)
+    return cause
+
+
 def _run_iteration(
     design: MappedDesign,
     fabric: Fabric,
@@ -486,11 +606,13 @@ def _run_iteration(
                     cpd_orig, st_target, name="remap",
                     objective=config.remap.objective,
                 )
-            except BudgetInfeasibleError:
+            except BudgetInfeasibleError as exc:
                 entry = {
                     "iteration": iteration,
                     "st_target_ns": st_target,
                     "result": "frozen_budget_infeasible",
+                    "pe": getattr(exc, "pe_index", None),
+                    "frozen_ns": getattr(exc, "frozen_ns", None),
                 }
                 return entry, None, None, None
         else:
@@ -533,6 +655,14 @@ def _run_iteration(
         entry["floorplan"] = candidate_fp
         return entry, model, variables, warm_out
     entry["result"] = "cpd_violation"
+    if explain_enabled():
+        culprit = worst_path(design, candidate_fp, graphs, new_report)
+        if culprit is not None:
+            entry["culprit"] = {
+                "context": culprit.path.context,
+                "ops": list(culprit.path.chain),
+                "delay_ns": culprit.delay_ns,
+            }
     return entry, model, variables, warm_out
 
 

@@ -95,6 +95,7 @@ def add_assignment_variables(
         model.add_constraint(
             linear_sum(var for var, _ in members) == 1,
             name=f"assign[{op_id}]",
+            tags={"family": "assignment", "op": op_id, "context": context},
         )
     return variables
 
@@ -120,6 +121,7 @@ def add_exclusivity_constraints(
         variables.model.add_constraint(
             linear_sum(slot_vars) <= 1,
             name=f"slot[c{context},pe{pe_index}]",
+            tags={"family": "exclusivity", "context": context, "pe": pe_index},
         )
 
 
@@ -129,6 +131,7 @@ def add_stress_constraints(
     num_pes: int,
     st_target_ns: float,
     frozen_stress_ns: Mapping[int, float],
+    fabric: Fabric | None = None,
 ) -> None:
     """Per-PE accumulated stress budget (the first constraint of Eq. 3).
 
@@ -136,6 +139,9 @@ def add_stress_constraints(
     parameter, so Algorithm 1's relaxation loop re-stamps them in O(PEs)
     via ``model.set_parameter("st_target", value)`` instead of rebuilding
     the model (the only thing the loop varies is this budget).
+
+    When ``fabric`` is given, rows carry the PE's grid coordinates in
+    their domain tags so diagnostics can point at the physical cell.
     """
     per_pe_terms: dict[int, list[LinExpr]] = {}
     for op_id, members in variables.assign.items():
@@ -148,17 +154,30 @@ def add_stress_constraints(
     for pe_index in range(num_pes):
         frozen = frozen_stress_ns.get(pe_index, 0.0)
         if frozen > st_target_ns + 1e-9:
-            raise BudgetInfeasibleError(
+            exc = BudgetInfeasibleError(
                 f"frozen stress {frozen:.3f}ns on PE {pe_index} already "
                 f"exceeds ST_target {st_target_ns:.3f}ns"
             )
+            exc.pe_index = pe_index
+            exc.frozen_ns = frozen
+            exc.st_target_ns = st_target_ns
+            raise exc
         terms = per_pe_terms.get(pe_index)
         if terms is None:
             continue
+        tags: dict[str, object] = {
+            "family": "stress",
+            "pe": pe_index,
+            "frozen_ns": round(frozen, 9),
+        }
+        if fabric is not None:
+            tags["row"] = int(fabric.row_of[pe_index])
+            tags["col"] = int(fabric.col_of[pe_index])
         variables.model.add_constraint(
             linear_sum(terms) <= st_target_ns - frozen,
             name=f"stress[pe{pe_index}]",
             parameter="st_target",
+            tags=tags,
         )
 
 
@@ -233,10 +252,11 @@ def _segment_distance(
     tag = f"{key_a[0]}{key_a[1]}_{key_b[0]}{key_b[1]}"
     dx = model.add_continuous(f"dx[{tag}]", 0.0, span)
     dy = model.add_continuous(f"dy[{tag}]", 0.0, span)
-    model.add_constraint(dx >= x_a - x_b, name=f"absx+[{tag}]")
-    model.add_constraint(dx >= x_b - x_a, name=f"absx-[{tag}]")
-    model.add_constraint(dy >= y_a - y_b, name=f"absy+[{tag}]")
-    model.add_constraint(dy >= y_b - y_a, name=f"absy-[{tag}]")
+    seg_tags = {"family": "distance", "segment": tag}
+    model.add_constraint(dx >= x_a - x_b, name=f"absx+[{tag}]", tags=seg_tags)
+    model.add_constraint(dx >= x_b - x_a, name=f"absx-[{tag}]", tags=seg_tags)
+    model.add_constraint(dy >= y_a - y_b, name=f"absy+[{tag}]", tags=seg_tags)
+    model.add_constraint(dy >= y_b - y_a, name=f"absy-[{tag}]", tags=seg_tags)
     variables.distance_vars[pair] = (dx, dy)
     return LinExpr.from_term(dx) + LinExpr.from_term(dy)
 
@@ -278,7 +298,17 @@ def add_path_constraints(
             if total.constant > max_length + 1e-9:
                 frozen_violations += 1
             continue
-        variables.model.add_constraint(total <= max_length, name=f"path[{index}]")
+        variables.model.add_constraint(
+            total <= max_length,
+            name=f"path[{index}]",
+            tags={
+                "family": "path",
+                "path": index,
+                "context": path.context,
+                "ops": list(path.chain),
+                "delay_ns": round(monitored.delay_ns, 9),
+            },
+        )
         added += 1
     return added, frozen_violations
 

@@ -236,7 +236,9 @@ def _build_with_baseline(
     baseline = frozen_stress_by_pe(design, frozen)
     for pe in range(fabric.num_pes):
         baseline[pe] = baseline.get(pe, 0.0) + float(carryover[pe])
-    add_stress_constraints(variables, design, fabric.num_pes, target, baseline)
+    add_stress_constraints(
+        variables, design, fabric.num_pes, target, baseline, fabric=fabric
+    )
     endpoints = collect_endpoints(monitored)
     build_coordinates(variables, design, fabric, frozen.positions, endpoints)
     add_path_constraints(variables, design, fabric, monitored, cpd)

@@ -221,6 +221,7 @@ def build_remap_model(
             fabric.num_pes,
             st_target_ns,
             frozen_stress_by_pe(design, frozen),
+            fabric=fabric,
         )
         endpoints = collect_endpoints(monitored_paths)
         build_coordinates(variables, design, fabric, frozen.positions, endpoints)

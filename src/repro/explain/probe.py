@@ -1,0 +1,52 @@
+"""Deterministic forced-infeasible probe for exercising IIS extraction.
+
+Total accumulated stress is conserved by re-mapping: every op carries its
+stress wherever it goes, so the per-PE loads always sum to the same
+total — even under fractional (LP) assignment.  A stress-only model
+whose ``ST_target`` sits *below the mean load* ``total / num_pes`` is
+therefore infeasible by pigeonhole, at the LP level, regardless of the
+assignment chosen.  That makes it the ideal IIS test article: genuinely
+infeasible, cheap to probe, and the conflict reads directly in domain
+terms (the full set of per-PE stress budgets plus the assignment rows
+of the ops that cannot be absorbed).
+
+Used by ``repro explain --probe-infeasible`` and the CI report job.
+"""
+
+from __future__ import annotations
+
+
+def build_infeasible_stress_model(design, fabric, factor: float = 0.9):
+    """A stress-only re-mapping model that is provably infeasible.
+
+    All ops are movable with every PE as a candidate; ``ST_target`` is
+    set to ``factor`` times the mean per-PE load (``factor < 1``), which
+    no assignment — integral or fractional — can satisfy.  Returns
+    ``(model, st_target_ns)``.
+    """
+    from repro.core.constraints import (
+        add_assignment_variables,
+        add_exclusivity_constraints,
+        add_stress_constraints,
+    )
+    from repro.errors import ModelError
+    from repro.milp.model import Model
+
+    if not 0.0 < factor < 1.0:
+        raise ModelError(f"probe factor must be in (0, 1), got {factor}")
+    total_stress = design.total_stress_ns()
+    if total_stress <= 0.0:
+        raise ModelError(
+            f"design {design.name!r} carries no stress; probe would be feasible"
+        )
+    st_target_ns = factor * total_stress / fabric.num_pes
+    model = Model(f"{design.name}.infeasible_probe")
+    candidates = {
+        op_id: list(range(fabric.num_pes)) for op_id in sorted(design.ops)
+    }
+    variables = add_assignment_variables(model, candidates, design)
+    add_exclusivity_constraints(variables, design, fabric.num_pes)
+    add_stress_constraints(
+        variables, design, fabric.num_pes, st_target_ns, {}, fabric=fabric
+    )
+    return model, st_target_ns

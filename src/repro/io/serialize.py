@@ -140,11 +140,31 @@ def floorplan_from_dict(data: dict[str, Any]) -> Floorplan:
 # -- flow summaries -------------------------------------------------------------
 
 
+def _json_safe(value: Any) -> Any:
+    """Coerce numpy scalars/containers so ``json.dump`` never chokes."""
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    for caster in (int, float):
+        try:
+            return caster(value)
+        except (TypeError, ValueError):
+            continue
+    return str(value)
+
+
 def flow_summary_to_dict(result) -> dict[str, Any]:
     """Encode a :class:`~repro.core.flow.FlowResult` as a measurement record.
 
-    Includes both floorplans so the run can be re-evaluated offline.
+    Includes both floorplans so the run can be re-evaluated offline, and
+    (since the solve-diagnostics addition) the Algorithm 1 convergence
+    record with its explain events, so ``repro explain record.json`` can
+    reconstruct *why* the run ended the way it did without the trace.
     """
+    remap_stats = result.remap.stats or {}
     return {
         "schema": SCHEMA_VERSION,
         "kind": "flow_result",
@@ -152,6 +172,15 @@ def flow_summary_to_dict(result) -> dict[str, Any]:
         "design": design_to_dict(result.design),
         "original_floorplan": floorplan_to_dict(result.original.floorplan),
         "remapped_floorplan": floorplan_to_dict(result.remapped.floorplan),
+        "algorithm1": _json_safe({
+            "degradation": result.remap.degradation,
+            "certified": result.remap.certified,
+            "st_target_ns": result.remap.st_target_ns,
+            "stats": remap_stats.get("algorithm1", {}),
+            "iterations": remap_stats.get("iterations", []),
+            "explanations": remap_stats.get("explanations", []),
+            "degradation_reason": remap_stats.get("degradation_reason"),
+        }),
     }
 
 

@@ -36,14 +36,24 @@ class Constraint:
     ``rhs = -lhs.constant``.
     """
 
-    __slots__ = ("lhs", "sense", "name")
+    __slots__ = ("lhs", "sense", "name", "tags")
 
-    def __init__(self, lhs: LinExpr, sense: Sense, name: str = "") -> None:
+    def __init__(
+        self,
+        lhs: LinExpr,
+        sense: Sense,
+        name: str = "",
+        tags: Mapping[str, object] | None = None,
+    ) -> None:
         if not isinstance(lhs, LinExpr):
             raise ModelError("constraint left-hand side must be a LinExpr")
         self.lhs = lhs
         self.sense = sense
         self.name = name
+        #: Domain metadata (e.g. ``{"family": "stress", "pe": 3}``) carried
+        #: through compilation into :class:`~repro.milp.model.RowMeta`, so
+        #: diagnostics can name rows in problem terms rather than indices.
+        self.tags: Mapping[str, object] = dict(tags) if tags else {}
 
     @property
     def body(self) -> LinExpr:

@@ -47,13 +47,26 @@ class RowMeta:
     """Identity of one constraint row, for human-readable audit messages.
 
     ``rhs`` is sampled at call time, so restamped parameter rows report
-    their *current* right-hand side.
+    their *current* right-hand side.  ``tags`` carries the constraint's
+    domain metadata (family, PE coordinates, op/context ids — see
+    :mod:`repro.core.constraints`) so diagnostics can speak in problem
+    terms.  Row *identity* (index/name/sense/tags) is stable across
+    restamps; only ``rhs`` moves.
     """
 
     index: int
     name: str
     sense: str
     rhs: float
+    tags: Mapping[str, object] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """``name sense rhs`` plus a compact domain-tag suffix."""
+        head = f"{self.name} {self.sense} {self.rhs:g}"
+        if not self.tags:
+            return head
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(self.tags.items()))
+        return f"{head}  [{parts}]"
 
 
 @dataclass
@@ -267,6 +280,10 @@ class Model:
         #: objective) changes; parameter re-stamps and bound changes do
         #: not count, so they reuse the compiled lowering.
         self._structure_rev = 0
+        #: Bumped on every effective :meth:`set_parameter` re-stamp; with
+        #: ``_structure_rev`` it keys the :meth:`row_metadata` cache.
+        self._restamp_rev = 0
+        self._row_meta_cache: tuple[int, int, tuple[RowMeta, ...]] | None = None
         self._compile_cache = _CompileCache()
 
     # -- variables -----------------------------------------------------------
@@ -322,6 +339,7 @@ class Model:
         name: str = "",
         parameter: str | None = None,
         parameter_coeff: float = 1.0,
+        tags: Mapping[str, object] | None = None,
     ) -> Constraint:
         """Register a constraint (built with <=, >=, == on expressions).
 
@@ -331,6 +349,10 @@ class Model:
         derived from the RHS at registration time and the parameter's
         current value.  :meth:`set_parameter` then re-stamps every bound
         row in O(rows) without touching the compiled lowering.
+
+        ``tags`` attaches domain metadata to the constraint, surfaced in
+        :meth:`row_metadata` for diagnostics (IIS membership, binding-row
+        attribution, certification failures).
         """
         if not isinstance(constraint, Constraint):
             raise ModelError(
@@ -339,6 +361,8 @@ class Model:
             )
         if name:
             constraint.name = name
+        if tags:
+            constraint.tags = dict(tags)
         if constraint.is_trivial():
             if not constraint.trivially_satisfied():
                 raise ModelError(
@@ -391,16 +415,26 @@ class Model:
         the compiled lowering — so :mod:`repro.verify` can label the rows
         it re-checks without touching the cache it is auditing.  Unnamed
         rows get a positional ``row[i]`` label.
+
+        The tuple is cached against the structure and re-stamp revisions:
+        per-solve diagnostics (attribution runs after every feasible
+        solve) reuse it for free across warm re-solves.
         """
-        return tuple(
+        cache = self._row_meta_cache
+        if cache is not None and cache[:2] == (self._structure_rev, self._restamp_rev):
+            return cache[2]
+        metas = tuple(
             RowMeta(
                 index=i,
                 name=constraint.name or f"row[{i}]",
                 sense=constraint.sense.value,
                 rhs=constraint.rhs,
+                tags=constraint.tags,
             )
             for i, constraint in enumerate(self._constraints)
         )
+        self._row_meta_cache = (self._structure_rev, self._restamp_rev, metas)
+        return metas
 
     def _check_owned(self, var: Variable) -> None:
         idx = var.index
@@ -454,6 +488,7 @@ class Model:
                 # restamps never accumulate rounding.
                 self._constraints[index].lhs.constant = -(base + coeff * value)
             self._parameters[name] = value
+            self._restamp_rev += 1
         counter("milp.rhs_restamps").inc()
 
     # -- objective --------------------------------------------------------------

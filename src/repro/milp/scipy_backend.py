@@ -11,6 +11,7 @@ import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
 from repro.errors import SolverError
+from repro.explain import attribute_solution, explain_enabled
 from repro.milp.model import Model, hint_vector
 from repro.milp.status import Solution, SolveStatus
 from repro.obs import counter, get_logger, histogram, span
@@ -19,6 +20,20 @@ from repro.resilience.deadline import current_deadline
 from repro.resilience.faults import inject_solver_fault
 
 _log = get_logger("milp.scipy_backend")
+
+
+def attach_attribution(stats: SolveStats, form, x, metas) -> None:
+    """Attribute a feasible solution onto ``stats`` (no-op when disabled).
+
+    Shared by both backends; diagnostics must never break a solve, so
+    attribution failures are logged and swallowed.
+    """
+    if x is None or metas is None or not explain_enabled():
+        return
+    try:
+        stats.attribution = attribute_solution(form, x, metas)
+    except Exception:  # pragma: no cover - diagnostics are best-effort
+        _log.debug("binding attribution failed", exc_info=True)
 
 #: Map HiGHS/scipy status codes to our :class:`SolveStatus`.
 _STATUS_MAP = {
@@ -95,11 +110,12 @@ class ScipyBackend:
                 LinearConstraint(form.a_matrix, row_lower, row_upper)
             )
 
+        metas = model.row_metadata() if explain_enabled() else None
         if not form.integrality.any():
             # Pure LP (e.g. the two-step method's relaxation): HiGHS's
             # interior-point method is several times faster than the
             # branch-and-cut entry point on these transportation-like LPs.
-            return self._solve_lp(form, time_limit, model.name)
+            return self._solve_lp(form, time_limit, model.name, metas=metas)
 
         stats = SolveStats(backend="highs", kind="milp")
         hint = options.get("warm_start")
@@ -120,6 +136,7 @@ class ScipyBackend:
                     ) as solver_span:
                         stats.incumbent = stats.hint_objective
                         stats.elapsed_s = solver_span.duration_s
+                        attach_attribution(stats, form, x0, metas)
                         solver_span.set(status="optimal", **stats.span_attrs())
                     counter("milp.warm_start_shortcuts").inc()
                     values = {
@@ -171,6 +188,7 @@ class ScipyBackend:
             if result.x is not None:
                 stats.incumbent = float(form.objective @ result.x)
                 stats.sample(elapsed, stats.nodes, stats.incumbent, stats.best_bound)
+                attach_attribution(stats, form, result.x, metas)
             solver_span.set(status=status.value, **stats.span_attrs())
         counter("milp.highs.milp_solves").inc()
         histogram("milp.highs.solve_seconds").observe(elapsed)
@@ -204,7 +222,7 @@ class ScipyBackend:
             stats=stats,
         )
 
-    def _solve_lp(self, form, time_limit, name="lp") -> Solution:
+    def _solve_lp(self, form, time_limit, name="lp", metas=None) -> Solution:
         """Pure-LP fast path through linprog/HiGHS-IPM."""
         from scipy.optimize import linprog
 
@@ -247,6 +265,7 @@ class ScipyBackend:
             if result.x is not None:
                 stats.lp_objective = float(form.objective @ result.x)
                 stats.incumbent = stats.lp_objective
+                attach_attribution(stats, form, result.x, metas)
             status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
             solver_span.set(status=status.value, **stats.span_attrs())
         counter("milp.highs.lp_solves").inc()

@@ -62,7 +62,12 @@ def _rss_mb() -> float | None:
 
 
 def _solver_aggregates(solves: list[dict]) -> dict:
-    """Roll ``solver`` span records up into one per-entry summary."""
+    """Roll ``solver`` span records up into one per-entry summary.
+
+    ``limit_hits`` stays the historical total; ``limit_reasons`` breaks it
+    out per reason (``deadline``, ``node_limit``, ``time_limit``,
+    ``gap_limit``, ...) so a regression in limit hits names its cause.
+    """
     agg = {
         "solves": len(solves),
         "milp_solves": 0,
@@ -70,6 +75,7 @@ def _solver_aggregates(solves: list[dict]) -> dict:
         "max_mip_gap": 0.0,
         "solve_s": 0.0,
         "limit_hits": 0,
+        "limit_reasons": {},
     }
     for record in solves:
         attrs = record.get("attrs", {})
@@ -80,8 +86,12 @@ def _solver_aggregates(solves: list[dict]) -> dict:
         gap = attrs.get("gap")
         if gap is not None:
             agg["max_mip_gap"] = max(agg["max_mip_gap"], float(gap))
-        if attrs.get("limit_reason"):
+        reason = attrs.get("limit_reason")
+        if reason:
             agg["limit_hits"] += 1
+            agg["limit_reasons"][reason] = (
+                agg["limit_reasons"].get(reason, 0) + 1
+            )
     agg["solve_s"] = round(agg["solve_s"], 6)
     return agg
 
@@ -366,6 +376,14 @@ def compare_records(
                th.mem_rel, th.mem_abs_mb)
         _check(result, name, "solver.nodes", float(b_nodes), float(c_nodes),
                th.nodes_rel, float(th.nodes_abs))
+        b_hits = int(base.get("solver", {}).get("limit_hits", 0))
+        c_hits = int(cand.get("solver", {}).get("limit_hits", 0))
+        if c_hits > b_hits:
+            result.warnings.append(
+                f"{name}: solver limit hits rose {b_hits} -> {c_hits} "
+                f"(baseline {_format_reasons(base)}, "
+                f"candidate {_format_reasons(cand)})"
+            )
         b_mttf = float(base.get("mttf_increase", 0.0))
         c_mttf = float(cand.get("mttf_increase", 0.0))
         if c_mttf < b_mttf * 0.95:
@@ -383,6 +401,16 @@ def compare_records(
             b_nodes, c_nodes,
         ])
     return result
+
+
+def _format_reasons(entry: dict) -> str:
+    """``reason=count`` breakdown of an entry's solver limit hits."""
+    reasons = entry.get("solver", {}).get("limit_reasons", {})
+    if not reasons:
+        return "no reason breakdown"
+    return ", ".join(
+        f"{reason}={count}" for reason, count in sorted(reasons.items())
+    )
 
 
 def _ratio_cell(base: float, cand: float) -> str:

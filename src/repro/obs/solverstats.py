@@ -116,6 +116,12 @@ class SolveStats:
     vars_fixed: int | None = None
     #: Binary variables that survived the pre-mapping into the ILP.
     vars_free: int | None = None
+    #: Binding/slack attribution of a feasible solve
+    #: (:func:`repro.explain.attribute_solution` output): per-family slack
+    #: histograms, top-k binding rows in domain terms, saturated PEs and
+    #: wire-length-critical paths.  ``None`` when diagnostics are off or
+    #: the solve produced no solution.
+    attribution: dict | None = None
 
     # -- recording helpers ---------------------------------------------------
     def sample(
@@ -177,6 +183,12 @@ class SolveStats:
             attrs["groups_fixed"] = self.groups_fixed
             attrs["groups_total"] = self.groups_total
             attrs["vars_free"] = self.vars_free
+        if self.attribution is not None:
+            # Mirror only the compact summary; the full attribution dict
+            # travels on the Solution's stats.
+            from repro.explain.attribution import attribution_brief
+
+            attrs["attribution"] = attribution_brief(self.attribution)
         return attrs
 
     def to_dict(self) -> dict:
@@ -196,6 +208,8 @@ class SolveStats:
         if self.warm_started:
             data["warm_started"] = True
             data["hint_objective"] = self.hint_objective
+        if self.attribution is not None:
+            data["attribution"] = self.attribution
         if self.groups_total is not None:
             data["fixing"] = {
                 "threshold": self.fix_threshold,

@@ -111,6 +111,9 @@ class TraceSummary:
     solves: list[dict] = field(default_factory=list)
     #: ``algorithm1.stats`` event attrs, one dict per Algorithm 1 run.
     alg1_runs: list[dict] = field(default_factory=list)
+    #: ``algorithm1.explain`` event attrs — one "why was this iteration
+    #: rejected / why did the run end" record per emission, in trace order.
+    explains: list[dict] = field(default_factory=list)
     #: Per-sweep-entry verdict (see :data:`VERDICT_RANK`), in the order
     #: entries first appear in the trace.
     sweep_entries: dict[str, str] = field(default_factory=dict)
@@ -126,6 +129,30 @@ class TraceSummary:
             share = 100.0 * stage.total_s / self.total_s if self.total_s else 0.0
             rows.append([label, stage.count, round(stage.total_s, 3), round(share, 1)])
         return rows
+
+    def to_dict(self) -> dict:
+        """JSON-safe form of the whole summary (``trace summarize --json``)."""
+        return {
+            "schema": 1,
+            "kind": "trace_summary",
+            "records": self.records,
+            "total_s": round(self.total_s, 6),
+            "stages": [
+                {
+                    "path": row.path,
+                    "count": row.count,
+                    "total_s": round(row.total_s, 6),
+                }
+                for row in self.stages
+            ],
+            "metrics": self.metrics,
+            "degradations": self.degradations,
+            "solves": self.solves,
+            "alg1_runs": self.alg1_runs,
+            "explains": self.explains,
+            "sweep_entries": self.sweep_entries,
+            "events": self.events,
+        }
 
     def verdict_table(self) -> list[list[str]]:
         """Per-entry ``[entry, verdict]`` rows, worst verdicts first."""
@@ -224,6 +251,8 @@ def summarize_records(records: Iterable[Mapping]) -> TraceSummary:
                 summary.degradations.append(dict(record))
             elif record["name"] == "algorithm1.stats":
                 summary.alg1_runs.append(dict(record.get("attrs", {})))
+            elif record["name"] == "algorithm1.explain":
+                summary.explains.append(dict(record.get("attrs", {})))
             verdict = _EVENT_VERDICTS.get(record["name"])
             if verdict is not None:
                 attrs = record.get("attrs") or {}

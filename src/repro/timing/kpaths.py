@@ -143,6 +143,39 @@ def enumerate_context_paths(
     return found, truncated
 
 
+def worst_path(
+    design: MappedDesign,
+    floorplan: Floorplan,
+    graphs: list[ContextTimingGraph],
+    report: TimingReport,
+) -> MonitoredPath | None:
+    """The CPD-achieving path of the slowest context on ``floorplan``.
+
+    Used by the solve diagnostics to name the *culprit* of a CPD
+    violation: when Algorithm 1 rejects a re-mapped floorplan because an
+    unmonitored path grew past the original CPD, this is that path.
+    """
+    if not report.per_context:
+        return None
+    worst = max(
+        range(len(report.per_context)),
+        key=lambda i: report.per_context[i].cpd_ns,
+    )
+    timing = report.per_context[worst]
+    if timing.cpd_ns <= 0.0:
+        return None
+    paths, _ = enumerate_context_paths(
+        graphs[worst],
+        floorplan,
+        threshold_ns=timing.cpd_ns - DELAY_EPS,
+        context_cpd_ns=timing.cpd_ns,
+        max_paths=8,
+    )
+    if not paths:
+        return None
+    return max(paths, key=lambda monitored: monitored.delay_ns)
+
+
 def filter_paths(
     design: MappedDesign,
     floorplan: Floorplan,

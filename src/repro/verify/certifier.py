@@ -30,6 +30,7 @@ them into a typed :class:`~repro.errors.CertificationError`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
@@ -68,20 +69,28 @@ class Violation:
     ``kind`` is one of the ``KIND_*`` constants; ``subject`` names the
     violated object (a constraint row, an op, a PE); ``magnitude`` is the
     non-negative violation amount in the subject's natural unit.
+    ``tags`` carries the violated row's domain metadata
+    (:class:`~repro.milp.model.RowMeta` tags — constraint family, PE
+    coordinates, op/context ids) so errors and ``certification.failed``
+    events speak in problem terms instead of bare row indices.
     """
 
     kind: str
     subject: str
     detail: str
     magnitude: float = 0.0
+    tags: Mapping[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "kind": self.kind,
             "subject": self.subject,
             "detail": self.detail,
             "magnitude": self.magnitude,
         }
+        if self.tags:
+            data["tags"] = dict(self.tags)
+        return data
 
 
 @dataclass
@@ -220,6 +229,7 @@ def certify_solution(
                         f"{meta.sense} {rhs:.9g} violated by {excess:.3g}"
                     ),
                     magnitude=excess,
+                    tags=dict(meta.tags),
                 )
             )
     cert.checks.append(f"feasibility over {len(rows)} rows")
@@ -289,6 +299,11 @@ def certify_floorplan(
                     kind=KIND_SLOT,
                     subject=f"c{op.context},pe{pe_index}",
                     detail=f"ops {other} and {op_id} share the slot",
+                    tags={
+                        "family": "exclusivity",
+                        "context": op.context,
+                        "pe": pe_index,
+                    },
                 )
             )
         else:
@@ -327,6 +342,7 @@ def certify_floorplan(
                             f"ST_target {st_target_ns:.6f} ns"
                         ),
                         magnitude=accumulated - st_target_ns,
+                        tags={"family": "stress", "pe": pe_index},
                     )
                 )
         cert.checks.append(

@@ -114,6 +114,32 @@ class TestAggregatesAndTables:
         assert agg["max_mip_gap"] == pytest.approx(0.2)
         assert agg["solve_s"] == pytest.approx(1.0)
         assert agg["limit_hits"] == 1
+        assert agg["limit_reasons"] == {"time_limit": 1}
+
+    def test_limit_reasons_break_out_per_cause(self):
+        solves = [
+            {"duration_s": 0.1, "attrs": {"limit_reason": "time_limit"}},
+            {"duration_s": 0.1, "attrs": {"limit_reason": "deadline"}},
+            {"duration_s": 0.1, "attrs": {"limit_reason": "time_limit"}},
+            {"duration_s": 0.1, "attrs": {}},
+        ]
+        agg = perf._solver_aggregates(solves)
+        assert agg["limit_hits"] == 3
+        assert agg["limit_reasons"] == {"time_limit": 2, "deadline": 1}
+
+    def test_limit_hit_rise_warns_with_reason_breakdown(self):
+        base = _entry()
+        cand = _entry()
+        cand["solver"] = dict(
+            cand["solver"], limit_hits=2,
+            limit_reasons={"deadline": 1, "time_limit": 1},
+        )
+        result = compare_records(_record(B1=base), _record(B1=cand))
+        assert result.ok  # a warning, not a failing regression
+        (warning,) = [w for w in result.warnings if "limit hits" in w]
+        assert "0 -> 2" in warning
+        assert "deadline=1, time_limit=1" in warning
+        assert "no reason breakdown" in warning  # the baseline side
 
     def test_bench_table_rows(self):
         record = _record(B1=_entry(wall_s=1.234, mem_mb=5.6))

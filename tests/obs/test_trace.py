@@ -159,6 +159,48 @@ class TestConvergenceCollection:
         assert summary.degradations == []
 
 
+class TestExplainCollection:
+    def test_explain_event_attrs_extracted(self):
+        records = [
+            _event_record(
+                "algorithm1.explain", parent="flow",
+                benchmark="B4", cause="iteration", iteration=2,
+                result="relaxed_st", st_target_ns=3.5,
+            ),
+            _event_record(
+                "algorithm1.explain", parent="flow",
+                benchmark="B4", cause="terminal",
+                terminal_cause="st_ceiling_exhausted",
+            ),
+        ]
+        summary = summarize_records(records)
+        assert [e["cause"] for e in summary.explains] == ["iteration", "terminal"]
+        assert summary.explains[0]["result"] == "relaxed_st"
+        # explain events are informational, not degradations.
+        assert summary.degradations == []
+
+    def test_to_dict_round_trips_through_json(self):
+        records = [
+            _span_record("flow", duration=1.5),
+            _span_record("solver", parent="flow", nodes=3, kind="milp"),
+            _event_record(
+                "algorithm1.explain", parent="flow",
+                cause="iteration", iteration=1, result="frozen_budget_infeasible",
+            ),
+        ]
+        payload = summarize_records(records).to_dict()
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["kind"] == "trace_summary"
+        assert decoded["records"] == 3
+        assert decoded["total_s"] == pytest.approx(1.5)
+        assert [s["path"] for s in decoded["stages"]] == [
+            "flow", "flow > solver",
+        ]
+        (explain,) = decoded["explains"]
+        assert explain["result"] == "frozen_budget_infeasible"
+        assert len(decoded["solves"]) == 1
+
+
 class TestSweepVerdicts:
     """Per-entry verdict column: ok / retried / cert-failed / failed /
     quarantined, worst signal wins."""

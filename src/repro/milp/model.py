@@ -32,7 +32,7 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 from scipy import sparse
 
-from repro.errors import ModelError
+from repro.errors import ModelError, WarmStartError
 from repro.milp.constraint import Constraint, Sense
 from repro.milp.expr import LinExpr, Variable, VarType
 from repro.milp.status import Solution
@@ -143,21 +143,45 @@ class MatrixForm:
 
 
 def hint_vector(
-    form: MatrixForm, values: Mapping[Variable, float], tol: float = HINT_TOL
+    form: MatrixForm, values, tol: float = HINT_TOL
 ) -> np.ndarray | None:
     """Validate a warm-start hint against ``form``.
 
-    Returns the dense solution vector (discrete entries snapped to
-    integers) when ``values`` covers every column and satisfies bounds,
-    integrality and all row constraints within ``tol``; ``None`` when the
-    hint is stale or infeasible — callers then fall back to a cold solve.
+    ``values`` is either a ``{Variable: value}`` mapping or an
+    already-dense sequence in ``form.variables`` order.  Returns the dense
+    solution vector (discrete entries snapped to integers) when the hint
+    covers every column and satisfies bounds, integrality and all row
+    constraints within ``tol``; ``None`` when the hint is *stale* or
+    infeasible — callers then fall back to a cold solve.
+
+    A *malformed* hint — non-finite entries (NaN/inf), or a dense hint of
+    the wrong length — raises :class:`~repro.errors.WarmStartError`
+    instead: NaN compares false against every bound, so without the
+    explicit check a poisoned hint would sail through validation and
+    reach the backends.
     """
-    x = np.empty(len(form.variables), dtype=float)
-    for i, var in enumerate(form.variables):
-        value = values.get(var)
-        if value is None:
-            return None
-        x[i] = value
+    n = len(form.variables)
+    if isinstance(values, Mapping):
+        x = np.empty(n, dtype=float)
+        for i, var in enumerate(form.variables):
+            value = values.get(var)
+            if value is None:
+                return None
+            x[i] = value
+    else:
+        x = np.asarray(values, dtype=float).ravel()
+        if x.shape[0] != n:
+            raise WarmStartError(
+                f"warm-start hint has {x.shape[0]} entries; model has "
+                f"{n} variables"
+            )
+        x = x.copy()
+    if not np.all(np.isfinite(x)):
+        bad = int(np.flatnonzero(~np.isfinite(x))[0])
+        raise WarmStartError(
+            f"warm-start hint contains non-finite value {x[bad]!r} for "
+            f"variable {form.variables[bad].name!r}"
+        )
     discrete = np.flatnonzero(form.integrality)
     if discrete.size:
         snapped = np.round(x[discrete])

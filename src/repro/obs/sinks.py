@@ -20,6 +20,7 @@ from __future__ import annotations
 import io
 import json
 import pathlib
+import threading
 from typing import Iterable, Mapping, Sequence
 
 from repro.obs.spans import PATH_SEP, Span, SpanSink, active_sinks
@@ -40,10 +41,15 @@ class JsonlSink:
             self._file = target
             self._owns_file = False
         self.lines_written = 0
+        # Portfolio lanes emit spans from racing threads; a lock keeps
+        # every JSONL line whole (interleaved writes would tear records).
+        self._lock = threading.Lock()
 
     def _write(self, record: Mapping) -> None:
-        self._file.write(json.dumps(record, default=str) + "\n")
-        self.lines_written += 1
+        line = json.dumps(record, default=str) + "\n"
+        with self._lock:
+            self._file.write(line)
+            self.lines_written += 1
 
     def on_span(self, span: Span) -> None:
         self._write(span.to_record())

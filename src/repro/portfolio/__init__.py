@@ -1,0 +1,49 @@
+"""Solver portfolio: hedged backend racing with certified winners.
+
+Races the HiGHS backend, the pure-Python branch-and-bound backend, and
+(on feasibility models) a greedy LP-rounding prober over each
+Algorithm-1 solve.  The first answer that passes independent
+certification wins; losers are cooperatively cancelled; flaky lanes are
+demoted by per-lane circuit breakers.  See ``docs/robustness.md``
+("Solver portfolio").
+"""
+
+from repro.portfolio.breaker import (
+    ADMIT_HEDGED,
+    ADMIT_RUN,
+    ADMIT_SKIP,
+    FAILURE_KINDS,
+    HEDGE_AFTER,
+    MAX_PROBE_SKIP,
+    OPEN_AFTER,
+    BreakerBoard,
+    CircuitBreaker,
+)
+from repro.portfolio.cancel import CancelToken, cancel_scope, current_cancel_token
+from repro.portfolio.executor import PortfolioBackend
+from repro.portfolio.lanes import (
+    DEFAULT_LANES,
+    FeasibilityProber,
+    lane_applicable,
+    make_lane_backend,
+)
+
+__all__ = [
+    "ADMIT_HEDGED",
+    "ADMIT_RUN",
+    "ADMIT_SKIP",
+    "BreakerBoard",
+    "CancelToken",
+    "CircuitBreaker",
+    "DEFAULT_LANES",
+    "FAILURE_KINDS",
+    "FeasibilityProber",
+    "HEDGE_AFTER",
+    "MAX_PROBE_SKIP",
+    "OPEN_AFTER",
+    "PortfolioBackend",
+    "cancel_scope",
+    "current_cancel_token",
+    "lane_applicable",
+    "make_lane_backend",
+]

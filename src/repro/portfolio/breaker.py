@@ -1,0 +1,172 @@
+"""Per-lane circuit breakers for the solver portfolio.
+
+A lane that keeps crashing, hanging past its budget, or returning
+uncertifiable answers should stop being trusted with the leader position
+— but must keep getting *probed*, because solver pathologies are often
+instance-specific and the lane may recover on the next model.  The
+breaker is the classic three-state machine, specialised for racing:
+
+``closed``
+    Healthy.  The lane runs in its configured position (leader if it is
+    first).
+``hedged``
+    Suspect (``HEDGE_AFTER`` consecutive failures).  The lane is demoted
+    to the hedged late-start position even when configured first, so a
+    healthy lane takes the leader slot; a success closes the breaker.
+``open``
+    Quarantined (``OPEN_AFTER`` consecutive failures).  The lane sits out
+    solves entirely, except for exponentially backed-off *recovery
+    probes*: it skips 1, then 2, 4, ... up to ``MAX_PROBE_SKIP`` solves,
+    and on each probe runs once in the hedged position.  A probe success
+    closes the breaker; a probe failure doubles the back-off.
+
+Everything is deterministic — counts of consecutive failures and solves
+skipped, never wall-clock or randomness — so fault-injection tests can
+assert exact transitions.  Losing a race is *not* a failure: only crash /
+rejected / timeout / overtaken (see the executor) feed the breaker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs import counter, event, get_logger
+
+_log = get_logger("portfolio.breaker")
+
+#: Consecutive failures that demote a lane to the hedged position.
+HEDGE_AFTER = 2
+#: Consecutive failures that quarantine a lane (open the breaker).
+OPEN_AFTER = 4
+#: Upper bound of the exponential probe back-off (solves skipped).
+MAX_PROBE_SKIP = 16
+
+#: Admission verdicts handed to the executor per solve.
+ADMIT_RUN = "run"
+ADMIT_HEDGED = "hedged"
+ADMIT_SKIP = "skip"
+
+#: Failure kinds a lane can be charged with (the executor classifies).
+FAILURE_KINDS = ("crash", "rejected", "timeout", "overtaken", "hang")
+
+
+@dataclass
+class CircuitBreaker:
+    """Deterministic health tracker for one portfolio lane."""
+
+    lane: str
+    state: str = "closed"  # "closed" | "hedged" | "open"
+    consecutive_failures: int = 0
+    #: Lifetime tallies, persisted into ``Algorithm1Stats.portfolio``.
+    successes: int = 0
+    failures: int = 0
+    failure_kinds: dict[str, int] = field(default_factory=dict)
+    #: Solves still to skip before the next recovery probe (open state).
+    probe_skip_left: int = 0
+    #: Back-off that the *next* probe failure will impose.
+    next_probe_skip: int = 1
+    probes: int = 0
+    #: Bounded transition log: ``(solve_index, from_state, to_state, why)``.
+    transitions: list[tuple[int, str, str, str]] = field(default_factory=list)
+    _solve_index: int = 0
+
+    # -- admission ------------------------------------------------------------
+    def admit(self) -> str:
+        """Decide this lane's participation in the next solve.
+
+        Called exactly once per portfolio solve; advances the open-state
+        probe countdown as a side effect.
+        """
+        self._solve_index += 1
+        if self.state == "closed":
+            return ADMIT_RUN
+        if self.state == "hedged":
+            return ADMIT_HEDGED
+        # Open: sit out until the probe countdown elapses.
+        if self.probe_skip_left > 0:
+            self.probe_skip_left -= 1
+            return ADMIT_SKIP
+        self.probes += 1
+        counter(f"portfolio.breaker.probes.{self.lane}").inc()
+        return ADMIT_HEDGED
+
+    # -- outcomes -------------------------------------------------------------
+    def record_success(self) -> None:
+        """The lane produced a certified (or proven-infeasible) answer."""
+        self.successes += 1
+        if self.state != "closed":
+            self._transition("closed", "success")
+        self.consecutive_failures = 0
+        self.next_probe_skip = 1
+        self.probe_skip_left = 0
+
+    def record_failure(self, kind: str) -> None:
+        """Charge the lane with a failure of ``kind`` (see FAILURE_KINDS)."""
+        self.failures += 1
+        self.failure_kinds[kind] = self.failure_kinds.get(kind, 0) + 1
+        self.consecutive_failures += 1
+        if self.state == "open":
+            # A failed recovery probe: double the back-off and keep waiting.
+            self.probe_skip_left = self.next_probe_skip
+            self.next_probe_skip = min(self.next_probe_skip * 2, MAX_PROBE_SKIP)
+            self._transition("open", f"probe_failed:{kind}")
+        elif self.consecutive_failures >= OPEN_AFTER:
+            self.probe_skip_left = self.next_probe_skip
+            self.next_probe_skip = min(self.next_probe_skip * 2, MAX_PROBE_SKIP)
+            self._transition("open", kind)
+        elif self.consecutive_failures >= HEDGE_AFTER:
+            self._transition("hedged", kind)
+
+    def _transition(self, to_state: str, why: str) -> None:
+        if to_state == self.state and not why.startswith("probe_failed"):
+            return
+        self.transitions.append((self._solve_index, self.state, to_state, why))
+        if len(self.transitions) > 64:
+            del self.transitions[0]
+        if to_state != self.state:
+            counter(f"portfolio.breaker.{to_state}").inc()
+            event(
+                "portfolio.breaker",
+                lane=self.lane,
+                from_state=self.state,
+                to_state=to_state,
+                why=why,
+                consecutive_failures=self.consecutive_failures,
+            )
+            _log.warning(
+                "lane %r breaker: %s -> %s (%s, %d consecutive failures)",
+                self.lane, self.state, to_state, why,
+                self.consecutive_failures,
+            )
+        self.state = to_state
+
+    # -- reporting ------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot for ``Algorithm1Stats.portfolio``."""
+        return {
+            "lane": self.lane,
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "successes": self.successes,
+            "failures": self.failures,
+            "failure_kinds": dict(self.failure_kinds),
+            "probes": self.probes,
+            "next_probe_skip": self.next_probe_skip,
+            "transitions": [
+                {"solve": idx, "from": src, "to": dst, "why": why}
+                for idx, src, dst, why in self.transitions
+            ],
+        }
+
+
+class BreakerBoard:
+    """The portfolio's set of per-lane breakers."""
+
+    def __init__(self, lanes: tuple[str, ...]) -> None:
+        self.breakers = {lane: CircuitBreaker(lane) for lane in lanes}
+
+    def __getitem__(self, lane: str) -> CircuitBreaker:
+        return self.breakers[lane]
+
+    def snapshot(self) -> dict:
+        return {lane: brk.to_dict() for lane, brk in self.breakers.items()}

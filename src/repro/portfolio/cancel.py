@@ -1,0 +1,77 @@
+"""Cooperative cancellation tokens for racing solver lanes.
+
+A :class:`CancelToken` is a thread-safe "stop asking, start stopping"
+flag.  The portfolio executor installs one per race via
+:func:`cancel_scope`; backends poll :func:`current_cancel_token` at their
+iteration boundaries (branch-and-bound checks every node expansion, the
+HiGHS backend checks at solve entry) and wind down with
+``limit_reason="cancelled"`` instead of raising — a cancelled lane is a
+*loser*, not a failure, so break-and-return semantics keep the loser's
+partial stats intact for the race record.
+
+The token rides a :mod:`contextvars` variable, exactly like deadlines and
+spans, so each lane thread sees only its own token after the executor
+copies a context per lane.  Outside any race the default token is a
+singleton that never fires, so backend poll sites need no ``None`` guard.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import threading
+from typing import Iterator
+
+
+class CancelToken:
+    """A one-way, thread-safe cancellation flag.
+
+    ``cancel()`` may be called from any thread and is idempotent; pollers
+    read :attr:`cancelled` (a lock-free ``Event.is_set``).  ``wait()``
+    lets simulated hangs (the ``lane_hang`` fault) block until the race
+    releases them instead of leaking a thread for the process lifetime.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until cancelled (or ``timeout``); True when cancelled."""
+        return self._event.wait(timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "live"
+        return f"CancelToken({state})"
+
+
+#: Process-wide default: a token that is never cancelled.  Poll sites can
+#: unconditionally read ``current_cancel_token().cancelled``.
+_NEVER = CancelToken()
+
+_current: contextvars.ContextVar[CancelToken] = contextvars.ContextVar(
+    "repro_portfolio_cancel_token", default=_NEVER
+)
+
+
+def current_cancel_token() -> CancelToken:
+    """The token governing this context (a never-firing one by default)."""
+    return _current.get()
+
+
+@contextlib.contextmanager
+def cancel_scope(token: CancelToken) -> Iterator[CancelToken]:
+    """Install ``token`` as the current cancellation token for the body."""
+    handle = _current.set(token)
+    try:
+        yield token
+    finally:
+        _current.reset(handle)

@@ -1,0 +1,86 @@
+"""Cooperative cancellation inside the MILP backends.
+
+The branch-and-bound backend must honour the race's cancel token at
+*every* node expansion — a deep, heavily-tied tree (the regression case)
+would otherwise run for its full node budget after the race is already
+decided.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.milp import BranchBoundBackend, Model, SolveStatus, linear_sum
+from repro.portfolio import CancelToken, cancel_scope
+
+
+def deep_tree_model(n: int = 24) -> Model:
+    """A knapsack engineered for a deliberately deep, tie-heavy tree.
+
+    The capacity ``3*(n//2) + 1`` is never a multiple of the uniform
+    weight 3, so every LP relaxation carries a 1/3-fractional variable
+    and its bound sits strictly below the best integral value — pruning
+    never engages, and equal objective coefficients make every branching
+    order a tie.  Uncancelled branch-and-bound grinds through thousands
+    of nodes on this.
+    """
+    model = Model("deep")
+    xs = [model.add_binary(f"x{i}") for i in range(n)]
+    model.add_constraint(3 * linear_sum(xs) <= 3 * (n // 2) + 1)
+    model.set_objective(-linear_sum(xs))
+    return model
+
+
+class TestBranchBoundCancellation:
+    def test_pre_cancelled_token_stops_at_first_node(self):
+        token = CancelToken()
+        token.cancel()
+        with cancel_scope(token):
+            solution = BranchBoundBackend().solve(deep_tree_model())
+        assert solution.stats.limit_reason == "cancelled"
+        assert solution.stats.nodes == 0
+        # No incumbent and nothing proven: an honest ERROR, not a claim.
+        assert solution.status is SolveStatus.ERROR
+
+    def test_mid_solve_cancel_returns_promptly(self):
+        """Cancel from another thread while the tree is being explored."""
+        token = CancelToken()
+        backend = BranchBoundBackend(max_nodes=2_000_000)
+        done = {}
+
+        def solve():
+            with cancel_scope(token):
+                done["solution"] = backend.solve(deep_tree_model(26))
+
+        thread = threading.Thread(target=solve)
+        thread.start()
+        time.sleep(0.1)
+        token.cancel()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive(), "cancelled solve failed to wind down"
+        solution = done["solution"]
+        assert solution.stats.limit_reason == "cancelled"
+        # Winding down keeps the loser's partial stats for the race record.
+        assert solution.stats.nodes >= 1
+
+    def test_uncancelled_solve_is_unaffected(self):
+        solution = BranchBoundBackend().solve(deep_tree_model(8))
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.stats.limit_reason != "cancelled"
+        assert solution.objective == pytest.approx(-4.0)
+
+
+class TestScipyCancellation:
+    def test_cancelled_token_short_circuits_entry(self):
+        pytest.importorskip("scipy")
+        from repro.milp import ScipyBackend
+
+        token = CancelToken()
+        token.cancel()
+        with cancel_scope(token):
+            solution = ScipyBackend().solve(deep_tree_model(8))
+        assert solution.status is SolveStatus.ERROR
+        assert solution.stats.limit_reason == "cancelled"

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import ModelError
+from repro.errors import ModelError, WarmStartError
 from repro.milp import (
     BranchBoundBackend,
     Model,
@@ -205,6 +205,38 @@ class TestHintVector:
         model, xs = warm_model()
         form = model.to_matrix_form()
         assert hint_vector(form, {v: 1.0 for v in xs}) is None
+
+    def test_dense_hint_accepted(self):
+        model, _ = warm_model()
+        form = model.to_matrix_form()
+        x = hint_vector(form, [0.0, 0.0, 1.0, 1.0])
+        np.testing.assert_array_equal(x, [0, 0, 1, 1])
+
+    def test_nan_hint_raises_not_validates(self):
+        """NaN compares false against every bound: without the explicit
+        finiteness check a poisoned hint would sail through validation."""
+        model, xs = warm_model()
+        form = model.to_matrix_form()
+        values = {v: 0.0 for v in xs}
+        values[xs[2]] = float("nan")
+        with pytest.raises(WarmStartError, match="non-finite"):
+            hint_vector(form, values)
+
+    def test_inf_hint_raises(self):
+        model, _ = warm_model()
+        form = model.to_matrix_form()
+        with pytest.raises(WarmStartError, match="x1"):
+            hint_vector(form, [0.0, float("inf"), 0.0, 0.0])
+
+    def test_wrong_length_dense_hint_raises(self):
+        model, _ = warm_model()
+        form = model.to_matrix_form()
+        with pytest.raises(WarmStartError, match="3 entries"):
+            hint_vector(form, [0.0, 1.0, 1.0])
+
+    def test_warm_start_error_is_a_model_error(self):
+        # Callers catching ModelError keep catching hint problems.
+        assert issubclass(WarmStartError, ModelError)
 
 
 class TestWarmStart:

@@ -1,0 +1,134 @@
+"""Circuit-breaker state machine: deterministic, count-based."""
+
+from __future__ import annotations
+
+from repro.portfolio import (
+    ADMIT_HEDGED,
+    ADMIT_RUN,
+    ADMIT_SKIP,
+    HEDGE_AFTER,
+    MAX_PROBE_SKIP,
+    OPEN_AFTER,
+    BreakerBoard,
+    CircuitBreaker,
+)
+
+
+def failed(breaker: CircuitBreaker, times: int, kind: str = "crash") -> None:
+    for _ in range(times):
+        breaker.admit()
+        breaker.record_failure(kind)
+
+
+class TestTransitions:
+    def test_healthy_lane_runs(self):
+        breaker = CircuitBreaker("highs")
+        assert breaker.admit() == ADMIT_RUN
+        assert breaker.state == "closed"
+
+    def test_hedged_after_consecutive_failures(self):
+        breaker = CircuitBreaker("highs")
+        failed(breaker, HEDGE_AFTER)
+        assert breaker.state == "hedged"
+        assert breaker.admit() == ADMIT_HEDGED
+
+    def test_open_after_more_failures(self):
+        breaker = CircuitBreaker("highs")
+        failed(breaker, OPEN_AFTER)
+        assert breaker.state == "open"
+
+    def test_success_closes_from_hedged(self):
+        breaker = CircuitBreaker("highs")
+        failed(breaker, HEDGE_AFTER)
+        breaker.admit()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.consecutive_failures == 0
+        assert breaker.admit() == ADMIT_RUN
+
+    def test_one_failure_is_weather_not_demotion(self):
+        breaker = CircuitBreaker("highs")
+        failed(breaker, 1)
+        assert breaker.state == "closed"
+        breaker.admit()
+        breaker.record_success()
+        failed(breaker, 1)
+        # Non-consecutive failures never accumulate into a demotion.
+        assert breaker.state == "closed"
+
+    def test_transition_log(self):
+        breaker = CircuitBreaker("highs")
+        failed(breaker, OPEN_AFTER, kind="hang")
+        states = [(src, dst) for _, src, dst, _ in breaker.transitions]
+        assert ("closed", "hedged") in states
+        assert ("hedged", "open") in states
+        why = [w for _, _, dst, w in breaker.transitions if dst == "open"]
+        assert why == ["hang"]
+
+
+class TestProbeBackoff:
+    def test_open_skips_then_probes(self):
+        breaker = CircuitBreaker("highs")
+        failed(breaker, OPEN_AFTER)
+        # First back-off is one skipped solve, then a hedged probe.
+        assert breaker.admit() == ADMIT_SKIP
+        assert breaker.admit() == ADMIT_HEDGED
+        assert breaker.probes == 1
+
+    def test_probe_failure_doubles_backoff(self):
+        breaker = CircuitBreaker("highs")
+        failed(breaker, OPEN_AFTER)
+        skips = []
+        for _ in range(3):  # three failed probe cycles: skip 1, 2, 4
+            count = 0
+            while breaker.admit() == ADMIT_SKIP:
+                count += 1
+            skips.append(count)
+            breaker.record_failure("crash")
+        assert skips == [1, 2, 4]
+
+    def test_backoff_is_capped(self):
+        breaker = CircuitBreaker("highs")
+        failed(breaker, OPEN_AFTER)
+        for _ in range(10):
+            while breaker.admit() == ADMIT_SKIP:
+                pass
+            breaker.record_failure("crash")
+        assert breaker.next_probe_skip == MAX_PROBE_SKIP
+
+    def test_probe_success_closes_and_resets(self):
+        breaker = CircuitBreaker("highs")
+        failed(breaker, OPEN_AFTER)
+        while breaker.admit() == ADMIT_SKIP:
+            pass
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.next_probe_skip == 1
+        assert breaker.admit() == ADMIT_RUN
+
+
+class TestBookkeeping:
+    def test_failure_kinds_tallied(self):
+        breaker = CircuitBreaker("highs")
+        failed(breaker, 1, "crash")
+        failed(breaker, 2, "rejected")
+        assert breaker.failure_kinds == {"crash": 1, "rejected": 2}
+        assert breaker.failures == 3
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        breaker = CircuitBreaker("highs")
+        failed(breaker, OPEN_AFTER, "timeout")
+        data = breaker.to_dict()
+        json.dumps(data)
+        assert data["state"] == "open"
+        assert data["failure_kinds"]["timeout"] == OPEN_AFTER
+        assert data["transitions"][0]["from"] == "closed"
+
+    def test_board_snapshot_covers_all_lanes(self):
+        board = BreakerBoard(("highs", "branch-bound"))
+        board["highs"].record_failure("crash")
+        snapshot = board.snapshot()
+        assert set(snapshot) == {"highs", "branch-bound"}
+        assert snapshot["highs"]["failures"] == 1

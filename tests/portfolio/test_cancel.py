@@ -1,0 +1,73 @@
+"""Cooperative cancellation token semantics."""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+
+from repro.portfolio import CancelToken, cancel_scope, current_cancel_token
+
+
+class TestCancelToken:
+    def test_starts_live(self):
+        token = CancelToken()
+        assert not token.cancelled
+
+    def test_cancel_is_idempotent(self):
+        token = CancelToken()
+        token.cancel()
+        token.cancel()
+        assert token.cancelled
+
+    def test_wait_returns_immediately_when_cancelled(self):
+        token = CancelToken()
+        token.cancel()
+        assert token.wait(timeout=5.0)
+
+    def test_wait_times_out_when_live(self):
+        token = CancelToken()
+        assert not token.wait(timeout=0.01)
+
+    def test_cross_thread_cancel(self):
+        token = CancelToken()
+        threading.Timer(0.02, token.cancel).start()
+        assert token.wait(timeout=5.0)
+        assert token.cancelled
+
+
+class TestScope:
+    def test_default_token_never_fires(self):
+        token = current_cancel_token()
+        assert not token.cancelled
+
+    def test_scope_installs_and_restores(self):
+        outer = current_cancel_token()
+        token = CancelToken()
+        with cancel_scope(token) as installed:
+            assert installed is token
+            assert current_cancel_token() is token
+        assert current_cancel_token() is outer
+
+    def test_scopes_nest(self):
+        a, b = CancelToken(), CancelToken()
+        with cancel_scope(a):
+            with cancel_scope(b):
+                assert current_cancel_token() is b
+            assert current_cancel_token() is a
+
+    def test_copied_context_isolates_token(self):
+        """The executor's per-lane context copy: each lane sees only its
+        own token, and installing one in a thread never leaks out."""
+        token = CancelToken()
+        seen = {}
+
+        def lane():
+            with cancel_scope(token):
+                seen["inside"] = current_cancel_token()
+
+        ctx = contextvars.copy_context()
+        thread = threading.Thread(target=ctx.run, args=(lane,))
+        thread.start()
+        thread.join()
+        assert seen["inside"] is token
+        assert current_cancel_token() is not token

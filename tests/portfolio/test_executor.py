@@ -1,0 +1,229 @@
+"""The hedged racing executor: winners, lane faults, breaker wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SolverError
+from repro.milp import Model, ScipyBackend, SolveStatus, linear_sum
+from repro.obs import counter
+from repro.portfolio import PortfolioBackend
+from repro.resilience.faults import fault_scope
+
+pytest.importorskip("scipy")
+
+#: Fast hedge for fault tests: the backup must start quickly once the
+#: leader is struck, but slow enough that a healthy leader wins alone.
+HEDGE_S = 0.2
+
+
+def knapsack() -> Model:
+    """A tiny knapsack with a unique optimum (pick x2 and x3 -> -7)."""
+    model = Model("knap")
+    xs = [model.add_binary(f"x{i}") for i in range(4)]
+    model.add_constraint(linear_sum(xs) <= 2)
+    model.set_objective(-(xs[0] + 2 * xs[1] + 3 * xs[2] + 4 * xs[3]))
+    return model
+
+
+def feasibility_model() -> Model:
+    """Pure-feasibility (paper's ObjFunc: Null): any valid point answers."""
+    model = Model("feas")
+    xs = [model.add_binary(f"x{i}") for i in range(3)]
+    model.add_constraint(linear_sum(xs) >= 1)
+    model.add_constraint(linear_sum(xs) <= 2)
+    model.set_objective(0.0)
+    return model
+
+
+def infeasible_model() -> Model:
+    model = Model("broke")
+    x = model.add_binary("x")
+    model.add_constraint(x >= 2)
+    model.set_objective(-x)
+    return model
+
+
+class TestHealthyRace:
+    def test_leader_wins_and_backups_never_start(self):
+        backend = PortfolioBackend(
+            ("highs", "branch-bound"), hedge_delay_s=30.0
+        )
+        solution = backend.solve(knapsack())
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.stats.lane == "highs"
+        assert backend.winners == {"highs": 1}
+        race = backend.races[-1]
+        assert race["winner"] == "highs"
+        by_lane = {row["lane"]: row for row in race["lanes"]}
+        # The hedged backup was released (cancelled) without running.
+        assert by_lane["branch-bound"]["verdict"] == "skipped"
+        assert by_lane["branch-bound"]["started_s"] is None
+
+    def test_no_fault_result_matches_serial(self):
+        """The determinism contract: a healthy hedged race is
+        bit-identical to a serial solve on the leader backend."""
+        raced = PortfolioBackend(
+            ("highs", "branch-bound"), hedge_delay_s=30.0
+        ).solve(knapsack())
+        serial = ScipyBackend().solve(knapsack())
+        assert raced.status is serial.status
+        assert raced.objective == serial.objective
+        assert {v.name: x for v, x in raced.values.items()} == {
+            v.name: x for v, x in serial.values.items()
+        }
+
+    def test_infeasible_leader_ends_race(self):
+        backend = PortfolioBackend(
+            ("highs", "branch-bound"), hedge_delay_s=30.0
+        )
+        solution = backend.solve(infeasible_model())
+        assert solution.status is SolveStatus.INFEASIBLE
+        assert backend.races[-1]["verdict"] == "infeasible"
+        # A proven INFEASIBLE is a success, not a breaker charge.
+        assert backend.board["highs"].failures == 0
+
+    def test_snapshot_shape(self):
+        backend = PortfolioBackend(("highs", "branch-bound"))
+        backend.solve(knapsack())
+        snapshot = backend.portfolio_snapshot()
+        assert snapshot["solves"] == 1
+        assert snapshot["lanes"] == ["highs", "branch-bound"]
+        assert snapshot["winners"] == {"highs": 1}
+        assert set(snapshot["breakers"]) == {"highs", "branch-bound"}
+        assert len(snapshot["races"]) == 1
+
+
+class TestLaneFaults:
+    """Each injected lane fault strikes the leader; the backup serves."""
+
+    def run_faulted(self, fault: str) -> PortfolioBackend:
+        backend = PortfolioBackend(
+            ("highs", "branch-bound"), hedge_delay_s=HEDGE_S
+        )
+        with fault_scope(f"{fault}@1"):
+            solution = backend.solve(knapsack())
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(-7.0)
+        assert solution.stats.lane == "branch-bound"
+        return backend
+
+    def test_lane_crash_recovers_on_backup(self):
+        backend = self.run_faulted("lane_crash")
+        assert backend.board["highs"].failure_kinds == {"crash": 1}
+
+    def test_lane_hang_recovers_on_backup(self):
+        backend = self.run_faulted("lane_hang")
+        assert backend.board["highs"].failure_kinds == {"hang": 1}
+
+    def test_lane_wrong_answer_is_gated_out(self):
+        rejected = counter("portfolio.lane_rejected")
+        before = rejected.value
+        backend = self.run_faulted("lane_wrong_answer")
+        assert backend.board["highs"].failure_kinds == {"rejected": 1}
+        assert rejected.value == before + 1
+
+    def test_persistent_fault_demotes_leader(self):
+        """Crashing every solve trips the breaker: the configured leader
+        is demoted to hedged and the backup takes the leader slot, so
+        later solves stop paying the crash at all."""
+        backend = PortfolioBackend(
+            ("highs", "branch-bound"), hedge_delay_s=HEDGE_S
+        )
+        with fault_scope("lane_crash"):
+            for _ in range(4):
+                solution = backend.solve(knapsack())
+                assert solution.status is SolveStatus.OPTIMAL
+        highs = backend.board["highs"]
+        assert highs.state in ("hedged", "open")
+        assert any(dst == "hedged" for _, _, dst, _ in highs.transitions)
+        assert backend.winners.get("branch-bound", 0) >= 1
+        # Post-demotion the healthy lane leads; the faulty one either
+        # loses its races or (leader fast inside the hedge) sits out.
+        assert backend.winners.get("highs", 0) == 0
+
+    def test_all_lanes_failed_raises(self):
+        backend = PortfolioBackend(("highs",), hedge_delay_s=HEDGE_S)
+        with fault_scope("lane_crash@1"):
+            with pytest.raises(SolverError, match="all portfolio lanes"):
+                backend.solve(knapsack())
+        assert backend.board["highs"].failure_kinds == {"crash": 1}
+
+
+class TestProberLane:
+    def test_prober_skips_objective_models(self):
+        backend = PortfolioBackend(
+            ("highs", "prober"), hedge_delay_s=30.0
+        )
+        backend.solve(knapsack())
+        lanes = {row["lane"] for row in backend.races[-1]["lanes"]}
+        assert lanes == {"highs"}
+
+    def test_prober_answers_feasibility_models(self):
+        backend = PortfolioBackend(("prober",))
+        solution = backend.solve(feasibility_model())
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.stats.lane == "prober"
+        total = sum(solution.values.values())
+        assert 1.0 - 1e-9 <= total <= 2.0 + 1e-9
+
+    def test_prober_proves_infeasibility(self):
+        backend = PortfolioBackend(("prober",))
+        model = infeasible_model()
+        model.set_objective(0.0)
+        solution = backend.solve(model)
+        assert solution.status is SolveStatus.INFEASIBLE
+
+    def test_no_applicable_lane_rejected(self):
+        backend = PortfolioBackend(("prober",))
+        with pytest.raises(SolverError, match="applicable"):
+            backend.solve(knapsack())
+
+
+class TestZeroVariableModels:
+    """Every op frozen => the remap model has no variables at all.
+
+    Algorithm 1's last rotate iteration really produces this; the race
+    must treat the empty assignment as a valid certified answer, not as
+    lanes failing to return values (the bug that broke `--portfolio` on
+    fir8).
+    """
+
+    def test_race_accepts_empty_model(self):
+        backend = PortfolioBackend(hedge_delay_s=30.0)
+        solution = backend.solve(Model("all_frozen"))
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.values == {}
+        race = backend.races[-1]
+        assert race["winner"] == "highs"
+        assert race["verdict"] == "won"
+        for board in (backend.board["highs"], backend.board["branch-bound"]):
+            assert board.failures == 0
+
+    def test_prober_answers_empty_model_inline(self):
+        backend = PortfolioBackend(("prober",))
+        solution = backend.solve(Model("all_frozen"))
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.values == {}
+        assert solution.stats.lane == "prober"
+
+    def test_prober_proves_fixed_variable_infeasibility(self):
+        model = Model("all_frozen_bad")
+        x = model.add_binary("x")
+        model.add_constraint(linear_sum([x]) >= 2)
+        model.fix_variable(x, 0.0)
+        backend = PortfolioBackend(("prober",))
+        solution = backend.solve(model)
+        assert solution.status is SolveStatus.INFEASIBLE
+
+
+class TestConstruction:
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(SolverError):
+            PortfolioBackend(())
+
+    def test_unknown_lane_rejected(self):
+        from repro.errors import ModelError
+
+        with pytest.raises(ModelError, match="unknown portfolio lane"):
+            PortfolioBackend(("cplex",))

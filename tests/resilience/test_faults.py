@@ -63,6 +63,9 @@ class TestPlanParsing:
             "annealing_nan",
             "worker_crash",
             "worker_hang",
+            "lane_crash",
+            "lane_hang",
+            "lane_wrong_answer",
         )
 
 

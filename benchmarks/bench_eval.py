@@ -1,0 +1,128 @@
+"""Evaluation-kernel microbenchmarks (docs/performance.md).
+
+Every Algorithm 1 iteration re-evaluates candidate floorplans: STA
+arrival propagation, stress-map assembly, thermal grid solves, path
+filtering, and (per accepted solve) the certification audit.  This bench
+isolates each evaluation stage on the largest smoke-suite entry and runs
+it under both ``REPRO_KERNELS`` modes, so the pytest-benchmark JSON
+directly exposes the vector/scalar speedup per stage (group by the
+benchmark group, compare the ``mode`` parameter).
+
+The scalar rows are the *reference semantics* — the vector rows must
+match them bit-for-bit (asserted here on CPD/MTTF and enforced in depth
+by ``tests/kernels``), so any speedup shown is a pure implementation
+win, never a numerics change.
+
+Run::
+
+    pytest benchmarks/bench_eval.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aging import compute_stress_map
+from repro.core import AgingAwareFlow
+from repro.kernels import kernels_scope
+from repro.place import place_baseline
+from repro.thermal.hotspot import ThermalSimulator
+from repro.timing import analyze
+from repro.timing.graph import build_timing_graphs
+from repro.timing.kpaths import filter_paths
+
+MODES = ("scalar", "vector")
+
+
+@pytest.fixture(scope="module")
+def eval_inputs(built_benchmarks):
+    """Evaluation-stage ingredients for the largest smoke entry."""
+    entry, design, fabric = max(
+        built_benchmarks.values(),
+        key=lambda item: (item[2].num_pes, item[0].pe_count),
+    )
+    floorplan = place_baseline(design, fabric)
+    graphs = build_timing_graphs(design)
+    stress = compute_stress_map(design, floorplan)
+    return {
+        "entry": entry,
+        "design": design,
+        "fabric": fabric,
+        "floorplan": floorplan,
+        "graphs": graphs,
+        "duty": stress.duty_per_context(),
+    }
+
+
+def _run(benchmark, mode, fn):
+    """Benchmark ``fn`` under one kernel mode (lowering caches warmed)."""
+    with kernels_scope(mode):
+        fn()  # warm the lowering caches: steady-state cost is what matters
+        result = benchmark(fn)
+    benchmark.extra_info["mode"] = mode
+    return result
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.benchmark(group="eval-sta")
+def test_sta(benchmark, eval_inputs, mode):
+    design = eval_inputs["design"]
+    floorplan = eval_inputs["floorplan"]
+    graphs = eval_inputs["graphs"]
+    report = _run(benchmark, mode, lambda: analyze(design, floorplan, graphs))
+    benchmark.extra_info["cpd_ns"] = report.cpd_ns
+    # Bit-identity spot check against the scalar reference.
+    with kernels_scope("scalar"):
+        assert analyze(design, floorplan, graphs).cpd_ns == report.cpd_ns
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.benchmark(group="eval-stress")
+def test_stress(benchmark, eval_inputs, mode):
+    design = eval_inputs["design"]
+    floorplan = eval_inputs["floorplan"]
+    stress = _run(
+        benchmark, mode, lambda: compute_stress_map(design, floorplan)
+    )
+    benchmark.extra_info["max_accumulated_ns"] = stress.max_accumulated_ns
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.benchmark(group="eval-thermal")
+def test_thermal(benchmark, eval_inputs, mode):
+    fabric = eval_inputs["fabric"]
+    duty = eval_inputs["duty"]
+    with kernels_scope(mode):
+        simulator = ThermalSimulator(fabric)  # grid factorised once
+    report = _run(benchmark, mode, lambda: simulator.simulate(duty))
+    benchmark.extra_info["peak_k"] = report.peak_k
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.benchmark(group="eval-pathfilter")
+def test_path_filter(benchmark, eval_inputs, mode):
+    design = eval_inputs["design"]
+    floorplan = eval_inputs["floorplan"]
+    graphs = eval_inputs["graphs"]
+    result = _run(
+        benchmark, mode,
+        lambda: filter_paths(design, floorplan, graphs=graphs),
+    )
+    benchmark.extra_info["monitored_paths"] = len(result.paths)
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.benchmark(group="eval-full")
+def test_full_evaluation(benchmark, eval_inputs, mode):
+    """The whole evaluate() pipeline: stress -> thermal -> MTTF."""
+    design = eval_inputs["design"]
+    fabric = eval_inputs["fabric"]
+    floorplan = eval_inputs["floorplan"]
+    flow = AgingAwareFlow()
+    evaluation = _run(
+        benchmark, mode, lambda: flow.evaluate(design, fabric, floorplan)
+    )
+    benchmark.extra_info["mttf_s"] = evaluation.mttf.mttf_s
+    with kernels_scope("scalar"):
+        reference = flow.evaluate(design, fabric, floorplan)
+    assert reference.mttf.mttf_s == evaluation.mttf.mttf_s

@@ -18,6 +18,8 @@ import numpy as np
 from repro.arch.context import Floorplan
 from repro.errors import AgingError
 from repro.hls.allocate import MappedDesign
+from repro.kernels import stress as stress_kernel
+from repro.kernels import vectorized
 
 
 @dataclass
@@ -83,7 +85,28 @@ def compute_stress_map(design: MappedDesign, floorplan: Floorplan) -> StressMap:
 
     Raises :class:`AgingError` if any op's stress exceeds the clock period
     (a physically impossible duty > 1).
+
+    Under ``REPRO_KERNELS=vector`` (the default) the map is assembled by
+    one :mod:`repro.kernels.stress` scatter-add over cached per-design
+    index arrays — bit-identical accumulation (``np.add.at`` applies
+    deposits sequentially in index order, the scalar loop's order).  The
+    kernel declines on any validation failure so errors always carry the
+    scalar loop's exact first-offender message.
     """
+    if vectorized():
+        per_context = stress_kernel.per_context_stress(design, floorplan)
+        if per_context is not None:
+            return StressMap(
+                per_context_ns=per_context,
+                clock_period_ns=design.clock_period_ns,
+            )
+    return _compute_stress_map_scalar(design, floorplan)
+
+
+def _compute_stress_map_scalar(
+    design: MappedDesign, floorplan: Floorplan
+) -> StressMap:
+    """The original per-op Python loop (the kernel's reference path)."""
     num_pes = floorplan.fabric.num_pes
     per_context = np.zeros((design.num_contexts, num_pes))
     for op in design.ops.values():

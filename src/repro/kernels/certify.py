@@ -1,0 +1,138 @@
+"""Vectorized row audit for :func:`repro.verify.certify_solution`.
+
+The verify side re-checks every constraint row against the *live*
+``Constraint`` objects — deliberately sharing nothing with the
+structure-cached :meth:`repro.milp.model.Model.compile` lowering it
+audits.  That independence is preserved here: this module lowers the
+live constraints itself into a second, verify-owned CSR form (cached on
+the model's structure revision), and evaluates all row activities with
+one sparse mat-vec.
+
+Bit-identity: scipy's CSR mat-vec accumulates each row sequentially in
+storage order, and this lowering stores each row's coefficients in the
+constraint's ``lhs.terms`` dict order without sorting column indices —
+exactly the scalar path's term-by-term ordered accumulation (the scalar
+path uses an explicitly ordered sum for the same reason; see
+``_ordered_dot`` in ``repro.verify.certifier``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.kernels import kernel_timer, note_lowering
+
+_LOWERING_ATTR = "_kernels_verify_lowering"
+_RHS_ATTR = "_kernels_verify_rhs"
+
+#: Sense codes of ``sense_code`` (row order matches model.constraints).
+SENSE_LE, SENSE_GE, SENSE_EQ = 0, 1, 2
+_SENSE_CODES = {"<=": SENSE_LE, ">=": SENSE_GE, "==": SENSE_EQ}
+
+
+@dataclass
+class VerifyLowering:
+    """Verify-side CSR of a model's live constraints.
+
+    ``matrix`` keeps per-row storage in ``lhs.terms`` order (indices
+    deliberately unsorted) so its mat-vec accumulates like the scalar
+    term loop.  The RHS vector is *not* cached here — it changes on
+    parameter restamps and is cached separately on the
+    ``(structure_rev, restamp_rev)`` pair (see :func:`rhs_vector`).
+    """
+
+    matrix: sparse.csr_matrix
+    sense_code: np.ndarray  # (rows,) SENSE_LE / SENSE_GE / SENSE_EQ
+    num_variables: int
+    structure_rev: int
+
+
+def lower_model(model) -> VerifyLowering:
+    """The (cached) verify-side CSR lowering of a model's constraints."""
+    cached: VerifyLowering | None = getattr(model, _LOWERING_ATTR, None)
+    if cached is not None and (
+        cached.structure_rev == model._structure_rev
+        and cached.num_variables == model.num_variables
+    ):
+        note_lowering("certify", hit=True)
+        return cached
+    note_lowering("certify", hit=False)
+    data: list[float] = []
+    indices: list[int] = []
+    indptr: list[int] = [0]
+    senses: list[int] = []
+    for constraint in model.constraints:
+        for var, coeff in constraint.lhs.terms.items():
+            data.append(float(coeff))
+            indices.append(var.index)
+        indptr.append(len(data))
+        senses.append(_SENSE_CODES[constraint.sense.value])
+    matrix = sparse.csr_matrix(
+        (
+            np.asarray(data, dtype=float),
+            np.asarray(indices, dtype=np.int64),
+            np.asarray(indptr, dtype=np.int64),
+        ),
+        shape=(model.num_constraints, max(model.num_variables, 1)),
+    )
+    lowering = VerifyLowering(
+        matrix=matrix,
+        sense_code=np.asarray(senses, dtype=np.int8),
+        num_variables=model.num_variables,
+        structure_rev=model._structure_rev,
+    )
+    try:
+        setattr(model, _LOWERING_ATTR, lowering)
+    except AttributeError:  # pragma: no cover
+        pass
+    return lowering
+
+
+def rhs_vector(model) -> np.ndarray:
+    """The rows' current RHS values, cached on (structure, restamp) revs."""
+    key = (model._structure_rev, model._restamp_rev)
+    cached = getattr(model, _RHS_ATTR, None)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    rows = model.row_metadata()
+    rhs = np.fromiter((meta.rhs for meta in rows), dtype=float, count=len(rows))
+    try:
+        setattr(model, _RHS_ATTR, (key, rhs))
+    except AttributeError:  # pragma: no cover
+        pass
+    return rhs
+
+
+def audit_rows(
+    model, resolved: dict, abs_tol: float, rel_tol: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(activities, excess, violated_row_indices)`` for every row.
+
+    ``resolved`` maps :class:`~repro.milp.expr.Variable` objects to
+    floats; variables absent from it contribute 0.0, matching the scalar
+    path's ``resolved.get(v, 0.0)``.  ``excess`` is the per-row
+    violation amount under the row's sense; ``violated_row_indices``
+    flags rows whose excess exceeds the scalar path's
+    ``abs_tol + rel_tol * max(1, |activity|, |rhs|)`` tolerance, in row
+    order.
+    """
+    lowering = lower_model(model)
+    with kernel_timer("certify"):
+        x = np.zeros(lowering.matrix.shape[1], dtype=float)
+        for var, value in resolved.items():
+            x[var.index] = value
+        activities = np.asarray(lowering.matrix.dot(x), dtype=float)
+        rhs = rhs_vector(model)
+        diff = activities - rhs
+        excess = np.where(
+            lowering.sense_code == SENSE_LE,
+            diff,
+            np.where(lowering.sense_code == SENSE_GE, -diff, np.abs(diff)),
+        )
+        scale = np.maximum(1.0, np.maximum(np.abs(activities), np.abs(rhs)))
+        tol = abs_tol + rel_tol * scale
+        violated = np.flatnonzero(excess > tol)
+        return activities, excess, violated

@@ -1,0 +1,477 @@
+"""Levelized vectorized STA over :class:`~repro.timing.graph.ContextTimingGraph`.
+
+The scalar path (:func:`repro.timing.sta.analyze_context`) walks every
+intra-context edge in Python: one ``max`` and one dict lookup per edge
+per call, re-run for every candidate floorplan of every Algorithm 1
+iteration.  This kernel lowers each graph **once** into index arrays —
+local op indices, per-node delays, edge endpoint arrays *pre-permuted*
+by topological level so each level is a zero-copy slice — and then
+computes all arrival times for one floorplan with a handful of numpy
+calls per level.
+
+Because contexts share no edges, the per-graph levelizations compose: a
+whole design lowers into one combined structure
+(:class:`DesignStaLowering`, cached on the first graph) whose level
+``l`` slice holds the level-``l`` edges of *every* context, so
+:func:`analyze_design` propagates arrivals for all contexts in one pass
+— the per-level numpy call overhead is paid once per design, not once
+per context.
+
+Bit-identity with the scalar path holds because
+
+* wire delays are computed with the exact same float expression
+  (``(|dr| + |dc|) * unit_wire_delay_ns``, same association order);
+* arrival starts are pure ``max`` reductions, and float ``max`` is exact
+  regardless of reduction order (no NaNs enter);
+* the order-dependent ``DELAY_EPS`` CPD scan stays a (tiny) sequential
+  Python loop over the vector-computed completions in ``graph.ops``
+  order — exactly the scalar scan (see the float-guard regression tests
+  in ``tests/kernels/test_eps.py``).
+
+The lowerings are cached on the graph objects (graphs are built once
+per design by :func:`repro.timing.graph.build_timing_graphs` and never
+mutated afterwards); floorplan-dependent arrays are rebuilt per call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.context import Floorplan
+from repro.kernels import kernel_timer, note_lowering
+from repro.timing.graph import ContextTimingGraph
+from repro.timing.sta import DELAY_EPS
+
+_LOWERING_ATTR = "_kernels_sta_lowering"
+_DESIGN_ATTR = "_kernels_sta_design"
+
+
+@dataclass
+class StaLowering:
+    """Structure-of-arrays form of one context timing graph.
+
+    ``ops`` fixes the local index space (position ``i`` <-> op id
+    ``ops[i]``, in ``graph.ops`` order so the CPD scan order is
+    preserved).  ``esrc``/``edst`` keep ``graph.intra_edges`` order (for
+    :func:`edge_wire_ns`); the ``fwd_*`` arrays repeat the edge endpoints
+    permuted so destination-level ``l`` edges occupy
+    ``[fwd_bounds[l-1], fwd_bounds[l])`` (with ``fwd_nodes`` the unique
+    destinations per level), and the ``rev_*`` arrays do the same grouped
+    by source *reverse* level for the continuation DP.
+    """
+
+    ops: list[int]
+    delay: np.ndarray  # (n,) PE delays, graph.ops order
+    esrc: np.ndarray  # (e,) local source index per intra edge
+    edst: np.ndarray  # (e,) local destination index per intra edge
+    fwd_src: np.ndarray  # (e,) sources, forward-level order
+    fwd_dst: np.ndarray  # (e,) destinations, forward-level order
+    fwd_bounds: list[int]  # level slice offsets into fwd_* (len depth+1)
+    fwd_nodes: np.ndarray  # unique destinations, forward-level order
+    fwd_node_bounds: list[int]  # level slice offsets into fwd_nodes
+    rev_src: np.ndarray  # (e,) sources, reverse-level order
+    rev_dst: np.ndarray  # (e,) destinations, reverse-level order
+    rev_bounds: list[int]  # level slice offsets into rev_*
+    structure_key: tuple[int, int]
+
+
+@dataclass
+class DesignStaLowering:
+    """All of a design's context graphs fused into one index space.
+
+    Local node ``i`` of graph ``g`` lives at combined index
+    ``node_bounds[g] + i``; ``fwd_*`` merge every graph's level-``l``
+    slice into the combined level ``l``.  Holding ``graphs`` (identity
+    validation) from an attribute of ``graphs[0]`` makes a reference
+    cycle, which the gc collects once the graphs die.
+    """
+
+    graphs: list[ContextTimingGraph]
+    per_graph: list[StaLowering]
+    ops: list[int]  # concatenated graph.ops
+    delay: np.ndarray
+    fwd_src: np.ndarray
+    fwd_dst: np.ndarray
+    fwd_bounds: list[int]
+    fwd_nodes: np.ndarray
+    fwd_node_bounds: list[int]
+    node_bounds: list[int]  # per-graph node ranges (len graphs+1)
+
+
+def _structure_key(graph: ContextTimingGraph) -> tuple[int, int]:
+    return (len(graph.ops), len(graph.intra_edges))
+
+
+def _level_order(
+    edge_levels: list[int], esrc: np.ndarray, edst: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, list[int], np.ndarray, list[int]]:
+    """Permute edges so each level is contiguous.
+
+    Returns ``(src, dst, bounds, nodes, node_bounds)`` where level ``l``
+    (1-based) edges are ``src[bounds[l-1]:bounds[l]]`` etc. and ``nodes``
+    holds the unique destinations per level (for the arrival writeback).
+    Within-level order is irrelevant to the kernels (``max`` reductions),
+    but kept stable for determinism.
+    """
+    levels = np.asarray(edge_levels, dtype=np.intp)
+    perm = np.argsort(levels, kind="stable")
+    src = np.ascontiguousarray(esrc[perm])
+    dst = np.ascontiguousarray(edst[perm])
+    depth = int(levels.max()) if len(edge_levels) else 0
+    counts = np.bincount(levels, minlength=depth + 1)
+    bounds = [0]
+    for lvl in range(1, depth + 1):
+        bounds.append(bounds[-1] + int(counts[lvl]))
+    node_chunks: list[np.ndarray] = []
+    node_bounds = [0]
+    for lvl in range(depth):
+        uniq = np.unique(dst[bounds[lvl] : bounds[lvl + 1]])
+        node_chunks.append(uniq)
+        node_bounds.append(node_bounds[-1] + len(uniq))
+    nodes = (
+        np.concatenate(node_chunks)
+        if node_chunks
+        else np.empty(0, dtype=np.intp)
+    )
+    return src, dst, bounds, nodes, node_bounds
+
+
+def lower_graph(graph: ContextTimingGraph) -> StaLowering:
+    """The (cached) lowering of one graph; raises on cyclic graphs.
+
+    Calls :meth:`~repro.timing.graph.ContextTimingGraph.topological_ops`
+    for levelization, so a cyclic graph raises the same
+    :class:`~repro.errors.TimingError` the scalar path raises.
+    """
+    cached: StaLowering | None = getattr(graph, _LOWERING_ATTR, None)
+    if cached is not None and cached.structure_key == _structure_key(graph):
+        note_lowering("sta", hit=True)
+        return cached
+    note_lowering("sta", hit=False)
+
+    ops = list(graph.ops)
+    index_of = {op: i for i, op in enumerate(ops)}
+    delay = np.array([graph.delay_of[op] for op in ops], dtype=float)
+    esrc = np.array(
+        [index_of[src] for src, _ in graph.intra_edges], dtype=np.intp
+    )
+    edst = np.array(
+        [index_of[dst] for _, dst in graph.intra_edges], dtype=np.intp
+    )
+
+    preds = graph.intra_preds()
+    succs = graph.intra_succs()
+    topo = graph.topological_ops()  # raises TimingError on cycles
+
+    level: dict[int, int] = {}
+    for op in topo:
+        level[op] = max((level[p] + 1 for p in preds[op]), default=0)
+    rlevel: dict[int, int] = {}
+    for op in reversed(topo):
+        rlevel[op] = max((rlevel[s] + 1 for s in succs[op]), default=0)
+
+    fwd_src, fwd_dst, fwd_bounds, fwd_nodes, fwd_node_bounds = _level_order(
+        [level[dst] for _, dst in graph.intra_edges], esrc, edst
+    )
+    rev_src, rev_dst, rev_bounds, _, _ = _level_order(
+        [rlevel[src] for src, _ in graph.intra_edges], esrc, edst
+    )
+
+    lowering = StaLowering(
+        ops=ops,
+        delay=delay,
+        esrc=esrc,
+        edst=edst,
+        fwd_src=fwd_src,
+        fwd_dst=fwd_dst,
+        fwd_bounds=fwd_bounds,
+        fwd_nodes=fwd_nodes,
+        fwd_node_bounds=fwd_node_bounds,
+        rev_src=rev_src,
+        rev_dst=rev_dst,
+        rev_bounds=rev_bounds,
+        structure_key=_structure_key(graph),
+    )
+    setattr(graph, _LOWERING_ATTR, lowering)
+    return lowering
+
+
+def lower_design(graphs: list[ContextTimingGraph]) -> DesignStaLowering:
+    """The (cached) fused lowering of a design's context graphs.
+
+    Cached on ``graphs[0]`` and revalidated by graph identity plus each
+    graph's structure key, so passing a rebuilt (or different) graph list
+    re-lowers.  A cache hit counts one ``kernels.sta.cache_hits``; a miss
+    counts one ``kernels.sta.lowerings`` per constituent graph.
+    """
+    anchor = graphs[0]
+    cached: DesignStaLowering | None = getattr(anchor, _DESIGN_ATTR, None)
+    if (
+        cached is not None
+        and len(cached.graphs) == len(graphs)
+        and all(a is b for a, b in zip(cached.graphs, graphs))
+        and all(
+            lo.structure_key == _structure_key(g)
+            for lo, g in zip(cached.per_graph, graphs)
+        )
+    ):
+        note_lowering("sta", hit=True)
+        return cached
+
+    per_graph = [lower_graph(g) for g in graphs]
+    node_bounds = [0]
+    for lowering in per_graph:
+        node_bounds.append(node_bounds[-1] + len(lowering.ops))
+    depth = max((len(lo.fwd_bounds) - 1 for lo in per_graph), default=0)
+    src_chunks: list[np.ndarray] = []
+    dst_chunks: list[np.ndarray] = []
+    node_chunks: list[np.ndarray] = []
+    fwd_bounds = [0]
+    fwd_node_bounds = [0]
+    for lvl in range(depth):
+        for offset, lowering in zip(node_bounds, per_graph):
+            if lvl >= len(lowering.fwd_bounds) - 1:
+                continue
+            a, b = lowering.fwd_bounds[lvl], lowering.fwd_bounds[lvl + 1]
+            src_chunks.append(lowering.fwd_src[a:b] + offset)
+            dst_chunks.append(lowering.fwd_dst[a:b] + offset)
+            na = lowering.fwd_node_bounds[lvl]
+            nb = lowering.fwd_node_bounds[lvl + 1]
+            node_chunks.append(lowering.fwd_nodes[na:nb] + offset)
+        fwd_bounds.append(sum(len(c) for c in src_chunks))
+        fwd_node_bounds.append(sum(len(c) for c in node_chunks))
+    empty = np.empty(0, dtype=np.intp)
+    lowering = DesignStaLowering(
+        graphs=list(graphs),
+        per_graph=per_graph,
+        ops=[op for lo in per_graph for op in lo.ops],
+        delay=(
+            np.concatenate([lo.delay for lo in per_graph])
+            if per_graph
+            else np.empty(0, dtype=float)
+        ),
+        fwd_src=np.concatenate(src_chunks) if src_chunks else empty,
+        fwd_dst=np.concatenate(dst_chunks) if dst_chunks else empty,
+        fwd_bounds=fwd_bounds,
+        fwd_nodes=np.concatenate(node_chunks) if node_chunks else empty,
+        fwd_node_bounds=fwd_node_bounds,
+        node_bounds=node_bounds,
+    )
+    try:
+        setattr(anchor, _DESIGN_ATTR, lowering)
+    except AttributeError:  # pragma: no cover
+        pass
+    return lowering
+
+
+def _pe_geometry(
+    ops: list[int], floorplan: Floorplan
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Per-op grid rows/cols under ``floorplan``; None if an op is unbound."""
+    pe_of = floorplan.pe_of
+    try:
+        pe = np.fromiter(
+            (pe_of[op] for op in ops), dtype=np.intp, count=len(ops)
+        )
+    except KeyError:
+        return None
+    fabric = floorplan.fabric
+    return fabric.row_of[pe], fabric.col_of[pe]
+
+
+def _wire(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    unit_wire_delay_ns: float,
+) -> np.ndarray:
+    """Wire delays (ns) for the given edge endpoint arrays.
+
+    Elementwise identical to the scalar
+    :func:`repro.timing.sta._wire_ns`: Manhattan distance computed as
+    ``|dr| + |dc|`` (same association) times the unit wire delay.
+    """
+    lengths = np.abs(rows[src] - rows[dst]) + np.abs(cols[src] - cols[dst])
+    return lengths * unit_wire_delay_ns
+
+
+def _propagate(
+    delay: np.ndarray,
+    fwd_src: np.ndarray,
+    fwd_dst: np.ndarray,
+    fwd_bounds: list[int],
+    fwd_nodes: np.ndarray,
+    fwd_node_bounds: list[int],
+    wire: np.ndarray,
+) -> np.ndarray:
+    """Levelized arrival propagation (shared by per-graph/per-design paths)."""
+    start = np.zeros(len(delay), dtype=float)
+    arrival = delay.copy()  # level-0 nodes: start == 0
+    for lvl in range(len(fwd_bounds) - 1):
+        a, b = fwd_bounds[lvl], fwd_bounds[lvl + 1]
+        dst = fwd_dst[a:b]
+        np.maximum.at(start, dst, arrival[fwd_src[a:b]] + wire[a:b])
+        nodes = fwd_nodes[fwd_node_bounds[lvl] : fwd_node_bounds[lvl + 1]]
+        arrival[nodes] = start[nodes] + delay[nodes]
+    return arrival
+
+
+def _cpd_scan(
+    ops: list[int], completions: list[float]
+) -> tuple[float, list[int]]:
+    """The sequential DELAY_EPS critical-endpoint scan.
+
+    Order-dependent (the running ``cpd`` only advances past a DELAY_EPS
+    guard), so it stays a Python loop over the vector-computed
+    completions in ``graph.ops`` order — bit-identical to the scalar
+    scan by construction.
+    """
+    cpd = 0.0
+    critical: list[int] = []
+    for op, completion in zip(ops, completions):
+        if completion > cpd + DELAY_EPS:
+            cpd = completion
+            critical = [op]
+        elif completion > cpd - DELAY_EPS:
+            critical.append(op)
+    return cpd, critical
+
+
+def arrivals(
+    graph: ContextTimingGraph, floorplan: Floorplan
+) -> tuple[dict[int, float], float, list[int]] | None:
+    """``(arrival_ns, cpd_ns, critical_ops)`` of one context, vectorized.
+
+    Returns ``None`` when the floorplan does not bind every op of the
+    graph (the caller falls back to the scalar path for its error).
+    """
+    lowering = lower_graph(graph)
+    with kernel_timer("sta"):
+        geometry = _pe_geometry(lowering.ops, floorplan)
+        if geometry is None:
+            return None
+        rows, cols = geometry
+        wire = _wire(
+            rows,
+            cols,
+            lowering.fwd_src,
+            lowering.fwd_dst,
+            floorplan.fabric.unit_wire_delay_ns,
+        )
+        arrival = _propagate(
+            lowering.delay,
+            lowering.fwd_src,
+            lowering.fwd_dst,
+            lowering.fwd_bounds,
+            lowering.fwd_nodes,
+            lowering.fwd_node_bounds,
+            wire,
+        )
+        completions = arrival.tolist()
+        cpd, critical = _cpd_scan(lowering.ops, completions)
+        return dict(zip(lowering.ops, completions)), cpd, critical
+
+
+def analyze_design(
+    graphs: list[ContextTimingGraph], floorplan: Floorplan
+) -> list[tuple[dict[int, float], float, list[int]]] | None:
+    """Per-context ``(arrival_ns, cpd_ns, critical_ops)`` in one fused pass.
+
+    All contexts' arrivals propagate level-by-level through the combined
+    :class:`DesignStaLowering` (contexts share no edges, so the merged
+    levels are exact), then each context gets its own sequential CPD
+    scan.  Returns ``None`` when the floorplan does not bind every op of
+    some graph (the caller falls back to the scalar path for its error).
+    """
+    if not graphs:
+        return []
+    lowering = lower_design(graphs)
+    with kernel_timer("sta"):
+        geometry = _pe_geometry(lowering.ops, floorplan)
+        if geometry is None:
+            return None
+        rows, cols = geometry
+        wire = _wire(
+            rows,
+            cols,
+            lowering.fwd_src,
+            lowering.fwd_dst,
+            floorplan.fabric.unit_wire_delay_ns,
+        )
+        arrival = _propagate(
+            lowering.delay,
+            lowering.fwd_src,
+            lowering.fwd_dst,
+            lowering.fwd_bounds,
+            lowering.fwd_nodes,
+            lowering.fwd_node_bounds,
+            wire,
+        )
+        completions = arrival.tolist()
+        results: list[tuple[dict[int, float], float, list[int]]] = []
+        for index, per in enumerate(lowering.per_graph):
+            a, b = lowering.node_bounds[index], lowering.node_bounds[index + 1]
+            slice_completions = completions[a:b]
+            cpd, critical = _cpd_scan(per.ops, slice_completions)
+            results.append(
+                (dict(zip(per.ops, slice_completions)), cpd, critical)
+            )
+        return results
+
+
+def continuations(
+    graph: ContextTimingGraph, floorplan: Floorplan
+) -> dict[int, float] | None:
+    """Vectorized longest-continuation DP (see ``timing.kpaths``).
+
+    ``cont[op]`` = best additional delay downstream of ``op``; exact
+    ``max`` reductions over ``(wire + delay) + cont`` terms with the
+    scalar association order.  ``None`` when an op is unbound.
+    """
+    lowering = lower_graph(graph)
+    with kernel_timer("kpaths"):
+        geometry = _pe_geometry(lowering.ops, floorplan)
+        if geometry is None:
+            return None
+        rows, cols = geometry
+        wire = _wire(
+            rows,
+            cols,
+            lowering.rev_src,
+            lowering.rev_dst,
+            floorplan.fabric.unit_wire_delay_ns,
+        )
+        cont = np.zeros(len(lowering.ops), dtype=float)
+        step_base = wire + lowering.delay[lowering.rev_dst]
+        for lvl in range(len(lowering.rev_bounds) - 1):
+            a, b = lowering.rev_bounds[lvl], lowering.rev_bounds[lvl + 1]
+            cand = step_base[a:b] + cont[lowering.rev_dst[a:b]]
+            np.maximum.at(cont, lowering.rev_src[a:b], cand)
+        return dict(zip(lowering.ops, cont.tolist()))
+
+
+def edge_wire_ns(
+    graph: ContextTimingGraph, floorplan: Floorplan
+) -> dict[tuple[int, int], float] | None:
+    """``{(src, dst): wire delay}`` for every intra edge, vectorized.
+
+    Memoizes the per-edge wire delays the path-enumeration DFS would
+    otherwise recompute on every expansion.  Values are bit-identical to
+    per-edge ``_wire_ns`` calls.  ``None`` when an op is unbound.
+    """
+    lowering = lower_graph(graph)
+    geometry = _pe_geometry(lowering.ops, floorplan)
+    if geometry is None:
+        return None
+    rows, cols = geometry
+    wire = _wire(
+        rows,
+        cols,
+        lowering.esrc,
+        lowering.edst,
+        floorplan.fabric.unit_wire_delay_ns,
+    )
+    return dict(zip(graph.intra_edges, wire.tolist()))

@@ -1,0 +1,104 @@
+"""Batched stress-map assembly (scatter-add over index arrays).
+
+The scalar path (:func:`repro.aging.stress.compute_stress_map`) loops
+every op in Python: two dict lookups, a float compare and an in-place
+``+=`` per op per candidate floorplan.  This kernel lowers the design
+once into ``(context, stress)`` arrays in ``design.ops`` iteration
+order, then assembles the whole ``(contexts, num_pes)`` map with a
+single ``np.add.at`` scatter — which applies its updates sequentially
+in index order, so repeated deposits into one (context, PE) cell sum in
+exactly the scalar loop's order (bit-identical accumulation).
+
+Error parity: the scalar loop raises on the *first* offending op in
+iteration order, interleaving the stress-exceeds-clock check with the
+unplaced-op check.  The lowering records whether any op violates the
+(floorplan-independent) stress bound; if so — or if any op is missing
+from the floorplan — the kernel declines (returns ``None``) and the
+dispatcher re-runs the scalar loop, reproducing the exact scalar error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.context import Floorplan
+from repro.hls.allocate import MappedDesign
+from repro.kernels import kernel_timer, note_lowering
+
+_LOWERING_ATTR = "_kernels_stress_lowering"
+
+
+@dataclass
+class StressLowering:
+    """Structure-of-arrays form of a design's per-op stress deposits."""
+
+    op_ids: list[int]  # design.ops iteration order
+    ctx: np.ndarray  # (n,) context per op
+    stress: np.ndarray  # (n,) stress_ns per op
+    #: True when some op's stress exceeds the clock period — the kernel
+    #: declines and the scalar loop raises its exact in-order error.
+    has_stress_violation: bool
+    structure_key: tuple[int, int, float]
+
+
+def _structure_key(design: MappedDesign) -> tuple[int, int, float]:
+    return (len(design.ops), design.num_contexts, design.clock_period_ns)
+
+
+def lower_design(design: MappedDesign) -> StressLowering:
+    """The (cached) stress lowering of one design."""
+    cached: StressLowering | None = getattr(design, _LOWERING_ATTR, None)
+    if cached is not None and cached.structure_key == _structure_key(design):
+        note_lowering("stress", hit=True)
+        return cached
+    note_lowering("stress", hit=False)
+    op_ids = list(design.ops)
+    ctx = np.array([design.ops[op].context for op in op_ids], dtype=np.intp)
+    stress = np.array(
+        [design.ops[op].stress_ns for op in op_ids], dtype=float
+    )
+    has_violation = bool(
+        stress.size and float(stress.max()) > design.clock_period_ns + 1e-9
+    )
+    lowering = StressLowering(
+        op_ids=op_ids,
+        ctx=ctx,
+        stress=stress,
+        has_stress_violation=has_violation,
+        structure_key=_structure_key(design),
+    )
+    try:
+        setattr(design, _LOWERING_ATTR, lowering)
+    except AttributeError:  # pragma: no cover - slotted/frozen designs
+        pass
+    return lowering
+
+
+def per_context_stress(
+    design: MappedDesign, floorplan: Floorplan
+) -> np.ndarray | None:
+    """The ``(contexts, num_pes)`` stress map, or ``None`` to decline.
+
+    Declines (for exact scalar error parity) when the design carries a
+    stress-exceeds-clock violation or the floorplan misses an op.
+    """
+    lowering = lower_design(design)
+    if lowering.has_stress_violation:
+        return None
+    with kernel_timer("stress"):
+        pe_of = floorplan.pe_of
+        try:
+            pe = np.fromiter(
+                (pe_of[op] for op in lowering.op_ids),
+                dtype=np.intp,
+                count=len(lowering.op_ids),
+            )
+        except KeyError:
+            return None
+        per_context = np.zeros(
+            (design.num_contexts, floorplan.fabric.num_pes), dtype=float
+        )
+        np.add.at(per_context, (lowering.ctx, pe), lowering.stress)
+        return per_context

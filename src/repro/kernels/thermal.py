@@ -1,0 +1,84 @@
+"""Vectorized thermal-grid assembly and batched power maps.
+
+The compact thermal model's Laplacian was assembled with a Python loop
+over every PE and its 4-neighbours; this module builds the identical
+COO triplets from the fabric's coordinate arrays in a few numpy calls.
+The matrix is *identical* (same entries, deduplicated and canonicalised
+by the sparse constructor), so the pre-factorised solve downstream is
+unaffected by which assembly ran.
+
+Power maps: the per-context power formula is already vectorized over
+PEs; :func:`power_map_many` applies it to all contexts at once.  The
+expression is elementwise, so per-row results are bit-identical to the
+per-context calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.fabric import Fabric
+from repro.kernels import kernel_timer, note_lowering
+
+__all__ = ["laplacian_coo", "power_map_many", "kernel_timer", "note_lowering"]
+
+
+def laplacian_coo(
+    fabric: Fabric, g_lat: float, g_vert: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """COO triplets ``(rows, cols, data)`` of the grid conduction matrix.
+
+    Diagonal: ``g_vert + g_lat * degree(i)``; off-diagonal ``-g_lat``
+    for each 4-neighbour pair, both directions.  Values match the scalar
+    assembly exactly (integer neighbour counts, same float products).
+    """
+    n = fabric.num_pes
+    r = fabric.row_of
+    c = fabric.col_of
+    degree = (
+        (r > 0).astype(np.int64)
+        + (r < fabric.rows - 1).astype(np.int64)
+        + (c > 0).astype(np.int64)
+        + (c < fabric.cols - 1).astype(np.int64)
+    )
+    diag_idx = np.arange(n, dtype=np.int64)
+    rows = [diag_idx]
+    cols = [diag_idx]
+    data = [g_vert + g_lat * degree.astype(float)]
+    # The four neighbour directions, as index offsets on the row-major grid.
+    for mask, offset in (
+        (r > 0, -fabric.cols),  # north
+        (r < fabric.rows - 1, fabric.cols),  # south
+        (c > 0, -1),  # west
+        (c < fabric.cols - 1, 1),  # east
+    ):
+        i = diag_idx[mask]
+        rows.append(i)
+        cols.append(i + offset)
+        data.append(np.full(i.shape, -g_lat, dtype=float))
+    return (
+        np.concatenate(rows),
+        np.concatenate(cols),
+        np.concatenate(data),
+    )
+
+
+def power_map_many(
+    model, fabric: Fabric, duties: np.ndarray
+) -> np.ndarray:
+    """Per-PE power for every context at once (rows = contexts).
+
+    Same validation and elementwise formula as
+    :meth:`repro.thermal.power.PowerModel.power_map` applied row-wise.
+    """
+    from repro.errors import ThermalError
+
+    duties = np.asarray(duties, dtype=float)
+    if duties.ndim != 2 or duties.shape[1] != fabric.num_pes:
+        raise ThermalError(
+            f"duty array shape {duties.shape} incompatible with "
+            f"fabric of {fabric.num_pes} PEs"
+        )
+    if np.any(duties < -1e-9) or np.any(duties > 1.0 + 1e-9):
+        raise ThermalError("duty cycles must lie in [0, 1]")
+    return model.leakage_w + model.active_w * np.clip(duties, 0.0, 1.0)

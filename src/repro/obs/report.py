@@ -152,6 +152,31 @@ def _timeline_section(trace: TraceSummary | None) -> Section:
     return section
 
 
+def _evaluation_section(trace: TraceSummary | None) -> Section:
+    """Evaluation-stage breakdown (the vectorized kernels' host spans).
+
+    Aggregates STA / stress / thermal / certification spans across the
+    whole span tree and lists the ``kernels.*`` timer and lowering-cache
+    metrics beneath them, so a report answers "did the kernels run, and
+    what did evaluation cost" at a glance.  Empty (and therefore
+    omitted) when the trace carries no evaluation spans.
+    """
+    section = Section("evaluation", "Evaluation stages")
+    if trace is None:
+        return section
+    rows = trace.evaluation_table()
+    if rows:
+        section.table(["stage", "count", "wall_s", "share_%"], rows)
+    kernel_rows = []
+    for name, data in trace.kernel_metrics().items():
+        count = data.get("count", data.get("value", 0))
+        total = data.get("sum", data.get("value", 0.0))
+        kernel_rows.append([name, count, round(float(total), 4)])
+    if kernel_rows:
+        section.table(["kernel metric", "count", "total"], kernel_rows)
+    return section
+
+
 def _iter_solve_stats(record: dict) -> list[dict]:
     """Flatten every per-solve stats dict out of a record's iteration log."""
 
@@ -517,6 +542,7 @@ def build_report(
     report = Report(title or f"Solve report: {benchmark or 'trace'}")
     report.add(_overview_section(record, trace))
     report.add(_timeline_section(trace))
+    report.add(_evaluation_section(trace))
     report.add(_convergence_section(record, trace))
     report.add(_portfolio_section(record, trace))
     report.add(_trajectory_section(record, trace))

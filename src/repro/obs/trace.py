@@ -58,11 +58,32 @@ DEGRADATION_EVENTS = frozenset(
     }
 )
 
+#: Leaf span names of the flow's *evaluation* stages — the hosts of the
+#: vectorized kernels (``repro.kernels``).  ``trace summarize`` and
+#: ``repro explain`` aggregate these across the span tree (a stage may
+#: appear under several parents: phase1/phase2 evaluate, algorithm1
+#: iterations) into one per-stage breakdown; ``bench compare
+#: --gate-stages`` gates regressions on the same totals.  Order is the
+#: display order.
+EVALUATION_STAGES = (
+    "evaluate",
+    "sta",
+    "sta_verify",
+    "critical_paths",
+    "path_filter",
+    "stress",
+    "thermal",
+    "mttf",
+    "certify",
+)
+
 #: Per-entry sweep verdicts, worst first.  An entry's verdict is the
 #: highest-ranked signal seen for it anywhere in the trace: a clean
 #: ``table1_entry`` span is ``ok``; retry/crash/timeout events upgrade it
 #: to ``retried``; exhaustion, certification failure, and quarantine win
 #: over everything before them.
+_EVALUATION_STAGE_SET = frozenset(EVALUATION_STAGES)
+
 VERDICT_RANK = {
     "ok": 0,
     "retried": 1,
@@ -135,6 +156,44 @@ class TraceSummary:
             rows.append([label, stage.count, round(stage.total_s, 3), round(share, 1)])
         return rows
 
+    def evaluation_stages(self) -> list[StageRow]:
+        """Evaluation-stage totals aggregated across the span tree.
+
+        One row per :data:`EVALUATION_STAGES` leaf name that occurs in
+        the trace (in canonical order), summing every path ending in that
+        name — e.g. ``flow > phase1 > evaluate > stress`` and
+        ``flow > phase2 > evaluate > stress`` fold into one ``stress``
+        row.  Empty when the trace has no evaluation spans.
+        """
+        totals: dict[str, StageRow] = {}
+        for row in self.stages:
+            name = row.name
+            if name in _EVALUATION_STAGE_SET:
+                agg = totals.get(name)
+                if agg is None:
+                    agg = totals[name] = StageRow(path=name)
+                agg.count += row.count
+                agg.total_s += row.total_s
+        return [totals[name] for name in EVALUATION_STAGES if name in totals]
+
+    def evaluation_table(self) -> list[list[object]]:
+        """``[stage, count, wall_s, share_%]`` rows of the evaluation stages."""
+        rows: list[list[object]] = []
+        for row in self.evaluation_stages():
+            share = 100.0 * row.total_s / self.total_s if self.total_s else 0.0
+            rows.append(
+                [row.path, row.count, round(row.total_s, 3), round(share, 1)]
+            )
+        return rows
+
+    def kernel_metrics(self) -> dict[str, dict]:
+        """The ``kernels.*`` metric records (timers + lowering counters)."""
+        return {
+            name: data
+            for name, data in sorted(self.metrics.items())
+            if name.startswith("kernels.")
+        }
+
     def to_dict(self) -> dict:
         """JSON-safe form of the whole summary (``trace summarize --json``)."""
         return {
@@ -142,6 +201,10 @@ class TraceSummary:
             "kind": "trace_summary",
             "records": self.records,
             "total_s": round(self.total_s, 6),
+            "evaluation_stages": {
+                row.path: {"count": row.count, "total_s": round(row.total_s, 6)}
+                for row in self.evaluation_stages()
+            },
             "stages": [
                 {
                     "path": row.path,

@@ -17,10 +17,11 @@ from dataclasses import dataclass
 
 import numpy as np
 from scipy import sparse
-from scipy.sparse.linalg import spsolve
+from scipy.sparse.linalg import splu
 
 from repro.arch.fabric import Fabric
 from repro.errors import ThermalError
+from repro.kernels import vectorized
 
 
 @dataclass(frozen=True)
@@ -51,18 +52,33 @@ class ThermalGridConfig:
 
 
 class ThermalGrid:
-    """Pre-factorised steady-state solver for one fabric geometry."""
+    """Pre-factorised steady-state solver for one fabric geometry.
+
+    The conduction matrix is LU-factorised **once** at construction
+    (SuperLU via :func:`scipy.sparse.linalg.splu`); every steady-state
+    solve — scalar :meth:`solve` or batched :meth:`solve_many` — is then
+    a pair of triangular back-substitutions.  Both paths share the same
+    factorisation, and SuperLU back-substitutes multi-RHS systems one
+    column at a time, so a batched solve is bitwise identical to the
+    per-context scalar solves it replaces.
+    """
 
     def __init__(self, fabric: Fabric, config: ThermalGridConfig | None = None):
         self.fabric = fabric
         self.config = config or ThermalGridConfig()
         self.config.validate()
         self._matrix = self._build_matrix()
+        self._lu = splu(self._matrix)
 
     def _build_matrix(self) -> sparse.csc_matrix:
         n = self.fabric.num_pes
         g_lat = self.config.g_lateral_w_per_k
         g_vert = self.config.g_vertical_w_per_k
+        if vectorized():
+            from repro.kernels.thermal import laplacian_coo
+
+            rows, cols, data = laplacian_coo(self.fabric, g_lat, g_vert)
+            return sparse.csc_matrix((data, (rows, cols)), shape=(n, n))
         rows: list[int] = []
         cols: list[int] = []
         data: list[float] = []
@@ -87,8 +103,30 @@ class ThermalGrid:
         if np.any(power_w < 0):
             raise ThermalError("negative PE power")
         rhs = power_w + self.config.g_vertical_w_per_k * self.config.ambient_k
-        temperatures = spsolve(self._matrix, rhs)
+        temperatures = self._lu.solve(rhs)
         return np.asarray(temperatures, dtype=float)
+
+    def solve_many(self, power_w: np.ndarray) -> np.ndarray:
+        """Steady-state temperatures for many power maps at once.
+
+        ``power_w`` has shape ``(contexts, num_pes)``; the result has the
+        same shape.  One multi-RHS back-substitution against the shared
+        LU factorisation — per-row results are bitwise equal to
+        :meth:`solve` on each row.
+        """
+        power_w = np.asarray(power_w, dtype=float)
+        n = self.fabric.num_pes
+        if power_w.ndim != 2 or power_w.shape[1] != n:
+            raise ThermalError(
+                f"power matrix shape {power_w.shape} incompatible with ({n},)"
+            )
+        if np.any(power_w < 0):
+            raise ThermalError("negative PE power")
+        if power_w.shape[0] == 0:
+            return np.empty_like(power_w)
+        rhs = power_w + self.config.g_vertical_w_per_k * self.config.ambient_k
+        temperatures = self._lu.solve(np.ascontiguousarray(rhs.T))
+        return np.asarray(temperatures, dtype=float).T
 
     def as_grid(self, per_pe: np.ndarray) -> np.ndarray:
         """Reshape a per-PE vector into the (rows, cols) grid layout."""

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.arch.fabric import Fabric
 from repro.errors import ThermalError
+from repro.kernels import kernel_timer, vectorized
 from repro.obs import counter, span
 from repro.resilience.deadline import current_deadline
 from repro.resilience.faults import should_inject
@@ -98,15 +99,24 @@ class ThermalSimulator:
                 f"fabric of {self.fabric.num_pes} PEs"
             )
         deadline = current_deadline()
-        with span("thermal", contexts=duty_per_context.shape[0]):
-            maps = np.empty_like(duty_per_context)
-            for context in range(duty_per_context.shape[0]):
-                deadline.check(f"thermal:context{context}")
-                power = self.power_model.power_map(
-                    self.fabric, duty_per_context[context]
-                )
-                maps[context] = self._grid.solve(power)
-            counter("thermal.grid_solves").inc(duty_per_context.shape[0])
+        num_contexts = duty_per_context.shape[0]
+        with span("thermal", contexts=num_contexts):
+            if vectorized() and num_contexts:
+                deadline.check("thermal:batch")
+                with kernel_timer("thermal"):
+                    power = self.power_model.power_map_many(
+                        self.fabric, duty_per_context
+                    )
+                    maps = self._grid.solve_many(power)
+            else:
+                maps = np.empty_like(duty_per_context)
+                for context in range(num_contexts):
+                    deadline.check(f"thermal:context{context}")
+                    power = self.power_model.power_map(
+                        self.fabric, duty_per_context[context]
+                    )
+                    maps[context] = self._grid.solve(power)
+            counter("thermal.grid_solves").inc(num_contexts)
             maps = _require_finite(maps, "per-context thermal maps")
         return ThermalReport(
             per_context_k=maps,

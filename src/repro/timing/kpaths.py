@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 
 from repro.arch.context import Floorplan
 from repro.hls.allocate import MappedDesign
+from repro.kernels import sta as sta_kernel
+from repro.kernels import vectorized
 from repro.timing.graph import ContextTimingGraph, Endpoint, build_timing_graphs
 from repro.timing.sta import DELAY_EPS, TimingPath, TimingReport, analyze, _wire_ns
 
@@ -69,7 +71,21 @@ def _continuations(
     ``cont[op]`` = best additional delay after op completes: 0 (stop at
     its output register) or the best (wire + delay + cont) over intra
     successors.  Pad wires carry no path delay (see repro.timing.sta).
+
+    Vectorized via :mod:`repro.kernels.sta` under ``REPRO_KERNELS=vector``
+    (bit-identical: exact ``max`` reductions, scalar association order).
     """
+    if vectorized():
+        cont = sta_kernel.continuations(graph, floorplan)
+        if cont is not None:
+            return cont
+    return _continuations_scalar(graph, floorplan)
+
+
+def _continuations_scalar(
+    graph: ContextTimingGraph, floorplan: Floorplan
+) -> dict[int, float]:
+    """The original reverse-topological Python DP (the kernel's reference)."""
     succs = graph.intra_succs()
     cont: dict[int, float] = {}
     for op in reversed(graph.topological_ops()):
@@ -107,8 +123,20 @@ def enumerate_context_paths(
     expansions = 0
     truncated = False
 
-    def op_pos(op: int) -> Endpoint:
-        return Endpoint.op(op)
+    # Per-edge wire delays are floorplan-pure, so they are hoisted out of
+    # the DFS (which revisits edges on every expansion).  The vectorized
+    # kernel and the per-edge scalar computation produce bit-identical
+    # values; either way the DFS itself is unchanged.
+    edge_ns: dict[tuple[int, int], float] | None = None
+    if vectorized():
+        edge_ns = sta_kernel.edge_wire_ns(graph, floorplan)
+    if edge_ns is None:
+        edge_ns = {
+            (src, dst): _wire_ns(
+                floorplan, Endpoint.op(src), Endpoint.op(dst)
+            )
+            for src, dst in graph.intra_edges
+        }
 
     def dfs(chain: list[int], delay_so_far: float) -> None:
         nonlocal expansions, truncated
@@ -129,7 +157,7 @@ def enumerate_context_paths(
             )
         # Extend along successors that can still reach the threshold.
         for succ in succs[op]:
-            step = _wire_ns(floorplan, op_pos(op), op_pos(succ)) + graph.delay_of[succ]
+            step = edge_ns[(op, succ)] + graph.delay_of[succ]
             new_delay = delay_so_far + step
             if new_delay + cont[succ] >= threshold_ns - DELAY_EPS:
                 chain.append(succ)

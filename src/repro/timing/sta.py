@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from repro.arch.context import Floorplan
 from repro.errors import TimingError
 from repro.hls.allocate import MappedDesign
+from repro.kernels import vectorized
 from repro.timing.graph import ContextTimingGraph, Endpoint, build_timing_graphs
 
 #: Two delays within this many ns are considered equal (float guard).
@@ -114,7 +115,29 @@ def analyze_context(
     Chains start at time zero (operand registers latch at the cycle
     boundary; register/pad input wires carry no path delay — see module
     docstring) and accumulate PE + intra-context wire delays.
+
+    Under ``REPRO_KERNELS=vector`` (the default) the arrival propagation
+    runs on the levelized :mod:`repro.kernels.sta` kernel, bit-identical
+    to the scalar loop below; ``REPRO_KERNELS=scalar`` (or a floorplan
+    missing one of the graph's ops) falls back to the scalar path.
     """
+    if vectorized():
+        result = _sta_kernel.arrivals(graph, floorplan)
+        if result is not None:
+            arrival_ns, cpd_ns, critical_ops = result
+            return ContextTiming(
+                context=graph.context,
+                arrival_ns=arrival_ns,
+                cpd_ns=cpd_ns,
+                critical_ops=critical_ops,
+            )
+    return _analyze_context_scalar(graph, floorplan)
+
+
+def _analyze_context_scalar(
+    graph: ContextTimingGraph, floorplan: Floorplan
+) -> ContextTiming:
+    """The original per-edge Python STA loop (the kernels' reference)."""
     arrival: dict[int, float] = {}
     preds = graph.intra_preds()
     for op in graph.topological_ops():
@@ -146,8 +169,29 @@ def analyze(
     floorplan: Floorplan,
     graphs: list[ContextTimingGraph] | None = None,
 ) -> TimingReport:
-    """Full-design STA: per-context CPD and the global CPD."""
+    """Full-design STA: per-context CPD and the global CPD.
+
+    Under ``REPRO_KERNELS=vector`` every context's arrivals propagate in
+    one fused levelized pass (:func:`repro.kernels.sta.analyze_design`),
+    bit-identical per context to :func:`analyze_context`.
+    """
     graphs = graphs or build_timing_graphs(design)
+    if vectorized():
+        results = _sta_kernel.analyze_design(graphs, floorplan)
+        if results is not None:
+            per_context = [
+                ContextTiming(
+                    context=graph.context,
+                    arrival_ns=arrival_ns,
+                    cpd_ns=cpd_ns,
+                    critical_ops=critical_ops,
+                )
+                for graph, (arrival_ns, cpd_ns, critical_ops) in zip(
+                    graphs, results
+                )
+            ]
+            cpd = max((ct.cpd_ns for ct in per_context), default=0.0)
+            return TimingReport(per_context=per_context, cpd_ns=cpd)
     per_context = [analyze_context(g, floorplan) for g in graphs]
     cpd = max((ct.cpd_ns for ct in per_context), default=0.0)
     return TimingReport(per_context=per_context, cpd_ns=cpd)
@@ -222,3 +266,8 @@ def all_critical_paths(
             critical_paths(graph, floorplan, timing, max_paths_per_context)
         )
     return paths
+
+
+# Imported last: repro.kernels.sta itself imports DELAY_EPS from this
+# module, so the import must follow the definitions above.
+from repro.kernels import sta as _sta_kernel  # noqa: E402

@@ -11,9 +11,12 @@ Two layers, kept independent of the code they audit:
 * :func:`certify_solution` re-evaluates every row of the **uncompiled**
   :class:`~repro.milp.model.Model` (the live ``Constraint`` objects, not
   the cached :class:`~repro.milp.model.CompiledModel` lowering) against a
-  backend :class:`~repro.milp.status.Solution` in plain numpy, with
-  explicit absolute and relative tolerances, plus variable bounds and
-  integrality.
+  backend :class:`~repro.milp.status.Solution`, with explicit absolute
+  and relative tolerances, plus variable bounds and integrality.  Under
+  ``REPRO_KERNELS=vector`` the row audit runs as one verify-owned CSR
+  mat-vec (:mod:`repro.kernels.certify`, lowered from the live
+  constraints — still zero shared code with the compiled cache);
+  ``REPRO_KERNELS=scalar`` keeps the row-by-row ordered sum.
 * :func:`certify_floorplan` re-derives the paper's domain invariants from
   first principles: per-PE stress re-accumulated with a plain dict loop
   (not :func:`repro.aging.stress.compute_stress_map`'s vectorised path),
@@ -32,9 +35,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
-import numpy as np
-
 from repro.errors import CertificationError
+from repro.kernels import certify as certify_kernel
+from repro.kernels import vectorized
 from repro.milp.expr import VarType
 from repro.obs import counter, event, get_logger
 
@@ -139,6 +142,20 @@ def _row_tolerance(activity: float, rhs: float, abs_tol: float, rel_tol: float) 
     return abs_tol + rel_tol * scale
 
 
+def _ordered_dot(terms: Mapping, resolved: Mapping) -> float:
+    """Row activity as a sequential term-order sum.
+
+    Deliberately *not* ``np.dot``: BLAS may reassociate the
+    accumulation, whereas a sequential sum in terms order is exactly
+    what the vectorized CSR mat-vec computes per row — keeping the
+    scalar and vectorized certification paths bit-identical.
+    """
+    total = 0.0
+    for var, coeff in terms.items():
+        total += float(coeff) * resolved.get(var, 0.0)
+    return total
+
+
 def certify_solution(
     model,
     solution,
@@ -149,10 +166,12 @@ def certify_solution(
     """Re-check a backend solution against the *uncompiled* model.
 
     Walks the live :class:`~repro.milp.constraint.Constraint` objects and
-    evaluates each row as a numpy dot product over the solution values —
-    a second, independent lowering that shares nothing with the
+    evaluates each row as an ordered sum over the solution values — a
+    second, independent lowering that shares nothing with the
     structure-cached :meth:`~repro.milp.model.Model.compile` path it
-    audits.  Also re-checks per-variable bounds and integrality.
+    audits (vectorized into one CSR mat-vec under
+    ``REPRO_KERNELS=vector``, bit-identical by construction).  Also
+    re-checks per-variable bounds and integrality.
     """
     cert = Certificate()
     values = solution.values
@@ -199,18 +218,34 @@ def certify_solution(
     cert.checks.append(f"bounds+integrality over {len(model.variables)} variables")
 
     rows = model.row_metadata()
+    if vectorized():
+        # One verify-owned CSR mat-vec over all rows (repro.kernels.certify
+        # lowers the live constraints itself — independence from the
+        # compiled-cache path is preserved).  Bit-identical to the scalar
+        # loop below: the CSR stores each row in terms order and scipy's
+        # mat-vec accumulates it sequentially, exactly like _ordered_dot.
+        activities, excess, violated = certify_kernel.audit_rows(
+            model, resolved, abs_tol, rel_tol
+        )
+        for index in violated.tolist():
+            meta = rows[index]
+            cert.violations.append(
+                Violation(
+                    kind=KIND_ROW,
+                    subject=meta.name,
+                    detail=(
+                        f"row {meta.index}: activity {activities[index]:.9g} "
+                        f"{meta.sense} {meta.rhs:.9g} violated by "
+                        f"{excess[index]:.3g}"
+                    ),
+                    magnitude=float(excess[index]),
+                    tags=dict(meta.tags),
+                )
+            )
+        cert.checks.append(f"feasibility over {len(rows)} rows")
+        return cert
     for meta, constraint in zip(rows, model.constraints):
-        terms = constraint.lhs.terms
-        if terms:
-            coeffs = np.fromiter(
-                (float(c) for c in terms.values()), dtype=float, count=len(terms)
-            )
-            row_values = np.fromiter(
-                (resolved.get(v, 0.0) for v in terms), dtype=float, count=len(terms)
-            )
-            activity = float(np.dot(coeffs, row_values))
-        else:
-            activity = 0.0
+        activity = _ordered_dot(constraint.lhs.terms, resolved)
         rhs = meta.rhs
         tol = _row_tolerance(activity, rhs, abs_tol, rel_tol)
         if meta.sense == "<=":

@@ -1,0 +1,124 @@
+"""Vectorized certification audit vs the scalar row loop.
+
+The certifier is the trust anchor: its vectorized path must agree with
+the scalar ordered-sum audit bit-for-bit — same verdicts, same violation
+order, same formatted excess amounts — including on near-tolerance
+activities where a reassociated dot product would flip a verdict.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.kernels import kernels_scope
+from repro.milp.model import Model
+from repro.milp.status import Solution, SolveStatus
+from repro.verify import certify_solution
+
+
+def _solution(values, objective=0.0):
+    return Solution(
+        status=SolveStatus.OPTIMAL, objective=objective, values=values
+    )
+
+
+def _certify_both(model, solution):
+    with kernels_scope("scalar"):
+        ref = certify_solution(model, solution)
+    with kernels_scope("vector"):
+        vec = certify_solution(model, solution)
+    return ref, vec
+
+
+def _assert_identical(ref, vec):
+    assert ref.ok == vec.ok
+    assert len(ref.violations) == len(vec.violations)
+    for a, b in zip(ref.violations, vec.violations):
+        assert a.kind == b.kind
+        assert a.subject == b.subject
+        assert a.detail == b.detail
+
+
+def _random_model(seed, num_vars=18, num_rows=30):
+    """Dense-ish random LP rows with mixed senses and awkward floats."""
+    rng = random.Random(seed)
+    model = Model(f"fuzz{seed}")
+    xs = [model.add_continuous(f"x{i}", lb=-5.0, ub=5.0) for i in range(num_vars)]
+    values = {x: rng.uniform(-5.0, 5.0) for x in xs}
+    for row in range(num_rows):
+        terms = rng.sample(xs, rng.randrange(1, num_vars))
+        expr = sum(rng.uniform(-3.0, 3.0) * x for x in terms)
+        activity = sum(
+            coeff * values[var] for var, coeff in expr.terms.items()
+        )
+        sense = rng.choice(["<=", ">=", "=="])
+        # Mix of satisfied, violated and knife-edge rows.
+        offset = rng.choice([-1.0, -1e-9, 0.0, 1e-9, 1.0])
+        if sense == "<=":
+            constraint = expr <= activity + offset
+        elif sense == ">=":
+            constraint = expr >= activity + offset
+        else:
+            constraint = expr == activity + offset
+        model.add_constraint(constraint, name=f"row{row}")
+    model.set_objective(xs[0], minimize=True)
+    return model, values
+
+
+class TestCertifyEquivalence:
+    def test_feasible_point_identical(self):
+        model = Model("ok")
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        model.add_constraint(x + y <= 1, name="cap")
+        model.set_objective(x + y, minimize=False)
+        ref, vec = _certify_both(model, _solution({x: 1.0, y: 0.0}, 1.0))
+        _assert_identical(ref, vec)
+        assert ref.ok
+
+    def test_violations_identical_in_order_and_text(self):
+        model = Model("bad")
+        x = model.add_continuous("x", lb=0.0, ub=10.0)
+        y = model.add_continuous("y", lb=0.0, ub=10.0)
+        model.add_constraint(x + y <= 1, name="le_row")
+        model.add_constraint(x - y >= 5, name="ge_row")
+        model.add_constraint(x + 2 * y == 3, name="eq_row")
+        model.set_objective(x, minimize=True)
+        ref, vec = _certify_both(model, _solution({x: 2.0, y: 2.0}))
+        _assert_identical(ref, vec)
+        assert not ref.ok
+        assert len(ref.violations) >= 3
+
+    def test_missing_values_treated_as_zero_in_both(self):
+        model = Model("sparse")
+        x = model.add_continuous("x", lb=0.0, ub=4.0)
+        y = model.add_continuous("y", lb=0.0, ub=4.0)
+        model.add_constraint(x + y >= 1, name="need_one")
+        model.set_objective(x, minimize=True)
+        ref, vec = _certify_both(model, _solution({x: 2.0}))
+        _assert_identical(ref, vec)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fuzzed_models_identical(self, seed):
+        model, values = _random_model(seed)
+        ref, vec = _certify_both(model, _solution(values))
+        _assert_identical(ref, vec)
+
+    def test_restamp_invalidates_cached_rhs(self):
+        # The RHS cache keys on (structure_rev, restamp_rev); a parameter
+        # restamp must invalidate it in lockstep with the scalar path.
+        model = Model("stamped")
+        x = model.add_continuous("x", lb=0.0, ub=10.0)
+        model.declare_parameter("cap", 5.0)
+        model.add_constraint(x <= 5.0, name="cap_row", parameter="cap")
+        model.set_objective(x, minimize=False)
+        solution = _solution({x: 4.0})
+        ref0, vec0 = _certify_both(model, solution)
+        _assert_identical(ref0, vec0)
+        assert ref0.ok
+        model.set_parameter("cap", 3.0)  # 4.0 now violates the row
+        ref1, vec1 = _certify_both(model, solution)
+        _assert_identical(ref1, vec1)
+        assert not vec1.ok

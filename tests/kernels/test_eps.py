@@ -1,0 +1,96 @@
+"""DELAY_EPS float-guard regression: ties at exactly the guard spacing.
+
+The CPD scan is order-dependent: the running ``cpd`` only advances when a
+completion exceeds ``cpd + DELAY_EPS``, and ties within ``DELAY_EPS`` all
+join the critical set.  A vectorized scan that replaced the sequential
+guard with a plain ``max`` would mis-handle completions spaced at exactly
+``DELAY_EPS`` — these tests pin the scalar semantics and assert the
+vector path reproduces them bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import Fabric, Floorplan, OpKind, UnitKind
+from repro.hls import MappedDesign, OpInfo
+from repro.kernels import kernels_scope
+from repro.timing import analyze
+from repro.timing.sta import DELAY_EPS
+
+
+def _design_with_delays(delays):
+    """Independent single-context ops (no edges): completion == own delay."""
+    design = MappedDesign(name="eps", num_contexts=1)
+    design.clock_period_ns = 100.0
+    for op, delay in enumerate(delays):
+        design.ops[op] = OpInfo(
+            op, OpKind.ADD, 32, 0, UnitKind.ALU, delay, delay
+        )
+    design.compute_edges = []
+    return design
+
+
+def _placed(design):
+    fabric = Fabric(6, 6, unit_wire_delay_ns=1.0)
+    floorplan = Floorplan(fabric, 1)
+    for op in design.ops:
+        floorplan.bind(op, 0, op)
+    return floorplan
+
+
+def _analyze_both(delays):
+    design = _design_with_delays(delays)
+    floorplan = _placed(design)
+    with kernels_scope("scalar"):
+        ref = analyze(design, floorplan)
+    with kernels_scope("vector"):
+        vec = analyze(design, floorplan)
+    return ref, vec
+
+
+class TestDelayEpsTies:
+    def test_exact_eps_spacing_matches_scalar(self):
+        # 1.0, 1.0 + eps, 1.0 + 2*eps, ...: each step sits exactly on the
+        # guard boundary, the worst case for any reimplemented scan.
+        delays = [1.0, 1.0 + DELAY_EPS, 1.0 + 2 * DELAY_EPS, 1.0 + 3 * DELAY_EPS]
+        ref, vec = _analyze_both(delays)
+        assert ref.cpd_ns == vec.cpd_ns
+        assert ref.per_context[0].critical_ops == vec.per_context[0].critical_ops
+        assert ref.per_context[0].arrival_ns == vec.per_context[0].arrival_ns
+
+    def test_descending_eps_spacing_matches_scalar(self):
+        delays = [1.0 + 3 * DELAY_EPS, 1.0 + 2 * DELAY_EPS, 1.0 + DELAY_EPS, 1.0]
+        ref, vec = _analyze_both(delays)
+        assert ref.cpd_ns == vec.cpd_ns
+        assert ref.per_context[0].critical_ops == vec.per_context[0].critical_ops
+
+    def test_tie_within_eps_keeps_both_endpoints(self):
+        delays = [2.0, 2.0 + 0.5 * DELAY_EPS, 1.0]
+        ref, vec = _analyze_both(delays)
+        # Both near-equal completions are critical endpoints...
+        assert ref.per_context[0].critical_ops == [0, 1]
+        # ...and the vector scan agrees exactly.
+        assert vec.per_context[0].critical_ops == [0, 1]
+        assert ref.cpd_ns == vec.cpd_ns
+
+    def test_late_small_riser_advances_cpd_identically(self):
+        # After a tie at 2.0, a completion just past the guard must take
+        # over as the sole critical endpoint in both modes.
+        delays = [2.0, 2.0, 2.0 + 2 * DELAY_EPS]
+        ref, vec = _analyze_both(delays)
+        assert ref.per_context[0].critical_ops == [2]
+        assert vec.per_context[0].critical_ops == [2]
+        assert ref.cpd_ns == 2.0 + 2 * DELAY_EPS == vec.cpd_ns
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_randomized_eps_lattice_matches_scalar(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        delays = [
+            1.0 + rng.randrange(0, 4) * DELAY_EPS for _ in range(24)
+        ]
+        ref, vec = _analyze_both(delays)
+        assert ref.cpd_ns == vec.cpd_ns
+        assert ref.per_context[0].critical_ops == vec.per_context[0].critical_ops

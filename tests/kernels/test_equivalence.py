@@ -1,0 +1,158 @@
+"""Vector/scalar equivalence: every kernel output must be bit-identical.
+
+The kernels' contract (see ``repro/kernels/__init__.py``) is *bitwise*
+equality with the scalar reference loops, not approximate agreement —
+these tests therefore compare with ``==``, never ``pytest.approx``.
+Designs come from :mod:`repro.benchgen` (seeded, so failures reproduce)
+and each design is checked under both the baseline placement and
+several random placements.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.aging.stress import compute_stress_map
+from repro.arch import Floorplan
+from repro.benchgen import SyntheticSpec, build_benchmark
+from repro.core.flow import AgingAwareFlow
+from repro.errors import MappingError
+from repro.kernels import kernels_scope
+from repro.place import place_baseline
+from repro.thermal.hotspot import ThermalSimulator
+from repro.timing import all_critical_paths, analyze, build_timing_graphs
+from repro.timing.kpaths import filter_paths
+
+SPECS = [
+    SyntheticSpec(name="eqA", num_contexts=1, fabric_dim=4, total_ops=12, seed=1),
+    SyntheticSpec(name="eqB", num_contexts=3, fabric_dim=5, total_ops=40, seed=2),
+    SyntheticSpec(name="eqC", num_contexts=6, fabric_dim=8, total_ops=150, seed=3),
+]
+
+
+def _random_floorplan(design, fabric, seed):
+    """A legal random placement: per context, ops on distinct random PEs."""
+    rng = random.Random(seed)
+    floorplan = Floorplan(fabric, design.num_contexts)
+    for context in range(design.num_contexts):
+        ops = [op.op_id for op in design.ops_in_context(context)]
+        pes = rng.sample(range(fabric.num_pes), len(ops))
+        for op_id, pe in zip(ops, pes):
+            floorplan.bind(op_id, context, pe)
+    return floorplan
+
+
+def _placements(design, fabric):
+    yield place_baseline(design, fabric)
+    for seed in (11, 12, 13):
+        yield _random_floorplan(design, fabric, seed)
+
+
+def _both_modes(fn):
+    with kernels_scope("scalar"):
+        reference = fn()
+    with kernels_scope("vector"):
+        vector = fn()
+    return reference, vector
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+class TestStaEquivalence:
+    def test_analyze_bit_identical(self, spec):
+        design, fabric = build_benchmark(spec)
+        graphs = build_timing_graphs(design)
+        for floorplan in _placements(design, fabric):
+            ref, vec = _both_modes(lambda: analyze(design, floorplan, graphs))
+            assert ref.cpd_ns == vec.cpd_ns
+            for a, b in zip(ref.per_context, vec.per_context):
+                assert a.context == b.context
+                assert a.cpd_ns == b.cpd_ns
+                assert a.critical_ops == b.critical_ops
+                assert a.arrival_ns == b.arrival_ns
+
+    def test_critical_paths_identical(self, spec):
+        design, fabric = build_benchmark(spec)
+        graphs = build_timing_graphs(design)
+        for floorplan in _placements(design, fabric):
+            ref, vec = _both_modes(
+                lambda: all_critical_paths(design, floorplan, graphs)
+            )
+            assert [(p.context, p.chain) for p in ref] == [
+                (p.context, p.chain) for p in vec
+            ]
+
+    def test_path_filter_identical(self, spec):
+        design, fabric = build_benchmark(spec)
+        graphs = build_timing_graphs(design)
+        for floorplan in _placements(design, fabric):
+            ref, vec = _both_modes(
+                lambda: filter_paths(design, floorplan, graphs=graphs)
+            )
+            assert ref.truncated == vec.truncated
+            assert len(ref.paths) == len(vec.paths)
+            for a, b in zip(ref.paths, vec.paths):
+                assert a.path.context == b.path.context
+                assert a.path.chain == b.path.chain
+                assert a.delay_ns == b.delay_ns
+                assert a.is_critical == b.is_critical
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+class TestAgingThermalEquivalence:
+    def test_stress_maps_bit_identical(self, spec):
+        design, fabric = build_benchmark(spec)
+        for floorplan in _placements(design, fabric):
+            ref, vec = _both_modes(
+                lambda: compute_stress_map(design, floorplan)
+            )
+            assert ref.clock_period_ns == vec.clock_period_ns
+            assert (ref.per_context_ns == vec.per_context_ns).all()
+
+    def test_thermal_maps_bit_identical(self, spec):
+        design, fabric = build_benchmark(spec)
+        floorplan = place_baseline(design, fabric)
+        duty = compute_stress_map(design, floorplan).duty_per_context()
+
+        def run():
+            return ThermalSimulator(fabric).simulate(duty)
+
+        ref, vec = _both_modes(run)
+        assert (ref.per_context_k == vec.per_context_k).all()
+        assert (ref.accumulated_k == vec.accumulated_k).all()
+        assert ref.hottest_pe == vec.hottest_pe
+
+    def test_full_evaluation_bit_identical(self, spec):
+        design, fabric = build_benchmark(spec)
+        floorplan = place_baseline(design, fabric)
+        flow = AgingAwareFlow()
+
+        def run():
+            return flow.evaluate(design, fabric, floorplan)
+
+        ref, vec = _both_modes(run)
+        assert ref.mttf.mttf_s == vec.mttf.mttf_s
+        assert ref.mttf.limiting_pe == vec.mttf.limiting_pe
+        assert (ref.mttf.per_pe_mttf_s == vec.mttf.per_pe_mttf_s).all()
+        assert (ref.thermal.accumulated_k == vec.thermal.accumulated_k).all()
+        assert (ref.stress.per_context_ns == vec.stress.per_context_ns).all()
+
+
+class TestFallbacks:
+    def test_unbound_op_raises_same_error_in_both_modes(self):
+        design, fabric = build_benchmark(SPECS[1])
+        floorplan = place_baseline(design, fabric)
+        missing = next(iter(design.ops))
+        floorplan.pe_of.pop(missing)
+
+        def run():
+            try:
+                analyze(design, floorplan)
+            except MappingError as exc:
+                return ("MappingError", str(exc))
+            return None  # pragma: no cover
+
+        ref, vec = _both_modes(run)
+        assert ref == vec
+        assert ref is not None

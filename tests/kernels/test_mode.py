@@ -1,0 +1,59 @@
+"""The REPRO_KERNELS mode knob: env default, scope override, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelConfigError
+from repro.kernels import (
+    KERNELS_ENV,
+    KERNEL_MODES,
+    kernels_mode,
+    kernels_scope,
+    vectorized,
+)
+
+
+class TestModeKnob:
+    def test_default_is_vector(self, monkeypatch):
+        monkeypatch.delenv(KERNELS_ENV, raising=False)
+        assert kernels_mode() == "vector"
+        assert vectorized()
+
+    def test_env_selects_scalar(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "scalar")
+        assert kernels_mode() == "scalar"
+        assert not vectorized()
+
+    def test_env_is_normalized(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "  VECTOR ")
+        assert kernels_mode() == "vector"
+
+    def test_empty_env_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "")
+        assert kernels_mode() == "vector"
+
+    def test_unknown_env_mode_raises_typed(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "simd")
+        with pytest.raises(KernelConfigError, match="simd"):
+            kernels_mode()
+
+    def test_scope_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(KERNELS_ENV, "scalar")
+        with kernels_scope("vector"):
+            assert vectorized()
+        assert not vectorized()
+
+    def test_scope_nests_and_restores(self):
+        with kernels_scope("scalar"):
+            with kernels_scope("vector"):
+                assert kernels_mode() == "vector"
+            assert kernels_mode() == "scalar"
+
+    def test_scope_rejects_unknown_mode(self):
+        with pytest.raises(KernelConfigError):
+            with kernels_scope("gpu"):
+                pass  # pragma: no cover
+
+    def test_modes_are_the_documented_pair(self):
+        assert KERNEL_MODES == ("vector", "scalar")

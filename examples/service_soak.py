@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Service soak driver: concurrent mixed-tenant bursts under injected faults.
+
+Boots a real ``repro serve`` subprocess (faults armed via ``REPRO_FAULTS``
+unless already set in the environment), fires N concurrent requests from
+multiple tenants with heavy duplication, then checks the service kept its
+promises:
+
+* zero lost jobs — every accepted request reaches ``done``;
+* nonzero cache hits — duplicates are served from the artifact cache;
+* zero certification failures — nothing corrupt was ever served;
+* clean SIGTERM drain — the process exits 0 with the journal settled;
+* (``--verify``) every artifact bit-identical to the one-shot pipeline.
+
+Exits nonzero on any violation.  CI runs this as the service soak gate::
+
+    python examples/service_soak.py --requests 50 --verify
+
+Usage::
+
+    python examples/service_soak.py [--requests N] [--state-dir DIR]
+                                    [--verify] [--keep]
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.service import FloorplanRequest, ServiceClient, comparable_view
+from repro.service.cache import ArtifactCache
+from repro.service.worker import run_request
+
+DEFAULT_FAULTS = "service_worker_crash@1,service_cache_corrupt@1"
+
+UNIQUE = [
+    {"kernel": "fir8", "fabric": "4x4", "mode": "rotate", "time_limit_s": 5.0},
+    {"kernel": "fir8", "fabric": "4x4", "mode": "freeze", "time_limit_s": 5.0},
+    {"kernel": "checksum", "fabric": "4x4", "mode": "rotate",
+     "time_limit_s": 5.0},
+    {"kernel": "checksum", "fabric": "4x4", "mode": "freeze",
+     "time_limit_s": 5.0},
+]
+TENANTS = ("team-a", "team-b", "team-c")
+
+
+def boot(state_dir: pathlib.Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    root = pathlib.Path(__file__).resolve().parents[1]
+    env["PYTHONPATH"] = str(root / "src")
+    env.setdefault("REPRO_FAULTS", DEFAULT_FAULTS)
+    print(f"booting repro serve (REPRO_FAULTS={env['REPRO_FAULTS']!r})")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--state-dir", str(state_dir), "--port", "0",
+            "--concurrency", "3", "--drain-grace", "120",
+            "--max-queue", "128", "--tenant-queue", "64",
+        ],
+        env=env, cwd=str(root),
+    )
+
+
+def wait_ready(state_dir: pathlib.Path, pid: int, timeout_s=30) -> ServiceClient:
+    endpoint = state_dir / "endpoint.json"
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            document = json.loads(endpoint.read_text())
+            if document.get("pid") == pid:
+                client = ServiceClient(document["host"], document["port"])
+                if client.ready():
+                    return client
+        except Exception:
+            pass
+        time.sleep(0.2)
+    raise SystemExit("service never became ready")
+
+
+def one_request(client: ServiceClient, request: dict) -> dict:
+    view = client.submit_retry(request, attempts=60)
+    return client.wait_job(view["job_id"], timeout_s=600)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=50)
+    parser.add_argument("--state-dir", default=None)
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="also re-run each unique request one-shot and compare",
+    )
+    parser.add_argument(
+        "--keep", action="store_true",
+        help="keep the state directory for post-mortems",
+    )
+    args = parser.parse_args(argv)
+
+    scratch = None
+    if args.state_dir:
+        state_dir = pathlib.Path(args.state_dir)
+    else:
+        scratch = tempfile.TemporaryDirectory(prefix="repro-soak-")
+        state_dir = pathlib.Path(scratch.name) / "state"
+
+    failures: list[str] = []
+    proc = boot(state_dir)
+    try:
+        client = wait_ready(state_dir, proc.pid)
+        requests = [
+            dict(UNIQUE[i % len(UNIQUE)], tenant=TENANTS[i % len(TENANTS)])
+            for i in range(args.requests)
+        ]
+        started = time.monotonic()
+        with concurrent.futures.ThreadPoolExecutor(max_workers=16) as pool:
+            finals = list(pool.map(
+                lambda request: one_request(client, request), requests
+            ))
+        wall = time.monotonic() - started
+
+        lost = [f["job_id"] for f in finals if f["status"] != "done"]
+        if lost:
+            failures.append(f"lost jobs (not done): {lost}")
+        metrics = client.metrics()["metrics"]
+
+        def value(name: str) -> float:
+            return metrics.get(name, {}).get("value", 0)
+
+        hits = value("service.cache_hits")
+        if hits <= 0:
+            failures.append("expected nonzero cache hits under duplication")
+        cert_failures = value("service.cache_certify_failures")
+        if cert_failures:
+            failures.append(f"certification failures: {cert_failures:.0f}")
+        print(
+            f"{len(finals)} requests in {wall:.1f}s: "
+            f"hits={hits:.0f} corrupt={value('service.cache_corrupt'):.0f} "
+            f"crashes={value('service.worker_crashes'):.0f} "
+            f"retries={value('service.job_retries'):.0f} "
+            f"shed={value('service.shed'):.0f} "
+            f"coalesced={value('service.jobs_coalesced'):.0f}"
+        )
+
+        # Clean SIGTERM drain.
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=180)
+        if code != 0:
+            failures.append(f"serve exited {code} on SIGTERM drain")
+
+        if args.verify:
+            cache = ArtifactCache(state_dir / "cache", certify=False)
+            for request_dict in UNIQUE:
+                request = FloorplanRequest.from_dict(request_dict)
+                served = cache.fetch(request.cache_key())
+                if served is None:
+                    failures.append(
+                        f"artifact missing for {request.kernel}/{request.mode}"
+                    )
+                    continue
+                expected = comparable_view(run_request(request))
+                if comparable_view(served) != expected:
+                    failures.append(
+                        f"served artifact differs from one-shot for "
+                        f"{request.kernel}/{request.mode}"
+                    )
+            print(f"verified {len(UNIQUE)} unique artifacts against "
+                  "the one-shot pipeline")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        if scratch is not None and not args.keep:
+            scratch.cleanup()
+
+    if failures:
+        for failure in failures:
+            print(f"SOAK FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print("soak passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

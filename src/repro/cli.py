@@ -16,6 +16,7 @@ inspected and re-analysed from the shell::
     python -m repro.cli trace    summarize trace.jsonl [--json]
     python -m repro.cli explain  result.json [trace.jsonl] [-o report.html]
     python -m repro.cli explain  design.json --probe-infeasible [--fabric 4x4]
+    python -m repro.cli serve    [--state-dir DIR] [--port 0] [--concurrency 2]
 
 ``compile`` accepts a mini-C file or a named library kernel (fir8,
 matvec4, checksum, sobel3).  ``analyze`` prints CPD, stress and MTTF for
@@ -38,6 +39,12 @@ Observability (``flow``, ``remap`` and ``bench``; docs/observability.md):
 ``--profile FILE.pstats``
     cProfile the whole command, write pstats to FILE and print the
     top cumulative-time hotspots.
+
+``serve`` runs the long-lived floorplanning service: an HTTP front end
+with admission control, a crash-safe persistent artifact cache, durable
+exactly-once job journaling and graceful SIGTERM drain (see
+docs/robustness.md, "Serving floorplans").  The listener address is
+published to ``<state-dir>/endpoint.json`` (``--port 0`` = ephemeral).
 
 ``bench run`` executes the smoke benchmark suite and writes a
 schema-versioned ``BENCH_<timestamp>.json`` performance record;
@@ -621,6 +628,66 @@ def cmd_trace_summarize(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import AdmissionConfig, ServiceConfig
+
+    config = ServiceConfig(
+        state_dir=args.state_dir,
+        concurrency=args.concurrency,
+        retries=args.retries,
+        attempt_timeout_s=args.attempt_timeout,
+        drain_grace_s=args.drain_grace,
+        certify_cached=not args.no_certify_cache,
+        admission=AdmissionConfig(
+            max_queue=args.max_queue,
+            tenant_queue=args.tenant_queue,
+            tenant_concurrency=args.tenant_concurrency,
+            retry_after_s=args.retry_after,
+        ),
+    )
+    return asyncio.run(_serve_until_signalled(config, args.host, args.port))
+
+
+async def _serve_until_signalled(config, host: str, port: int) -> int:
+    """Body of ``repro serve``: run until SIGTERM/SIGINT, then drain."""
+    import asyncio
+    import signal
+
+    from repro.service import FloorplanService, ServiceServer
+
+    service = FloorplanService(config)
+    await service.start()
+    server = ServiceServer(service, host=host, port=port)
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, stop.set)
+    print(
+        f"serving on http://{server.host}:{server.port} "
+        f"(state: {config.state_dir}, endpoint: {server.endpoint_path()})",
+        file=sys.stderr, flush=True,
+    )
+    await stop.wait()
+    # Drain: stop intake (new submissions shed with 503 "draining") but
+    # keep answering probes while in-flight jobs finish within the grace
+    # budget; whatever does not finish stays journaled for a restart.
+    print("signal received; draining...", file=sys.stderr, flush=True)
+    clean = await service.drain()
+    await server.close()
+    await service.close()
+    if clean:
+        print("drained cleanly", file=sys.stderr)
+    else:
+        print(
+            "drain grace expired; unfinished jobs remain journaled and "
+            "resume on restart", file=sys.stderr,
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Aging-aware CGRRA floorplanning flow."
@@ -873,6 +940,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="IIS extraction/verification budget in seconds (default: 30)",
     )
     p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the floorplanning service: HTTP front end with "
+        "admission control, persistent artifact cache and graceful drain",
+        parents=[obs_flags],
+    )
+    p.add_argument(
+        "--state-dir", default="service-state",
+        help="durable state root: job journal, artifact cache, "
+        "endpoint.json (default: service-state)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default 0 = ephemeral; the bound port is "
+        "published to <state-dir>/endpoint.json)",
+    )
+    p.add_argument(
+        "--concurrency", type=int, default=2,
+        help="parallel job slots, one single-worker pool each (default: 2)",
+    )
+    p.add_argument(
+        "--max-queue", type=int, default=64,
+        help="admitted-but-unfinished cap before shedding (default: 64)",
+    )
+    p.add_argument(
+        "--tenant-queue", type=int, default=32,
+        help="per-tenant backlog cap (default: 32)",
+    )
+    p.add_argument(
+        "--tenant-concurrency", type=int, default=2,
+        help="per-tenant running-job quota (default: 2)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=2,
+        help="extra attempts after a crashed/failed solve (default: 2)",
+    )
+    p.add_argument(
+        "--attempt-timeout", type=float, default=300.0, metavar="SECONDS",
+        help="kill a worker still running after this long (default: 300)",
+    )
+    p.add_argument(
+        "--drain-grace", type=float, default=10.0, metavar="SECONDS",
+        help="SIGTERM drain budget for in-flight jobs (default: 10)",
+    )
+    p.add_argument(
+        "--retry-after", type=float, default=1.0, metavar="SECONDS",
+        help="base Retry-After hint for shed requests (default: 1)",
+    )
+    p.add_argument(
+        "--no-certify-cache", action="store_true",
+        help="serve cached artifacts without re-certification "
+        "(integrity checksums still apply)",
+    )
+    p.set_defaults(func=cmd_serve)
     return parser
 
 

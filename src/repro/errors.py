@@ -142,5 +142,36 @@ class SweepError(ReproError):
     """An experiment sweep entry failed permanently (after retries)."""
 
 
+class ServiceError(ReproError):
+    """The floorplanning service could not handle a request."""
+
+
+class AdmissionError(ServiceError):
+    """A request was shed at admission (queue full, draining, bad tenant).
+
+    Carries ``retry_after_s`` so callers — and the HTTP layer's
+    ``Retry-After`` header — can tell the client when another attempt is
+    worth making, and ``reason`` (``"queue_full"`` / ``"draining"`` /
+    ``"tenant_queue_full"``) so load shedding stays observable and typed.
+    """
+
+    def __init__(self, reason: str, retry_after_s: float) -> None:
+        super().__init__(
+            f"request rejected ({reason}); retry after {retry_after_s:.1f}s"
+        )
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class CacheError(ServiceError):
+    """A persistent artifact-cache entry is unreadable or failed its
+    integrity checks (checksum mismatch, truncation, wrong key).
+
+    Never propagates to a client: the cache layer quarantines the entry
+    and reports a miss, so the job is recomputed rather than served a
+    wrong or stale answer.
+    """
+
+
 class BenchmarkError(ReproError):
     """A synthetic benchmark request was inconsistent or unsatisfiable."""

@@ -188,10 +188,15 @@ def flow_summary_to_dict(result) -> dict[str, Any]:
 
 
 def save_json(document: dict[str, Any], path) -> None:
-    """Write a document to ``path`` (pretty-printed, stable key order)."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    """Write a document to ``path`` (pretty-printed, stable key order).
+
+    Goes through the shared atomic ``write-tmp → fsync → rename`` helper
+    so a crash mid-save leaves the previous artifact (or nothing), never
+    a truncated JSON file under the final name.
+    """
+    from repro.resilience.atomic import atomic_write_json
+
+    atomic_write_json(path, document)
 
 
 def load_json(path) -> dict[str, Any]:

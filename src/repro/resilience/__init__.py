@@ -11,9 +11,16 @@ Four small parts (docs/robustness.md has the full story):
   injection (``REPRO_FAULTS`` env var or :func:`fault_scope`) used to
   prove every recovery path actually recovers;
 * :mod:`repro.resilience.checkpoint` — per-entry JSONL journals making
-  experiment sweeps crash-isolated and resumable.
+  experiment sweeps crash-isolated and resumable;
+* :mod:`repro.resilience.atomic` — the shared crash-safe
+  ``write-tmp → fsync → rename`` helper every durable JSON write uses.
 """
 
+from repro.resilience.atomic import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
 from repro.resilience.checkpoint import CheckpointError, SweepCheckpoint
 from repro.resilience.deadline import (
     Deadline,
@@ -49,6 +56,9 @@ __all__ = [
     "FaultSpec",
     "SweepCheckpoint",
     "active_plan",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
     "current_deadline",
     "deadline_scope",
     "fault_scope",

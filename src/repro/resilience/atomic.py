@@ -1,0 +1,90 @@
+"""Crash-safe file writes: one shared ``write-tmp → fsync → rename`` helper.
+
+Every durable JSON artifact in the repo — sweep checkpoints, the service's
+persistent artifact cache, saved designs/floorplans/flow records — must
+survive a crash mid-write without leaving a half-written file under the
+final name.  The POSIX recipe is always the same:
+
+1. write the full payload to a temporary file *in the same directory*
+   (``os.replace`` is only atomic within one filesystem);
+2. flush and ``fsync`` the temporary file so the bytes are on disk;
+3. ``os.replace`` it over the destination (atomic on POSIX);
+4. ``fsync`` the directory so the rename itself is durable.
+
+Ad-hoc ``open(path, "w")`` writers re-implement this wrong (or not at
+all); this module is the single implementation they all share.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> None:
+    """Durably replace ``path`` with ``data`` (never a torn file).
+
+    The temporary file carries the writer's PID so two concurrent writers
+    never collide on the scratch name; the loser of the final ``replace``
+    race simply has its complete file overwritten by another complete
+    file — readers observe one version or the other, never a mix.
+    """
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    scratch = target.parent / f".{target.name}.tmp.{os.getpid()}"
+    try:
+        with open(scratch, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(scratch, target)
+    except BaseException:
+        # Leave no scratch litter behind on any failure (including ^C).
+        try:
+            os.unlink(scratch)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(target.parent)
+
+
+def atomic_write_text(
+    path: str | os.PathLike, text: str, encoding: str = "utf-8"
+) -> None:
+    """Durably replace ``path`` with ``text``."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(
+    path: str | os.PathLike,
+    document: Any,
+    indent: int | None = 2,
+    sort_keys: bool = True,
+) -> None:
+    """Durably replace ``path`` with a JSON rendering of ``document``.
+
+    Matches :func:`repro.io.serialize.save_json`'s formatting (pretty,
+    stable key order, trailing newline) so artifacts written through
+    either path are byte-identical.
+    """
+    text = json.dumps(document, indent=indent, sort_keys=sort_keys) + "\n"
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def _fsync_dir(directory: pathlib.Path) -> None:
+    """Flush a rename to disk; best-effort where directories can't be
+    opened (non-POSIX filesystems)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

@@ -15,6 +15,7 @@ tables.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import pathlib
@@ -22,8 +23,36 @@ from typing import Iterator
 
 from repro.errors import ReproError
 from repro.obs.logs import get_logger
+from repro.resilience.atomic import atomic_write_text
+
+try:  # POSIX advisory locking; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 _log = get_logger("resilience.checkpoint")
+
+
+@contextlib.contextmanager
+def _exclusive(handle) -> Iterator[None]:
+    """Hold an advisory ``flock`` on ``handle`` for the ``with`` body.
+
+    Two processes appending to the same journal (e.g. two concurrent
+    ``--resume`` sweeps pointed at one checkpoint) would otherwise be
+    able to interleave partial ``write`` calls into one torn line in the
+    *middle* of the file — which ``records()`` treats as real corruption.
+    The lock serialises whole-record appends; it is advisory, so readers
+    (which never write) stay lock-free.  Released automatically when the
+    file handle closes, even if the process dies mid-append.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+    try:
+        yield
+    finally:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
 
 class CheckpointError(ReproError):
@@ -45,12 +74,21 @@ class SweepCheckpoint:
         return self.path.exists()
 
     def reset(self) -> None:
-        """Start a fresh sweep: truncate any previous journal."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text("", encoding="utf-8")
+        """Start a fresh sweep: truncate any previous journal.
+
+        Uses the shared atomic-replace helper so a crash mid-reset leaves
+        either the old journal or an empty one — never a torn file.
+        """
+        atomic_write_text(self.path, "")
 
     def append(self, record: dict) -> None:
-        """Durably append one record (flush + fsync per line)."""
+        """Durably append one record (flock + flush + fsync per line).
+
+        The advisory :func:`_exclusive` lock means concurrent appenders
+        (two ``--resume`` processes sharing a checkpoint) write whole
+        lines, never interleaved fragments; the fsync means a killed
+        process loses at most its own in-flight record.
+        """
         if "entry" not in record or "status" not in record:
             raise CheckpointError(
                 f"checkpoint record needs 'entry' and 'status': {record!r}"
@@ -58,9 +96,14 @@ class SweepCheckpoint:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(record, sort_keys=True)
         with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+            with _exclusive(handle):
+                # Seek inside the lock: another appender may have grown
+                # the file since open; "a" mode appends at write time on
+                # POSIX, but the explicit seek documents the invariant.
+                handle.seek(0, os.SEEK_END)
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
 
     def records(self, tolerate_torn_tail: bool = True) -> Iterator[dict]:
         """Yield every record in journal order (missing file = empty).

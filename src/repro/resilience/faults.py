@@ -57,6 +57,12 @@ FAULT_POINTS = (
     "lane_crash",         # the leading lane raises SolverError mid-solve
     "lane_hang",          # the leading lane hangs until cancelled
     "lane_wrong_answer",  # the leading lane returns a corrupted solution
+    # Service-layer faults (repro.service): like worker faults, the
+    # ``service_worker_crash`` verdict is taken in the *service parent*
+    # at dispatch time and rides into the job worker as a flag.
+    "service_worker_crash",   # a service job worker dies hard mid-solve
+    "service_cache_corrupt",  # an artifact-cache write lands corrupted
+    "service_slow_client",    # an HTTP client stalls mid-request body
 )
 
 #: The portfolio-lane subset, in decision-priority order.

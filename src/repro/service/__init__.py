@@ -1,0 +1,41 @@
+"""Floorplanning-as-a-service: crash-safe async job layer.
+
+The service front end over the aging-aware flow: admission control and
+load shedding (:mod:`~repro.service.admission`), a crash-safe
+content-addressed artifact cache (:mod:`~repro.service.cache`), a
+durable exactly-once job journal (:mod:`~repro.service.jobs`),
+crash-isolated worker execution (:mod:`~repro.service.worker`), the
+asyncio core (:mod:`~repro.service.service`), a stdlib HTTP server
+(:mod:`~repro.service.server`) and client (:mod:`~repro.service.client`).
+
+Start one with ``repro serve`` or embed :class:`FloorplanService`
+directly; see ``docs/robustness.md`` ("Serving floorplans").
+"""
+
+from repro.service.admission import AdmissionConfig, AdmissionController
+from repro.service.cache import ArtifactCache
+from repro.service.client import ServiceClient, read_endpoint
+from repro.service.jobs import Job, JobStore, TERMINAL_STATES
+from repro.service.request import FloorplanRequest, canonical_json, content_hash
+from repro.service.server import ServiceServer
+from repro.service.service import FloorplanService, ServiceConfig
+from repro.service.worker import comparable_view, run_request
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "ArtifactCache",
+    "FloorplanRequest",
+    "FloorplanService",
+    "Job",
+    "JobStore",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceServer",
+    "TERMINAL_STATES",
+    "canonical_json",
+    "comparable_view",
+    "content_hash",
+    "read_endpoint",
+    "run_request",
+]

@@ -1,0 +1,133 @@
+"""Admission control and load shedding for the floorplanning service.
+
+A long-lived service in front of an expensive solver has to say *no*
+early: a request it cannot start within its deadline is better rejected
+at the door — with an honest retry hint — than queued until it times out
+holding memory.  The controller enforces two independent limits:
+
+* a **bounded queue** — at most ``max_queue`` jobs admitted but not yet
+  finished across all tenants; beyond it, requests are shed with
+  ``AdmissionError("queue_full", retry_after_s)`` (HTTP 503 +
+  ``Retry-After``);
+* a **per-tenant backlog cap** — one tenant cannot fill the whole queue;
+  beyond ``tenant_queue`` waiting+running jobs, *that tenant's* requests
+  are shed (``"tenant_queue_full"``) while other tenants keep being
+  admitted.
+
+Separately from admission, per-tenant **concurrency quotas** bound how
+many of a tenant's admitted jobs occupy workers at once
+(:meth:`AdmissionController.acquire` / :meth:`release` wrap an
+``asyncio``-friendly counter used by the service's worker loop).
+
+The retry hint is proportional to the backlog: a client told to come
+back in ``retry_after_s`` seconds when the queue is N deep gets a larger
+hint at 2N — cheap, stateless backpressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AdmissionError
+from repro.obs import counter, event, gauge
+
+
+@dataclass
+class AdmissionConfig:
+    """Knobs of the admission controller."""
+
+    #: Max admitted-but-unfinished jobs across all tenants.
+    max_queue: int = 64
+    #: Max admitted-but-unfinished jobs per tenant.
+    tenant_queue: int = 32
+    #: Max concurrently *running* jobs per tenant.
+    tenant_concurrency: int = 2
+    #: Base retry hint handed to shed clients (scaled by backlog).
+    retry_after_s: float = 1.0
+
+
+@dataclass
+class AdmissionController:
+    """Counts admitted/running jobs and sheds what does not fit."""
+
+    config: AdmissionConfig = field(default_factory=AdmissionConfig)
+    _admitted: dict[str, int] = field(default_factory=dict)
+    _running: dict[str, int] = field(default_factory=dict)
+    draining: bool = False
+
+    # -- intake ---------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Admitted-but-unfinished jobs, all tenants."""
+        return sum(self._admitted.values())
+
+    def tenant_depth(self, tenant: str) -> int:
+        return self._admitted.get(tenant, 0)
+
+    def admit(self, tenant: str) -> None:
+        """Admit one job for ``tenant`` or raise :class:`AdmissionError`.
+
+        The caller must pair every successful ``admit`` with exactly one
+        :meth:`finish` when the job reaches a terminal state.
+        """
+        if self.draining:
+            self._shed(tenant, "draining")
+        if self.depth >= self.config.max_queue:
+            self._shed(tenant, "queue_full")
+        if self.tenant_depth(tenant) >= self.config.tenant_queue:
+            self._shed(tenant, "tenant_queue_full")
+        self._admitted[tenant] = self._admitted.get(tenant, 0) + 1
+        counter("service.admitted").inc()
+        gauge("service.queue_depth").set(self.depth)
+
+    def finish(self, tenant: str) -> None:
+        """A previously admitted job reached a terminal state."""
+        remaining = self._admitted.get(tenant, 0) - 1
+        if remaining > 0:
+            self._admitted[tenant] = remaining
+        else:
+            self._admitted.pop(tenant, None)
+        gauge("service.queue_depth").set(self.depth)
+
+    def _shed(self, tenant: str, reason: str) -> None:
+        counter("service.shed").inc()
+        counter(f"service.shed.{reason}").inc()
+        retry_after = self.retry_hint()
+        event(
+            "service.shed", tenant=tenant, reason=reason,
+            retry_after_s=retry_after, depth=self.depth,
+        )
+        raise AdmissionError(reason, retry_after)
+
+    def retry_hint(self) -> float:
+        """Backlog-proportional retry hint (never below the base)."""
+        base = self.config.retry_after_s
+        if self.config.max_queue <= 0:
+            return base
+        return base * max(1.0, 1.0 + self.depth / self.config.max_queue)
+
+    # -- per-tenant concurrency ----------------------------------------------
+    def acquire(self, tenant: str) -> bool:
+        """Try to take a run slot for ``tenant`` (non-blocking)."""
+        if self._running.get(tenant, 0) >= self.config.tenant_concurrency:
+            return False
+        self._running[tenant] = self._running.get(tenant, 0) + 1
+        gauge("service.running").set(sum(self._running.values()))
+        return True
+
+    def release(self, tenant: str) -> None:
+        remaining = self._running.get(tenant, 0) - 1
+        if remaining > 0:
+            self._running[tenant] = remaining
+        else:
+            self._running.pop(tenant, None)
+        gauge("service.running").set(sum(self._running.values()))
+
+    # -- reporting ------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "depth": self.depth,
+            "running": sum(self._running.values()),
+            "per_tenant": dict(sorted(self._admitted.items())),
+            "draining": self.draining,
+        }

@@ -1,0 +1,228 @@
+"""Crash-safe, content-addressed persistent artifact cache.
+
+Serving floorplans to heavy duplicate traffic means most requests are
+cache hits; a wrong or stale hit is worse than a miss, so the cache is
+built distrustful:
+
+* **Writes are atomic** — every entry goes through the shared
+  ``write-tmp → fsync → rename`` helper (:mod:`repro.resilience.atomic`),
+  so a crash mid-write never leaves a torn file under a valid key.
+* **Every entry carries its own checksum** — a SHA-256 over the
+  payload's canonical JSON, verified on every read.  Truncated, bit-
+  flipped, mis-keyed or otherwise mangled entries are detected, counted
+  (``service.cache_corrupt``), **quarantined** to a sidecar directory
+  (never deleted — post-mortems want the evidence) and reported as a
+  miss so the job recomputes.
+* **Hits are re-certified** — before a cached ``flow_result`` is served,
+  :func:`repro.verify.certify_artifact` re-derives its claims from the
+  stored floorplans; an artifact that no longer certifies is quarantined
+  and recomputed, never returned.
+
+The ``service_cache_corrupt`` fault point corrupts entries at *write*
+time so tests and CI can prove the read-side defences actually fire.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import json
+
+from repro.errors import ReproError
+from repro.obs import counter, event, get_logger
+from repro.resilience.atomic import atomic_write_bytes
+from repro.resilience.faults import should_inject
+from repro.service.request import canonical_json, content_hash
+
+_log = get_logger("service.cache")
+
+#: Envelope schema version.
+CACHE_SCHEMA = 1
+
+#: Envelope document kind.
+CACHE_KIND = "service_artifact"
+
+
+class ArtifactCache:
+    """Persistent map from cache key to certified ``flow_result`` payload.
+
+    Layout::
+
+        <root>/objects/<key[:2]>/<key>.json   # envelope {key, sha256, payload}
+        <root>/quarantine/<key>.<n>.json      # corrupted/uncertifiable entries
+    """
+
+    def __init__(self, root: str | os.PathLike, certify: bool = True) -> None:
+        self.root = pathlib.Path(root)
+        self.objects = self.root / "objects"
+        self.quarantine_dir = self.root / "quarantine"
+        self.certify = certify
+
+    # -- paths ----------------------------------------------------------------
+    def path_of(self, key: str) -> pathlib.Path:
+        return self.objects / key[:2] / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_of(key).exists()
+
+    def __len__(self) -> int:
+        if not self.objects.exists():
+            return 0
+        return sum(1 for _ in self.objects.glob("*/*.json"))
+
+    # -- writes ---------------------------------------------------------------
+    def put(self, key: str, payload: dict) -> pathlib.Path:
+        """Durably store ``payload`` under ``key`` (atomic replace).
+
+        The envelope embeds a checksum of the payload's canonical JSON;
+        the ``service_cache_corrupt`` fault point mangles the bytes on
+        their way to disk — the write itself still "succeeds", exactly
+        like real silent corruption, and the damage is caught on read.
+        """
+        envelope = {
+            "schema": CACHE_SCHEMA,
+            "kind": CACHE_KIND,
+            "key": key,
+            "sha256": content_hash(payload),
+            "payload": payload,
+        }
+        data = (canonical_json(envelope) + "\n").encode("utf-8")
+        if should_inject("service_cache_corrupt"):
+            # Truncate mid-payload: a plausible torn/bit-rotted artifact
+            # that still exists under the right name.
+            data = data[: max(1, len(data) // 2)]
+        path = self.path_of(key)
+        atomic_write_bytes(path, data)
+        counter("service.cache_writes").inc()
+        return path
+
+    # -- reads ----------------------------------------------------------------
+    def fetch(self, key: str) -> dict | None:
+        """The certified payload stored under ``key``, or ``None``.
+
+        Every failure mode — missing file, unparseable JSON, wrong
+        envelope shape, key mismatch, checksum mismatch, failed
+        re-certification — is a miss; the damaged entry (when one
+        exists) is quarantined first so it cannot be served next time
+        either.  This function never raises and never returns a payload
+        that failed a check.
+        """
+        path = self.path_of(key)
+        if not path.exists():
+            counter("service.cache_misses").inc()
+            return None
+        payload = self._read_checked(path, key)
+        if payload is None:
+            counter("service.cache_misses").inc()
+            return None
+        if self.certify and not self._certifies(path, key, payload):
+            counter("service.cache_misses").inc()
+            return None
+        counter("service.cache_hits").inc()
+        return payload
+
+    def _read_checked(self, path: pathlib.Path, key: str) -> dict | None:
+        """Parse + integrity-check one entry; quarantine on any failure."""
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            # UnicodeDecodeError is what a bit flip that sets a high bit
+            # looks like: the file exists but is not text any more.
+            self._quarantine(path, key, f"unreadable: {exc}")
+            return None
+        try:
+            envelope = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            self._quarantine(path, key, f"not valid JSON: {exc}")
+            return None
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("kind") != CACHE_KIND
+            or not isinstance(envelope.get("payload"), dict)
+        ):
+            self._quarantine(path, key, "not a service_artifact envelope")
+            return None
+        if envelope.get("schema") != CACHE_SCHEMA:
+            # Also what a bit flip inside the schema field looks like —
+            # every envelope byte is either checked or checksummed.
+            self._quarantine(
+                path, key,
+                f"unsupported cache schema {envelope.get('schema')!r}",
+            )
+            return None
+        if envelope.get("key") != key:
+            self._quarantine(
+                path, key, f"key mismatch (stored {envelope.get('key')!r})"
+            )
+            return None
+        payload = envelope["payload"]
+        digest = content_hash(payload)
+        if envelope.get("sha256") != digest:
+            self._quarantine(
+                path, key,
+                f"checksum mismatch (stored {envelope.get('sha256')!r}, "
+                f"payload hashes to {digest!r})",
+            )
+            return None
+        return payload
+
+    def _certifies(self, path: pathlib.Path, key: str, payload: dict) -> bool:
+        """Independently re-certify a hit before it is served."""
+        from repro.verify import certify_artifact
+
+        try:
+            report = certify_artifact(payload)
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            # An artifact the certifier cannot even parse is corrupt by
+            # definition — quarantine it, never crash the fetch.
+            report = {"ok": False, "certificate": {
+                "violations": [{"detail": f"{type(exc).__name__}: {exc}"}],
+            }}
+        if report["ok"]:
+            counter("service.cache_certified").inc()
+            return True
+        counter("service.cache_certify_failures").inc()
+        violations = report.get("certificate", {}).get("violations", [])
+        self._quarantine(
+            path, key,
+            f"certification failed ({len(violations)} violation(s))",
+        )
+        return False
+
+    # -- quarantine -----------------------------------------------------------
+    def _quarantine(self, path: pathlib.Path, key: str, reason: str) -> None:
+        """Move a bad entry to the sidecar directory (atomic rename)."""
+        counter("service.cache_corrupt").inc()
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        for attempt in range(10_000):
+            destination = self.quarantine_dir / f"{key}.{attempt}.json"
+            if not destination.exists():
+                break
+        try:
+            os.replace(path, destination)
+        except OSError:  # pragma: no cover - raced with another process
+            destination = None
+        event(
+            "service.cache_quarantined",
+            key=key,
+            reason=reason,
+            quarantined_to=str(destination),
+        )
+        _log.warning(
+            "cache entry %s quarantined (%s) -> %s", key[:12], reason,
+            destination,
+        )
+
+    def quarantined(self) -> list[pathlib.Path]:
+        """Quarantined entries, oldest first (post-mortem helper)."""
+        if not self.quarantine_dir.exists():
+            return []
+        return sorted(self.quarantine_dir.glob("*.json"))
+
+    # -- reporting ------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "entries": len(self),
+            "quarantined": len(self.quarantined()),
+            "root": str(self.root),
+        }

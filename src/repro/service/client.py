@@ -1,0 +1,140 @@
+"""Synchronous stdlib client for a running floorplanning service.
+
+Built on :mod:`http.client` only, so examples, tests and the CI soak
+driver can hammer the service without any extra dependency.  The client
+implements the polite half of the admission contract: on a ``503`` shed
+it honours the server's ``Retry-After`` hint (with jitter-free
+exponential escalation) instead of hot-looping.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import pathlib
+import time
+
+from repro.errors import AdmissionError, ServiceError
+
+
+def read_endpoint(state_dir: str | pathlib.Path) -> tuple[str, int]:
+    """Discover ``(host, port)`` from a service's ``endpoint.json``."""
+    path = pathlib.Path(state_dir) / "endpoint.json"
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+        return document["host"], int(document["port"])
+    except (OSError, ValueError, KeyError) as exc:
+        raise ServiceError(
+            f"no service endpoint at {path} ({exc}); is the service running?"
+        ) from exc
+
+
+class ServiceClient:
+    """One service endpoint, tiny JSON-over-HTTP verbs."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8787,
+        timeout_s: float = 630.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    @classmethod
+    def from_state_dir(cls, state_dir: str | pathlib.Path, **kwargs):
+        host, port = read_endpoint(state_dir)
+        return cls(host, port, **kwargs)
+
+    # -- transport ------------------------------------------------------------
+    def request(
+        self, method: str, path: str, document: dict | None = None
+    ) -> tuple[int, dict, dict]:
+        """One HTTP exchange; returns ``(status, body, headers)``."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            body = None
+            headers = {}
+            if document is not None:
+                body = json.dumps(document).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            payload = json.loads(response.read().decode("utf-8") or "{}")
+            return response.status, payload, dict(response.getheaders())
+        except (ConnectionError, OSError, json.JSONDecodeError) as exc:
+            raise ServiceError(
+                f"service at {self.host}:{self.port} unreachable: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+
+    # -- probes ---------------------------------------------------------------
+    def health(self) -> dict:
+        return self.request("GET", "/healthz")[1]
+
+    def ready(self) -> bool:
+        status, _, _ = self.request("GET", "/readyz")
+        return status == 200
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/metricsz")[1]
+
+    # -- jobs -----------------------------------------------------------------
+    def submit(self, request: dict, wait: bool = False) -> dict:
+        """Submit one floorplan request; raise typed errors on rejection.
+
+        With ``wait=True`` the call blocks server-side until the job is
+        terminal and the returned view includes the result document.
+        """
+        path = "/v1/floorplan" + ("?wait=1" if wait else "")
+        status, body, headers = self.request("POST", path, request)
+        if status == 503:
+            raise AdmissionError(
+                body.get("reason", "unavailable"),
+                float(body.get("retry_after_s")
+                      or headers.get("Retry-After", 1.0)),
+            )
+        if status not in (200, 202):
+            raise ServiceError(
+                f"submit failed ({status}): {body.get('error', body)}"
+            )
+        return body
+
+    def submit_retry(
+        self, request: dict, wait: bool = False,
+        attempts: int = 20, max_sleep_s: float = 10.0,
+    ) -> dict:
+        """Submit, honouring shed responses' retry hints."""
+        last: AdmissionError | None = None
+        for _ in range(attempts):
+            try:
+                return self.submit(request, wait=wait)
+            except AdmissionError as exc:
+                last = exc
+                time.sleep(min(max_sleep_s, max(0.05, exc.retry_after_s)))
+        raise last if last is not None else ServiceError("submit never ran")
+
+    def job(self, job_id: str, include_result: bool = False) -> dict:
+        path = f"/v1/jobs/{job_id}" + ("?result=1" if include_result else "")
+        status, body, _ = self.request("GET", path)
+        if status == 404:
+            raise ServiceError(body.get("error", f"unknown job {job_id!r}"))
+        return body
+
+    def wait_job(
+        self, job_id: str, timeout_s: float = 600.0, poll_s: float = 0.2
+    ) -> dict:
+        """Poll until the job is terminal; returns the final view."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            view = self.job(job_id, include_result=True)
+            if view["status"] in ("done", "failed", "quarantined"):
+                return view
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {view['status']} after "
+                    f"{timeout_s:.0f}s"
+                )
+            time.sleep(poll_s)

@@ -1,0 +1,158 @@
+"""Service jobs and their crash-safe journal.
+
+Every accepted request becomes a :class:`Job` journaled to
+``<state>/jobs.jsonl`` *before* the client sees an acknowledgement, via
+the same fsynced, flock-serialised :class:`~repro.resilience.SweepCheckpoint`
+machinery the experiment sweeps trust.  The journal is the service's
+exactly-once backbone:
+
+* ``accepted`` — the request (full document) is durable; a service killed
+  at any later point will find it on restart and finish the work;
+* ``ok`` — the job completed; the record carries the artifact's cache key
+  and the result summary, never the full payload (that lives in the
+  artifact cache, checksummed separately);
+* ``failed`` / ``quarantined`` — terminal, typed; a restart does *not*
+  retry them (clients were already told).
+
+The latest record per job wins, so "pending at last crash" is simply
+"latest record is ``accepted``" — :meth:`JobStore.pending` is the whole
+restart-recovery story.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import secrets
+from dataclasses import dataclass, field
+
+from repro.resilience.checkpoint import SweepCheckpoint
+from repro.service.request import FloorplanRequest
+
+#: Job lifecycle states (in-memory; the journal uses accepted/ok/...).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+QUARANTINED = "quarantined"
+
+#: States a job never leaves.
+TERMINAL_STATES = (DONE, FAILED, QUARANTINED)
+
+_counter = itertools.count(1)
+
+
+def new_job_id() -> str:
+    """Unique, sortable-enough job id (``job-<n>-<entropy>``)."""
+    return f"job-{next(_counter)}-{secrets.token_hex(4)}"
+
+
+@dataclass
+class Job:
+    """One admitted floorplan request and everything that happened to it."""
+
+    job_id: str
+    request: FloorplanRequest
+    status: str = QUEUED
+    attempts: int = 0
+    error: str | None = None
+    #: Cache key of the produced artifact (set on completion).
+    result_key: str | None = None
+    #: Result summary (MTTF/CPD/degradation) — small, always kept.
+    summary: dict | None = None
+    #: Full flow_result document; held in memory for the job's lifetime
+    #: so the submitting client can read it without a cache round-trip.
+    document: dict | None = None
+    cache_hit: bool = False
+    #: True when this job piggybacked on an identical in-flight job.
+    coalesced: bool = False
+    wall_s: float = 0.0
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    def to_dict(self, include_document: bool = False) -> dict:
+        """JSON-ready public view (HTTP responses, CLI tables)."""
+        data = {
+            "job_id": self.job_id,
+            "status": self.status,
+            "tenant": self.request.tenant,
+            "key": self.request.cache_key(),
+            "attempts": self.attempts,
+            "error": self.error,
+            "cache_hit": self.cache_hit,
+            "coalesced": self.coalesced,
+            "wall_s": self.wall_s,
+            "summary": self.summary,
+        }
+        if include_document:
+            data["document"] = self.document
+        return data
+
+
+class JobStore:
+    """The journal-backed durable view of the job table."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.journal = SweepCheckpoint(path)
+
+    # -- writes (each fsynced before returning) -------------------------------
+    def record_accepted(self, job: Job) -> None:
+        self.journal.append({
+            "entry": job.job_id,
+            "status": "accepted",
+            "tenant": job.request.tenant,
+            "key": job.request.cache_key(),
+            "request": job.request.to_dict(),
+        })
+
+    def record_done(self, job: Job) -> None:
+        self.journal.append({
+            "entry": job.job_id,
+            "status": "ok",
+            "key": job.result_key,
+            "cache_hit": job.cache_hit,
+            "coalesced": job.coalesced,
+            "attempts": job.attempts,
+            "summary": job.summary,
+        })
+
+    def record_failed(self, job: Job, quarantined: bool = False) -> None:
+        self.journal.append({
+            "entry": job.job_id,
+            "status": "quarantined" if quarantined else "failed",
+            "attempts": job.attempts,
+            "error": job.error,
+        })
+
+    # -- restart recovery -----------------------------------------------------
+    def pending(self) -> list[Job]:
+        """Jobs whose latest record is ``accepted`` — the restart worklist.
+
+        Reconstructed in journal order so a resumed service processes
+        survivors in their original acceptance order.
+        """
+        latest = self.journal.latest()
+        order: list[str] = []
+        for record in self.journal.records():
+            job_id = record["entry"]
+            if job_id not in order:
+                order.append(job_id)
+        jobs = []
+        for job_id in order:
+            record = latest[job_id]
+            if record.get("status") != "accepted":
+                continue
+            jobs.append(Job(
+                job_id=job_id,
+                request=FloorplanRequest.from_dict(record["request"]),
+            ))
+        return jobs
+
+    def statuses(self) -> dict[str, str]:
+        """Latest journal status per job id (post-mortems, tests)."""
+        return {
+            job_id: record.get("status", "?")
+            for job_id, record in self.journal.latest().items()
+        }

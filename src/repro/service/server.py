@@ -1,0 +1,262 @@
+"""Minimal stdlib HTTP/1.1 front end for :class:`FloorplanService`.
+
+One asyncio server, no framework: requests are small JSON documents, the
+hard problems (admission, durability, crash isolation) live in the
+service core, and a dependency-free server keeps the robustness story
+auditable end to end.  Protocol surface:
+
+* ``POST /v1/floorplan``  — submit a request document
+  (:class:`~repro.service.request.FloorplanRequest` fields).  Returns
+  ``202`` with the job view; ``?wait=1`` blocks until the job is
+  terminal and returns ``200`` with the result document inline.
+  Shedding returns ``503`` with a ``Retry-After`` header; malformed
+  requests return ``400`` with a typed error.
+* ``GET /v1/jobs/<id>``   — job status; ``?result=1`` includes the full
+  artifact once the job is done.
+* ``GET /healthz``        — liveness (always ``200`` while the process
+  serves).
+* ``GET /readyz``         — readiness: ``200`` while accepting,
+  ``503`` once draining.
+* ``GET /metricsz``       — ``repro.obs`` metrics snapshot plus service
+  stats (queue depth, cache hit-rate, shed/retry/quarantine counts).
+
+Clients that stall mid-request (``service_slow_client`` fault, or a real
+stalled socket) are timed out and answered ``408`` instead of pinning a
+connection handler forever.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.parse
+
+from repro.errors import AdmissionError, ServiceError
+from repro.obs import counter, event, get_logger, registry
+from repro.resilience.atomic import atomic_write_json
+from repro.resilience.faults import should_inject
+from repro.service.service import FloorplanService
+
+_log = get_logger("service.http")
+
+#: Largest request head+body the server will read.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Cap on ``?wait=1`` blocking time; slower jobs fall back to polling.
+MAX_WAIT_S = 600.0
+
+
+class _HttpError(Exception):
+    """Internal: carry (status, document, headers) up to the writer."""
+
+    def __init__(self, status: int, document: dict, headers: dict | None = None):
+        super().__init__(document.get("error", ""))
+        self.status = status
+        self.document = document
+        self.headers = headers or {}
+
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ServiceServer:
+    """Asyncio HTTP listener bound to one :class:`FloorplanService`."""
+
+    def __init__(
+        self,
+        service: FloorplanService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        read_timeout_s: float = 10.0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.read_timeout_s = read_timeout_s
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener (``port=0`` picks an ephemeral port) and
+        publish ``<state>/endpoint.json`` for discovery."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.write_endpoint_file()
+        _log.info("service listening on http://%s:%d", self.host, self.port)
+
+    def write_endpoint_file(self) -> None:
+        import os
+
+        atomic_write_json(
+            self.endpoint_path(),
+            {"host": self.host, "port": self.port, "pid": os.getpid()},
+        )
+
+    def endpoint_path(self):
+        import pathlib
+
+        return pathlib.Path(self.service.config.state_dir) / "endpoint.json"
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling ---------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, query, body = await self._read_request(reader)
+            except asyncio.TimeoutError:
+                counter("service.slow_clients").inc()
+                event("service.slow_client")
+                await self._respond(writer, 408, {
+                    "error": "request not received in time", "type": "SlowClient",
+                })
+                return
+            try:
+                status, document, headers = await self._dispatch(
+                    method, path, query, body
+                )
+            except _HttpError as exc:
+                status, document, headers = exc.status, exc.document, exc.headers
+            except AdmissionError as exc:
+                status = 503
+                document = {
+                    "error": str(exc), "type": "AdmissionError",
+                    "reason": exc.reason, "retry_after_s": exc.retry_after_s,
+                }
+                headers = {"Retry-After": f"{max(1, round(exc.retry_after_s))}"}
+            except ServiceError as exc:
+                status, headers = 400, {}
+                document = {"error": str(exc), "type": type(exc).__name__}
+            except Exception as exc:  # noqa: BLE001 - keep the server alive
+                _log.exception("unhandled error serving %s %s", method, path)
+                status, headers = 500, {}
+                document = {"error": str(exc), "type": type(exc).__name__}
+            await self._respond(writer, status, document, headers)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        if should_inject("service_slow_client"):
+            # Simulate a client that stalls mid-request past the read
+            # budget — same handling as a genuinely wedged socket.
+            raise asyncio.TimeoutError
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=self.read_timeout_s
+        )
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _HttpError(400, {"error": "malformed request line"})
+        method, target, _version = parts
+        headers = {}
+        for line in header_lines:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, {"error": "request body too large"})
+        body = b""
+        if length:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=self.read_timeout_s
+            )
+        parsed = urllib.parse.urlsplit(target)
+        query = dict(urllib.parse.parse_qsl(parsed.query))
+        return method.upper(), parsed.path, query, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        document: dict,
+        headers: dict | None = None,
+    ) -> None:
+        payload = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(payload)}",
+            "Connection: close",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        writer.write(payload)
+        await writer.drain()
+        counter("service.http_responses").inc()
+        counter(f"service.http_responses.{status}").inc()
+
+    # -- routing ---------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, path: str, query: dict, body: bytes
+    ) -> tuple[int, dict, dict]:
+        if path == "/healthz" and method == "GET":
+            return 200, {"ok": True}, {}
+        if path == "/readyz" and method == "GET":
+            ready = not self.service.admission.draining
+            return (200 if ready else 503), {
+                "ready": ready,
+                "draining": self.service.admission.draining,
+            }, {}
+        if path == "/metricsz" and method == "GET":
+            return 200, {
+                "metrics": registry().snapshot(),
+                "service": self.service.stats(),
+            }, {}
+        if path == "/v1/floorplan":
+            if method != "POST":
+                raise _HttpError(405, {"error": "POST required"})
+            return await self._submit(query, body)
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                raise _HttpError(405, {"error": "GET required"})
+            return self._job_view(path.removeprefix("/v1/jobs/"), query)
+        raise _HttpError(404, {"error": f"no route {method} {path}"})
+
+    async def _submit(self, query: dict, body: bytes) -> tuple[int, dict, dict]:
+        try:
+            document = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(
+                400, {"error": f"request body is not JSON: {exc}"}
+            ) from exc
+        if not isinstance(document, dict):
+            raise _HttpError(400, {"error": "request body must be an object"})
+        job = await self.service.submit(document)
+        if query.get("wait") in ("1", "true", "yes"):
+            try:
+                await self.service.wait(job.job_id, timeout=MAX_WAIT_S)
+            except asyncio.TimeoutError:
+                return 202, job.to_dict(), {}
+            return 200, job.to_dict(include_document=True), {}
+        status = 200 if job.terminal else 202
+        return status, job.to_dict(include_document=job.terminal), {}
+
+    def _job_view(self, job_id: str, query: dict) -> tuple[int, dict, dict]:
+        try:
+            job = self.service.job(job_id)
+        except ServiceError as exc:
+            raise _HttpError(404, {"error": str(exc)}) from exc
+        include = query.get("result") in ("1", "true", "yes") and job.terminal
+        return 200, job.to_dict(include_document=include), {}

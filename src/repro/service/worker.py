@@ -1,0 +1,175 @@
+"""The service's job-execution body (runs inside forked worker processes).
+
+:func:`execute_request` is deliberately the same pipeline as the one-shot
+CLI (``repro flow`` for kernel requests, ``repro remap``'s configuration
+for pre-mapped designs): same HLS schedule capacity, same
+:class:`~repro.core.flow.FlowConfig`, same certification default.  The
+service's contract — a served artifact is bit-identical to the one-shot
+CLI's — holds *because* this module shares that code path rather than
+approximating it.
+
+The parent decides fault injection at dispatch time (forked workers each
+restart hit counters from zero, so a worker-side ``should_inject`` would
+make ``service_worker_crash@N`` nondeterministic); the verdict rides in
+as the ``inject`` flag, exactly like the sweep supervisor's workers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.errors import ReproError
+from repro.obs import CollectorSink, attached, clear_sinks, span
+from repro.service.request import FloorplanRequest
+
+#: Exit code of a fault-injected worker crash (mirrors the sweep
+#: supervisor's recognisable hard-death code).
+CRASH_EXIT_CODE = 86
+
+
+def die_with_parent() -> None:
+    """Pool initializer: tie the worker's lifetime to the service's.
+
+    A SIGTERM drain kills pools explicitly, but SIGKILL can't be caught —
+    without this, workers forked before a ``kill -9`` would outlive the
+    dead service as idle orphans.  On Linux, ``PR_SET_PDEATHSIG`` makes
+    the kernel deliver SIGKILL to the worker when the parent dies; the
+    ``getppid`` check closes the race where the parent died between the
+    fork and the prctl (the worker is already reparented, so the death
+    signal would never arrive).
+    """
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL("libc.so.6", use_errno=True)
+        PR_SET_PDEATHSIG = 1
+        libc.prctl(PR_SET_PDEATHSIG, 9)  # SIGKILL
+        if os.getppid() == 1:
+            os._exit(CRASH_EXIT_CODE)
+    except Exception:  # pragma: no cover - non-Linux platforms
+        pass
+
+
+def materialize(request: FloorplanRequest):
+    """Build the ``(design, fabric)`` pair a request describes.
+
+    Kernel/source requests replicate ``repro flow``: compile the mini-C,
+    schedule with ``capacity=fabric.num_pes``, technology-map.  Design
+    requests decode the mapped-design document directly.
+    """
+    from repro.arch.fabric import Fabric
+    from repro.benchgen.sources import KERNELS, kernel_source
+    from repro.hls.allocate import tech_map
+    from repro.hls.lower import compile_source
+    from repro.hls.schedule import schedule_dfg
+    from repro.io.serialize import design_from_dict
+
+    rows, cols = (int(part) for part in request.fabric.lower().split("x"))
+    fabric = Fabric(rows, cols)
+    if request.design is not None:
+        return design_from_dict(request.design), fabric
+    source = request.source
+    name = request.kernel
+    if source is None:
+        if name not in KERNELS:
+            raise ReproError(
+                f"unknown library kernel {name!r} (known: {sorted(KERNELS)})"
+            )
+        source = kernel_source(name)
+    dfg = compile_source(source, name)
+    design = tech_map(schedule_dfg(dfg, capacity=fabric.num_pes))
+    return design, fabric
+
+
+def run_request(request: FloorplanRequest) -> dict:
+    """Synchronously run one request to a ``flow_result`` document.
+
+    This *is* the one-shot CLI pipeline; tests compare service-served
+    artifacts against this function's output for bit-identity.
+    """
+    from repro.core.algorithm1 import Algorithm1Config
+    from repro.core.flow import AgingAwareFlow, FlowConfig
+    from repro.core.remap import RemapConfig
+    from repro.io.serialize import flow_summary_to_dict
+    from repro.resilience.deadline import Deadline
+
+    design, fabric = materialize(request)
+    config = FlowConfig(
+        algorithm1=Algorithm1Config(
+            mode=request.mode,
+            remap=RemapConfig(time_limit_s=request.time_limit_s),
+        )
+    )
+    deadline = (
+        Deadline.after(request.deadline_s)
+        if request.deadline_s is not None
+        else None
+    )
+    result = AgingAwareFlow(config).run(design, fabric, deadline=deadline)
+    return flow_summary_to_dict(result)
+
+
+#: Wall-clock measurement fields — the only nondeterminism in a
+#: ``flow_result``; everything else (MTTF, CPD, floorplans, per-context
+#: mappings) is bit-stable across runs.
+VOLATILE_FIELDS = frozenset({
+    "elapsed_s", "wall_s", "solve_s", "ilp_s", "lp_s", "t_s",
+    "duration_s", "total_s",
+})
+
+
+def comparable_view(document):
+    """``document`` with wall-clock fields removed, recursively.
+
+    Two runs of the same request agree on this view exactly; it is the
+    service's bit-identity contract (tests compare served artifacts
+    against one-shot runs through it).
+    """
+    if isinstance(document, dict):
+        return {
+            key: comparable_view(value)
+            for key, value in document.items()
+            if key not in VOLATILE_FIELDS
+        }
+    if isinstance(document, list):
+        return [comparable_view(item) for item in document]
+    return document
+
+
+def execute_request(request_dict: dict, inject: str | None = None) -> dict:
+    """Process-pool body of one service job.
+
+    Runs in a forked worker: inherited sinks are dropped (their file
+    handles belong to the parent), spans/events are captured by a local
+    collector and shipped back as picklable records.  Returns
+    ``{"ok", "document" | "error", "trace_records", "wall_s"}`` — a
+    :class:`ReproError` comes back as a typed error payload, anything
+    else propagates (and surfaces parent-side as a job failure).
+    """
+    if inject == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    if inject == "hang":  # pragma: no cover - exercised via kill paths
+        time.sleep(3600.0)
+    clear_sinks()
+    collector = CollectorSink()
+    request = FloorplanRequest.from_dict(request_dict)
+    start = time.perf_counter()
+    with attached(collector):
+        with span("service_job", key=request.cache_key()[:12]):
+            try:
+                document = run_request(request)
+            except ReproError as exc:
+                return {
+                    "ok": False,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "error_type": type(exc).__name__,
+                    "trace_records": collector.records,
+                    "wall_s": time.perf_counter() - start,
+                }
+    return {
+        "ok": True,
+        "document": document,
+        "trace_records": collector.records,
+        "wall_s": time.perf_counter() - start,
+    }

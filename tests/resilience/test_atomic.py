@@ -1,0 +1,76 @@
+"""The shared atomic write helper: durability, formatting, scratch hygiene."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.io.serialize import save_json
+from repro.resilience import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
+
+
+class TestAtomicWrite:
+    def test_bytes_round_trip(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        atomic_write_bytes(path, b"\x00\x01payload")
+        assert path.read_bytes() == b"\x00\x01payload"
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "c.txt"
+        atomic_write_text(path, "deep")
+        assert path.read_text() == "deep"
+
+    def test_replace_is_all_or_nothing(self, tmp_path):
+        path = tmp_path / "doc.json"
+        atomic_write_text(path, "old content")
+        atomic_write_text(path, "new content")
+        assert path.read_text() == "new content"
+
+    def test_no_scratch_litter_after_success(self, tmp_path):
+        atomic_write_text(tmp_path / "x.txt", "hello")
+        assert [p.name for p in tmp_path.iterdir()] == ["x.txt"]
+
+    def test_no_scratch_litter_after_failure(self, tmp_path):
+        class Exploding:
+            """json can't serialize this; the write must fail cleanly."""
+
+        with pytest.raises(TypeError):
+            atomic_write_json(tmp_path / "x.json", {"bad": Exploding()})
+        # Destination untouched, scratch removed.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_failure_preserves_previous_content(self, tmp_path):
+        path = tmp_path / "x.json"
+        atomic_write_json(path, {"ok": 1})
+
+        class Exploding:
+            pass
+
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": Exploding()})
+        assert json.loads(path.read_text()) == {"ok": 1}
+
+    def test_json_matches_save_json_bytes(self, tmp_path):
+        """Both durable-JSON paths must produce identical bytes."""
+        document = {"b": [1, 2], "a": {"nested": True}, "pi": 3.125}
+        save_json(document, tmp_path / "via_save.json")
+        atomic_write_json(tmp_path / "via_atomic.json", document)
+        assert (
+            (tmp_path / "via_save.json").read_bytes()
+            == (tmp_path / "via_atomic.json").read_bytes()
+        )
+
+    def test_concurrent_writers_leave_one_complete_version(self, tmp_path):
+        # Same-PID sequential writers share a scratch name; distinct
+        # content per write must still land whole.
+        path = tmp_path / "contested.json"
+        for n in range(20):
+            atomic_write_json(path, {"version": n, "pad": "x" * 256})
+        assert json.loads(path.read_text())["version"] == 19
+        assert os.listdir(tmp_path) == ["contested.json"]

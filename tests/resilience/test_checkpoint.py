@@ -121,6 +121,66 @@ class TestSweepCheckpoint:
         assert cp.latest()["B1"]["freeze_increase"] == value
 
 
+class TestConcurrentAppend:
+    """The flock guarantee: whole lines, never interleaved fragments."""
+
+    @staticmethod
+    def _hammer(path, writer: int, count: int) -> None:
+        cp = SweepCheckpoint(path)
+        for n in range(count):
+            cp.append({
+                "entry": f"w{writer}-{n}", "status": "ok",
+                # Bulk makes a torn interleave overwhelmingly likely
+                # if the lock were not held across the whole write.
+                "pad": f"{writer}:{n}:" + "x" * 512,
+            })
+
+    def test_parallel_processes_never_tear_lines(self, tmp_path):
+        import multiprocessing
+
+        path = tmp_path / "contested.jsonl"
+        writers, per_writer = 4, 25
+        context = multiprocessing.get_context("fork")
+        processes = [
+            context.Process(target=self._hammer, args=(path, w, per_writer))
+            for w in range(writers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        # Strict parse: no torn-tail tolerance — every line must be whole.
+        records = list(
+            SweepCheckpoint(path).records(tolerate_torn_tail=False)
+        )
+        assert len(records) == writers * per_writer
+        names = {record["entry"] for record in records}
+        assert names == {
+            f"w{w}-{n}" for w in range(writers) for n in range(per_writer)
+        }
+
+    def test_append_holds_and_releases_lock(self, tmp_path):
+        fcntl = pytest.importorskip("fcntl")
+        path = tmp_path / "cp.jsonl"
+        cp = SweepCheckpoint(path)
+        cp.append({"entry": "B1", "status": "ok"})
+        # After append returns, the journal must be immediately lockable
+        # by someone else (no leaked LOCK_EX).
+        with open(path, "a") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def test_reset_is_atomic_and_lockfree_readers_see_empty(self, tmp_path):
+        cp = SweepCheckpoint(tmp_path / "cp.jsonl")
+        cp.append({"entry": "B1", "status": "ok"})
+        cp.reset()
+        assert cp.exists()
+        assert list(cp.records()) == []
+        # The atomic replace leaves no scratch files next to the journal.
+        assert [p.name for p in tmp_path.iterdir()] == ["cp.jsonl"]
+
+
 def _stub_measurement(entry, seed: int) -> BenchmarkMeasurement:
     """Deterministic fake measurement: value encodes (entry, seed)."""
     base = float(sum(ord(c) for c in entry.name))

@@ -66,6 +66,9 @@ class TestPlanParsing:
             "lane_crash",
             "lane_hang",
             "lane_wrong_answer",
+            "service_worker_crash",
+            "service_cache_corrupt",
+            "service_slow_client",
         )
 
 

@@ -1,0 +1,89 @@
+"""Admission control: bounded queue, tenant quotas, shed hints, drain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.service import AdmissionConfig, AdmissionController
+
+
+def controller(**overrides):
+    return AdmissionController(AdmissionConfig(**overrides))
+
+
+class TestQueueBounds:
+    def test_admits_until_full_then_sheds(self):
+        ctrl = controller(max_queue=3, tenant_queue=3)
+        for _ in range(3):
+            ctrl.admit("a")
+        with pytest.raises(AdmissionError) as info:
+            ctrl.admit("a")
+        assert info.value.reason == "queue_full"
+        assert info.value.retry_after_s > 0
+
+    def test_finish_frees_capacity(self):
+        ctrl = controller(max_queue=1)
+        ctrl.admit("a")
+        with pytest.raises(AdmissionError):
+            ctrl.admit("a")
+        ctrl.finish("a")
+        ctrl.admit("a")
+
+    def test_tenant_cap_isolates_noisy_neighbour(self):
+        ctrl = controller(max_queue=10, tenant_queue=2)
+        ctrl.admit("noisy")
+        ctrl.admit("noisy")
+        with pytest.raises(AdmissionError) as info:
+            ctrl.admit("noisy")
+        assert info.value.reason == "tenant_queue_full"
+        # Other tenants keep being admitted.
+        ctrl.admit("quiet")
+
+    def test_draining_sheds_everything(self):
+        ctrl = controller()
+        ctrl.draining = True
+        with pytest.raises(AdmissionError) as info:
+            ctrl.admit("a")
+        assert info.value.reason == "draining"
+
+
+class TestRetryHint:
+    def test_grows_with_backlog(self):
+        ctrl = controller(max_queue=10, tenant_queue=10, retry_after_s=1.0)
+        empty_hint = ctrl.retry_hint()
+        for _ in range(10):
+            ctrl.admit("a")
+        assert ctrl.retry_hint() > empty_hint
+        assert empty_hint >= 1.0
+
+    def test_error_carries_hint(self):
+        ctrl = controller(max_queue=0)
+        with pytest.raises(AdmissionError) as info:
+            ctrl.admit("a")
+        assert "retry after" in str(info.value)
+
+
+class TestConcurrencyQuota:
+    def test_acquire_bounded_per_tenant(self):
+        ctrl = controller(tenant_concurrency=2)
+        assert ctrl.acquire("a")
+        assert ctrl.acquire("a")
+        assert not ctrl.acquire("a")
+        assert ctrl.acquire("b"), "quota is per tenant, not global"
+
+    def test_release_restores_slot(self):
+        ctrl = controller(tenant_concurrency=1)
+        assert ctrl.acquire("a")
+        ctrl.release("a")
+        assert ctrl.acquire("a")
+
+    def test_stats_shape(self):
+        ctrl = controller()
+        ctrl.admit("a")
+        ctrl.acquire("a")
+        stats = ctrl.stats()
+        assert stats["depth"] == 1
+        assert stats["running"] == 1
+        assert stats["per_tenant"] == {"a": 1}
+        assert stats["draining"] is False

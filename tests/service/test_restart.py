@@ -1,0 +1,206 @@
+"""Kill-and-restart: exactly-once completion across real process deaths.
+
+Satellite 4 of the service PR: a ``repro serve`` subprocess is killed
+mid-burst — gracefully (SIGTERM: drain within grace) and hard (SIGKILL:
+no goodbye at all) — then restarted on the same state directory.  Every
+accepted job must reach ``ok`` exactly once, and every artifact must be
+bit-identical to the one-shot pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import (
+    ArtifactCache,
+    FloorplanRequest,
+    JobStore,
+    ServiceClient,
+    comparable_view,
+)
+from repro.service.worker import run_request
+
+REQUESTS = [
+    {"kernel": "fir8", "fabric": "4x4", "time_limit_s": 5.0},
+    {"kernel": "checksum", "fabric": "4x4", "time_limit_s": 5.0},
+    {"kernel": "fir8", "fabric": "4x4", "time_limit_s": 5.0},
+    {"kernel": "checksum", "fabric": "4x4", "time_limit_s": 5.0},
+    {"kernel": "fir8", "fabric": "4x4", "time_limit_s": 5.0,
+     "tenant": "team-b"},
+    {"kernel": "checksum", "fabric": "4x4", "time_limit_s": 5.0,
+     "tenant": "team-b"},
+]
+
+
+def start_serve(state_dir: pathlib.Path, drain_grace: float) -> subprocess.Popen:
+    env = dict(os.environ)
+    root = pathlib.Path(__file__).resolve().parents[2]
+    env["PYTHONPATH"] = str(root / "src")
+    env.pop("REPRO_FAULTS", None)
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--state-dir", str(state_dir), "--port", "0",
+            "--concurrency", "2", "--drain-grace", str(drain_grace),
+        ],
+        env=env, cwd=str(root),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_for_endpoint(
+    state_dir: pathlib.Path, pid: int, timeout_s: float = 30.0
+) -> ServiceClient:
+    """Wait until *this* incarnation (matched by pid) is reachable."""
+    endpoint = state_dir / "endpoint.json"
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            document = json.loads(endpoint.read_text())
+            if document.get("pid") == pid:
+                client = ServiceClient(
+                    document["host"], document["port"], timeout_s=60
+                )
+                if client.health().get("ok"):
+                    return client
+        except Exception:
+            pass
+        time.sleep(0.1)
+    raise AssertionError(f"service pid={pid} never became reachable")
+
+
+def wait_until_journal_settled(
+    state_dir: pathlib.Path, job_ids: list[str], timeout_s: float = 120.0
+) -> dict[str, str]:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        statuses = JobStore(state_dir / "jobs.jsonl").statuses()
+        if all(statuses.get(job_id) == "ok" for job_id in job_ids):
+            return statuses
+        time.sleep(0.25)
+    raise AssertionError(
+        f"jobs never all completed; journal: "
+        f"{JobStore(state_dir / 'jobs.jsonl').statuses()}"
+    )
+
+
+def orphaned_workers(state_dir: pathlib.Path) -> list[int]:
+    """PIDs of reparented (ppid 1) processes serving *this* state dir.
+
+    Workers forked by a SIGKILLed service keep its cmdline; with the
+    ``die_with_parent`` pool initializer the kernel reaps them, so any
+    survivor is a leak.
+    """
+    needle = str(state_dir)
+    leaked = []
+    for entry in pathlib.Path("/proc").iterdir():
+        if not entry.name.isdigit() or int(entry.name) == os.getpid():
+            continue
+        try:
+            cmdline = (entry / "cmdline").read_bytes().replace(b"\0", b" ")
+            stat_fields = (entry / "stat").read_text().rsplit(") ", 1)[1]
+        except OSError:
+            continue
+        ppid = int(stat_fields.split()[1])
+        if needle.encode() in cmdline and ppid == 1:
+            leaked.append(int(entry.name))
+    return leaked
+
+
+def assert_exactly_once_and_bit_identical(state_dir: pathlib.Path) -> None:
+    store = JobStore(state_dir / "jobs.jsonl")
+    ok_counts: dict[str, int] = {}
+    accepted: dict[str, dict] = {}
+    for record in store.journal.records():
+        if record["status"] == "ok":
+            ok_counts[record["entry"]] = ok_counts.get(record["entry"], 0) + 1
+        elif record["status"] == "accepted":
+            accepted[record["entry"]] = record["request"]
+    assert accepted, "burst produced no accepted jobs"
+    assert ok_counts == {job_id: 1 for job_id in accepted}, (
+        "every accepted job must complete exactly once"
+    )
+    # Served artifacts == one-shot pipeline, for every unique request.
+    cache = ArtifactCache(state_dir / "cache", certify=False)
+    unique: dict[str, FloorplanRequest] = {}
+    for request_dict in accepted.values():
+        request = FloorplanRequest.from_dict(request_dict)
+        unique[request.cache_key()] = request
+    for key, request in unique.items():
+        served = cache.fetch(key)
+        assert served is not None, f"artifact {key[:12]} missing from cache"
+        assert comparable_view(served) == comparable_view(
+            run_request(request)
+        ), f"served artifact for {request.kernel} differs from one-shot run"
+
+
+@pytest.mark.slow
+class TestKillRestart:
+    def test_sigterm_drains_and_journals_everything(self, tmp_path):
+        state = tmp_path / "state"
+        proc = start_serve(state, drain_grace=90.0)
+        try:
+            client = wait_for_endpoint(state, proc.pid)
+            job_ids = [
+                client.submit(request)["job_id"] for request in REQUESTS
+            ]
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=120) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        # A generous grace: the drain finished every accepted job before
+        # exit — no restart needed.
+        statuses = JobStore(state / "jobs.jsonl").statuses()
+        assert all(statuses[job_id] == "ok" for job_id in job_ids)
+        assert_exactly_once_and_bit_identical(state)
+
+    def test_sigkill_then_restart_completes_exactly_once(self, tmp_path):
+        state = tmp_path / "state"
+        proc = start_serve(state, drain_grace=5.0)
+        job_ids = []
+        try:
+            client = wait_for_endpoint(state, proc.pid)
+            job_ids = [
+                client.submit(request)["job_id"] for request in REQUESTS
+            ]
+            proc.kill()  # SIGKILL: no drain, no goodbye
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        # PR_SET_PDEATHSIG reaps in-flight workers with the dead parent;
+        # give the kernel a beat, then require zero orphans.
+        if sys.platform.startswith("linux"):
+            deadline = time.monotonic() + 10.0
+            while orphaned_workers(state) and time.monotonic() < deadline:
+                time.sleep(0.2)
+            assert orphaned_workers(state) == [], (
+                "workers outlived the SIGKILLed service"
+            )
+        statuses = JobStore(state / "jobs.jsonl").statuses()
+        assert any(statuses.get(j) == "accepted" for j in job_ids) or all(
+            statuses.get(j) == "ok" for j in job_ids
+        )
+        # Restart on the same state: the journal is the worklist.
+        proc = start_serve(state, drain_grace=90.0)
+        try:
+            wait_for_endpoint(state, proc.pid)
+            wait_until_journal_settled(state, job_ids)
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=120) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert_exactly_once_and_bit_identical(state)

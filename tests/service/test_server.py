@@ -1,0 +1,151 @@
+"""The HTTP layer: routes, status codes, shed headers, slow clients."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import AdmissionError, ServiceError
+from repro.resilience.faults import fault_scope
+from repro.service import (
+    AdmissionConfig,
+    FloorplanService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceServer,
+    read_endpoint,
+)
+
+REQUEST = {"kernel": "fir8", "fabric": "4x4", "time_limit_s": 5.0}
+
+
+def run_with_server(tmp_path, body, **config_overrides):
+    """Start service + HTTP server, run ``body(client)`` in a thread."""
+    base = dict(
+        state_dir=tmp_path / "state",
+        concurrency=2,
+        retry_backoff_s=0.01,
+        attempt_timeout_s=120.0,
+    )
+    base.update(config_overrides)
+
+    async def main():
+        service = FloorplanService(ServiceConfig(**base))
+        await service.start()
+        server = ServiceServer(service, port=0)
+        await server.start()
+        client = ServiceClient("127.0.0.1", server.port, timeout_s=120)
+        try:
+            return await asyncio.to_thread(body, client, service)
+        finally:
+            await server.close()
+            await service.close()
+
+    return asyncio.run(main())
+
+
+class TestProbes:
+    def test_health_ready_metrics(self, tmp_path):
+        def body(client, service):
+            assert client.health() == {"ok": True}
+            assert client.ready()
+            metrics = client.metrics()
+            assert "service" in metrics and "metrics" in metrics
+            assert metrics["service"]["admission"]["depth"] == 0
+
+        run_with_server(tmp_path, body)
+
+    def test_endpoint_file_discovery(self, tmp_path):
+        def body(client, service):
+            host, port = read_endpoint(service.config.state_dir)
+            assert (host, port) == (client.host, client.port)
+            assert ServiceClient.from_state_dir(
+                service.config.state_dir
+            ).ready()
+
+        run_with_server(tmp_path, body)
+
+    def test_readyz_flips_during_drain(self, tmp_path):
+        def body(client, service):
+            assert client.ready()
+            service.admission.draining = True
+            assert not client.ready()
+
+        run_with_server(tmp_path, body)
+
+
+class TestSubmitRoute:
+    def test_wait_returns_result_inline(self, tmp_path):
+        def body(client, service):
+            view = client.submit(REQUEST, wait=True)
+            assert view["status"] == "done"
+            assert view["document"]["kind"] == "flow_result"
+            assert view["summary"]["benchmark"] == "fir8"
+
+        run_with_server(tmp_path, body)
+
+    def test_async_submit_then_poll(self, tmp_path):
+        def body(client, service):
+            view = client.submit(REQUEST)
+            assert view["status"] in ("queued", "running", "done")
+            final = client.wait_job(view["job_id"], timeout_s=120)
+            assert final["status"] == "done"
+            assert final["document"]["summary"]["benchmark"] == "fir8"
+
+        run_with_server(tmp_path, body)
+
+    def test_malformed_body_is_400(self, tmp_path):
+        def body(client, service):
+            status, payload, _ = client.request(
+                "POST", "/v1/floorplan", {"kernel": "fir8", "bogus": 1}
+            )
+            assert status == 400
+            assert "unknown request field" in payload["error"]
+
+        run_with_server(tmp_path, body)
+
+    def test_shed_is_503_with_retry_after(self, tmp_path):
+        def body(client, service):
+            with pytest.raises(AdmissionError) as info:
+                client.submit(REQUEST)
+            assert info.value.reason == "queue_full"
+            assert info.value.retry_after_s > 0
+            status, _, headers = client.request(
+                "POST", "/v1/floorplan", REQUEST
+            )
+            assert status == 503
+            assert "Retry-After" in headers
+
+        run_with_server(
+            tmp_path, body, admission=AdmissionConfig(max_queue=0)
+        )
+
+    def test_unknown_route_404(self, tmp_path):
+        def body(client, service):
+            status, _, _ = client.request("GET", "/v2/nothing")
+            assert status == 404
+            with pytest.raises(ServiceError, match="unknown job"):
+                client.job("job-0-ffffffff")
+
+        run_with_server(tmp_path, body)
+
+    def test_wrong_method_405(self, tmp_path):
+        def body(client, service):
+            status, _, _ = client.request("GET", "/v1/floorplan")
+            assert status == 405
+
+        run_with_server(tmp_path, body)
+
+
+class TestSlowClient:
+    def test_stalled_request_times_out_408(self, tmp_path):
+        def body(client, service):
+            with fault_scope("service_slow_client@1"):
+                status, payload, _ = client.request("GET", "/healthz")
+            assert status == 408
+            assert payload["type"] == "SlowClient"
+            # The connection handler survives for the next client.
+            assert client.health() == {"ok": True}
+
+        run_with_server(tmp_path, body)

@@ -1,0 +1,259 @@
+"""The async service core: execution, caching, coalescing, retry, resume.
+
+These tests run real solves on tiny kernels (<1s each) through the full
+service machinery — admission, journal, crash-isolated pools, artifact
+cache — and compare served artifacts against the one-shot pipeline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import AdmissionError, ServiceError
+from repro.obs import registry
+from repro.resilience.faults import fault_scope
+from repro.service import (
+    AdmissionConfig,
+    FloorplanRequest,
+    FloorplanService,
+    JobStore,
+    ServiceConfig,
+    canonical_json,
+    comparable_view,
+)
+from repro.service.jobs import Job, new_job_id
+from repro.service.worker import run_request
+
+REQUEST = {"kernel": "fir8", "fabric": "4x4", "time_limit_s": 5.0}
+
+
+def metric(name: str) -> float:
+    return registry().snapshot().get(name, {}).get("value", 0)
+
+
+def config(tmp_path, **overrides):
+    base = dict(
+        state_dir=tmp_path / "state",
+        concurrency=2,
+        retry_backoff_s=0.01,
+        attempt_timeout_s=120.0,
+    )
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+async def with_service(cfg, body):
+    service = FloorplanService(cfg)
+    await service.start()
+    try:
+        return await body(service)
+    finally:
+        await service.close()
+
+
+class TestHappyPath:
+    def test_submit_runs_and_journals(self, tmp_path):
+        async def body(service):
+            job = await service.run(REQUEST, timeout=120)
+            assert job.status == "done"
+            assert job.attempts == 1
+            assert not job.cache_hit
+            assert job.summary["benchmark"] == "fir8"
+            assert service.store.statuses()[job.job_id] == "ok"
+            return job
+
+        job = asyncio.run(with_service(config(tmp_path), body))
+        oneshot = run_request(FloorplanRequest.from_dict(REQUEST))
+        assert comparable_view(job.document) == comparable_view(oneshot)
+
+    def test_second_request_is_cache_hit(self, tmp_path):
+        async def body(service):
+            first = await service.run(REQUEST, timeout=120)
+            second = await service.run(REQUEST, timeout=120)
+            assert second.cache_hit and not first.cache_hit
+            assert comparable_view(second.document) == comparable_view(
+                first.document
+            )
+
+        asyncio.run(with_service(config(tmp_path), body))
+
+    def test_cache_survives_service_restart(self, tmp_path):
+        cfg = config(tmp_path)
+
+        async def first(service):
+            return await service.run(REQUEST, timeout=120)
+
+        async def second(service):
+            return await service.run(REQUEST, timeout=120)
+
+        job1 = asyncio.run(with_service(cfg, first))
+        job2 = asyncio.run(with_service(config(tmp_path), second))
+        assert job2.cache_hit
+        assert comparable_view(job2.document) == comparable_view(job1.document)
+
+    def test_coalescing_identical_inflight(self, tmp_path):
+        async def body(service):
+            jobs = await asyncio.gather(*(
+                service.submit(REQUEST) for _ in range(4)
+            ))
+            done = await asyncio.gather(*(
+                service.wait(j.job_id, timeout=120) for j in jobs
+            ))
+            assert all(j.status == "done" for j in done)
+            assert sum(j.coalesced for j in done) >= 2
+            views = {
+                canonical_json(comparable_view(j.document)) for j in done
+            }
+            assert len(views) == 1, "every coalesced job serves one artifact"
+
+        before = metric("service.cache_writes")
+        asyncio.run(with_service(config(tmp_path), body))
+        assert metric("service.cache_writes") == before + 1
+
+    def test_unknown_job_is_typed_error(self, tmp_path):
+        async def body(service):
+            with pytest.raises(ServiceError, match="unknown job"):
+                service.job("job-0-ffffffff")
+
+        asyncio.run(with_service(config(tmp_path), body))
+
+
+class TestFailurePaths:
+    def test_worker_crash_retries_on_fresh_pool(self, tmp_path):
+        async def body(service):
+            with fault_scope("service_worker_crash@1"):
+                job = await service.run(REQUEST, timeout=120)
+            assert job.status == "done"
+            assert job.attempts == 2
+            return job
+
+        before = metric("service.worker_crashes")
+        job = asyncio.run(with_service(config(tmp_path), body))
+        assert metric("service.worker_crashes") == before + 1
+        oneshot = run_request(FloorplanRequest.from_dict(REQUEST))
+        assert comparable_view(job.document) == comparable_view(oneshot)
+
+    def test_repeated_crashes_quarantine_job(self, tmp_path):
+        async def body(service):
+            with fault_scope("service_worker_crash"):
+                job = await service.run(REQUEST, timeout=120)
+            assert job.status == "quarantined"
+            assert job.attempts == 2
+            assert "died" in job.error
+            assert service.store.statuses()[job.job_id] == "quarantined"
+
+        before = metric("service.jobs_quarantined")
+        asyncio.run(with_service(config(tmp_path, retries=1), body))
+        assert metric("service.jobs_quarantined") == before + 1
+
+    def test_flow_error_is_typed_failure(self, tmp_path):
+        async def body(service):
+            job = await service.run(
+                {"kernel": "no-such-kernel", "time_limit_s": 5.0}, timeout=120
+            )
+            assert job.status == "failed"
+            assert "unknown library kernel" in job.error
+            assert service.store.statuses()[job.job_id] == "failed"
+
+        asyncio.run(with_service(config(tmp_path, retries=0), body))
+
+    def test_corrupted_cache_write_recomputed_not_served(self, tmp_path):
+        async def body(service):
+            with fault_scope("service_cache_corrupt@1"):
+                first = await service.run(REQUEST, timeout=120)
+                second = await service.run(REQUEST, timeout=120)
+            # The second request found the corrupted entry, quarantined
+            # it and recomputed — served fresh, never wrong.
+            assert not second.cache_hit
+            assert comparable_view(second.document) == comparable_view(
+                first.document
+            )
+            assert len(service.cache.quarantined()) == 1
+            third = await service.run(REQUEST, timeout=120)
+            assert third.cache_hit
+
+        before = metric("service.cache_corrupt")
+        asyncio.run(with_service(config(tmp_path), body))
+        assert metric("service.cache_corrupt") == before + 1
+
+    def test_submit_sheds_when_full(self, tmp_path):
+        cfg = config(
+            tmp_path,
+            admission=AdmissionConfig(max_queue=0, retry_after_s=0.5),
+        )
+
+        async def body(service):
+            with pytest.raises(AdmissionError) as info:
+                await service.submit(REQUEST)
+            assert info.value.reason == "queue_full"
+            assert info.value.retry_after_s >= 0.5
+
+        asyncio.run(with_service(cfg, body))
+
+
+class TestDrainAndResume:
+    def test_drain_empty_service_is_clean(self, tmp_path):
+        async def body(service):
+            assert await service.drain(grace_s=1.0)
+            with pytest.raises(AdmissionError) as info:
+                await service.submit(REQUEST)
+            assert info.value.reason == "draining"
+
+        asyncio.run(with_service(config(tmp_path), body))
+
+    def test_drain_waits_for_inflight(self, tmp_path):
+        async def body(service):
+            job = await service.submit(REQUEST)
+            assert await service.drain(grace_s=120.0)
+            assert service.job(job.job_id).status == "done"
+
+        asyncio.run(with_service(config(tmp_path), body))
+
+    def test_restart_resumes_accepted_jobs(self, tmp_path):
+        cfg = config(tmp_path)
+        # Simulate a crash after acceptance: the journal has the job,
+        # no service ever ran it.
+        store = JobStore(cfg.journal_path)
+        orphan = Job(
+            job_id=new_job_id(),
+            request=FloorplanRequest.from_dict(REQUEST),
+        )
+        store.record_accepted(orphan)
+
+        async def body(service):
+            assert [j.job_id for j in service.resumed] == [orphan.job_id]
+            job = await service.wait(orphan.job_id, timeout=120)
+            assert job.status == "done"
+            assert service.store.statuses()[orphan.job_id] == "ok"
+            return job
+
+        job = asyncio.run(with_service(cfg, body))
+        oneshot = run_request(FloorplanRequest.from_dict(REQUEST))
+        assert comparable_view(job.document) == comparable_view(oneshot)
+
+    def test_resumed_duplicates_complete_exactly_once_each(self, tmp_path):
+        cfg = config(tmp_path)
+        store = JobStore(cfg.journal_path)
+        orphans = [
+            Job(job_id=new_job_id(),
+                request=FloorplanRequest.from_dict(REQUEST))
+            for _ in range(3)
+        ]
+        for orphan in orphans:
+            store.record_accepted(orphan)
+
+        async def body(service):
+            jobs = await asyncio.gather(*(
+                service.wait(o.job_id, timeout=120) for o in orphans
+            ))
+            assert all(j.status == "done" for j in jobs)
+
+        asyncio.run(with_service(cfg, body))
+        records = list(JobStore(cfg.journal_path).journal.records())
+        ok_counts = {}
+        for record in records:
+            if record["status"] == "ok":
+                ok_counts[record["entry"]] = ok_counts.get(record["entry"], 0) + 1
+        assert ok_counts == {o.job_id: 1 for o in orphans}

@@ -1,0 +1,114 @@
+"""Service soak: 50+ concurrent mixed-tenant requests under injected faults.
+
+The PR's acceptance gate, in-process: a worker crash and a corrupted
+cache write are both armed; the service must lose zero jobs, serve a
+healthy share from cache, fail zero certifications, drain cleanly — and
+every artifact must be bit-identical to the one-shot pipeline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.obs import registry
+from repro.resilience.faults import fault_scope
+from repro.service import (
+    AdmissionConfig,
+    FloorplanRequest,
+    FloorplanService,
+    ServiceConfig,
+    comparable_view,
+)
+from repro.service.worker import run_request
+
+#: 4 unique workloads x duplicates x 3 tenants -> 52 requests.
+UNIQUE = [
+    {"kernel": "fir8", "fabric": "4x4", "mode": "rotate", "time_limit_s": 5.0},
+    {"kernel": "fir8", "fabric": "4x4", "mode": "freeze", "time_limit_s": 5.0},
+    {"kernel": "checksum", "fabric": "4x4", "mode": "rotate",
+     "time_limit_s": 5.0},
+    {"kernel": "checksum", "fabric": "4x4", "mode": "freeze",
+     "time_limit_s": 5.0},
+]
+TENANTS = ("team-a", "team-b", "team-c")
+REQUESTS = [
+    dict(UNIQUE[i % len(UNIQUE)], tenant=TENANTS[i % len(TENANTS)])
+    for i in range(52)
+]
+
+
+def metric(name: str) -> float:
+    return registry().snapshot().get(name, {}).get("value", 0)
+
+
+@pytest.mark.slow
+def test_soak_under_faults(tmp_path):
+    config = ServiceConfig(
+        state_dir=tmp_path / "state",
+        concurrency=3,
+        retries=2,
+        retry_backoff_s=0.01,
+        attempt_timeout_s=120.0,
+        admission=AdmissionConfig(
+            max_queue=len(REQUESTS) + 4,
+            tenant_queue=len(REQUESTS),
+            tenant_concurrency=2,
+        ),
+    )
+    before = {
+        name: metric(name)
+        for name in (
+            "service.cache_hits", "service.cache_certify_failures",
+            "service.worker_crashes", "service.cache_corrupt",
+            "service.shed",
+        )
+    }
+
+    async def main():
+        service = FloorplanService(config)
+        await service.start()
+        with fault_scope("service_worker_crash@1,service_cache_corrupt@1"):
+            jobs = await asyncio.gather(*(
+                service.run(request, timeout=300) for request in REQUESTS
+            ))
+        clean = await service.drain(grace_s=60.0)
+        await service.close()
+        return service, jobs, clean
+
+    service, jobs, clean = asyncio.run(main())
+
+    # Zero lost jobs: every request reached "done", none shed.
+    assert [job.status for job in jobs] == ["done"] * len(REQUESTS)
+    assert metric("service.shed") == before["service.shed"]
+
+    # The armed faults actually fired and were absorbed.
+    assert metric("service.worker_crashes") >= before["service.worker_crashes"] + 1
+    assert metric("service.cache_corrupt") >= before["service.cache_corrupt"] + 1
+    assert len(service.cache.quarantined()) >= 1
+
+    # Healthy duplicate traffic: nonzero cache hits, zero cert failures.
+    assert metric("service.cache_hits") > before["service.cache_hits"]
+    assert metric("service.cache_certify_failures") == (
+        before["service.cache_certify_failures"]
+    )
+
+    # Clean drain; journal agrees every job completed.
+    assert clean
+    statuses = service.store.statuses()
+    assert all(
+        statuses[job.job_id] == "ok" for job in jobs
+    ), f"journal disagrees: {statuses}"
+
+    # Every served artifact is bit-identical to the one-shot pipeline.
+    oneshot = {}
+    for request_dict in UNIQUE:
+        request = FloorplanRequest.from_dict(request_dict)
+        oneshot[request.cache_key()] = comparable_view(run_request(request))
+    for job in jobs:
+        key = job.request.cache_key()
+        assert comparable_view(job.document) == oneshot[key], (
+            f"served artifact for {job.request.kernel}/{job.request.mode} "
+            "differs from the one-shot CLI pipeline"
+        )
